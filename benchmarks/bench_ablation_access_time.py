@@ -1,0 +1,29 @@
+"""Ablation: access-time-aware allocation (the paper's future work).
+
+Section 6 proposes adding an access-time model (Wada et al.) as
+another dimension of the cost/benefit analysis.  This bench sweeps a
+cycle-time target: as the clock tightens, big/associative structures
+drop out and the best achievable CPI rises — a finer-grained version
+of Table 7's blanket 2-way restriction.
+"""
+
+from repro.core.allocator import Allocator
+from repro.core.measure import BenefitCurves
+from repro.experiments.common import format_table
+
+
+def sweep():
+    curves = BenefitCurves.for_suite("mach")
+    allocator = Allocator(curves)
+    rows = []
+    for bound_ns in (12.0, 9.0, 7.5, 6.5):
+        best = allocator.best(max_access_time_ns=bound_ns)
+        rows.append({"max_access_ns": bound_ns, **best.row()})
+    return rows
+
+
+def test_access_time_ablation(benchmark, show):
+    rows = benchmark(sweep)
+    show("Ablation: best allocation vs access-time bound", format_table(rows))
+    cpis = [r["total_cpi"] for r in rows]
+    assert cpis == sorted(cpis)  # tighter clock, worse (or equal) CPI

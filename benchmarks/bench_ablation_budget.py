@@ -1,0 +1,27 @@
+"""Ablation: how the best achievable CPI scales with the area budget.
+
+The paper fixes 250,000 rbes from its Table 1 survey; this bench
+sweeps the budget to show diminishing returns (the best Table 6
+configuration only used 163k of the 250k budget)."""
+
+from repro.core.allocator import Allocator
+from repro.core.measure import BenefitCurves
+from repro.experiments.common import format_table
+
+
+def sweep():
+    curves = BenefitCurves.for_suite("mach")
+    rows = []
+    for budget in (60_000, 100_000, 150_000, 250_000, 400_000):
+        best = Allocator(curves, budget_rbes=budget).best()
+        rows.append({"budget_rbe": budget, **best.row()})
+    return rows
+
+
+def test_budget_ablation(benchmark, show):
+    rows = benchmark(sweep)
+    show("Ablation: best CPI vs area budget", format_table(rows))
+    cpis = [r["total_cpi"] for r in rows]
+    assert cpis == sorted(cpis, reverse=True)
+    # Diminishing returns: the last budget doubling buys little.
+    assert cpis[-2] - cpis[-1] < cpis[0] - cpis[1]

@@ -1,0 +1,30 @@
+"""Ablation: optimize the same budget for Ultrix instead of Mach.
+
+Section 6: "Different workloads and less emphasis on the operating
+system are also likely to lead to other optimal configurations."
+Optimizing for the single-API system shifts area from the TLB and
+I-cache toward the D-cache."""
+
+from repro.core.allocator import Allocator
+from repro.core.measure import BenefitCurves
+from repro.experiments.common import format_table
+
+
+def compare():
+    rows = []
+    for os_name in ("ultrix", "mach"):
+        curves = BenefitCurves.for_suite(os_name)
+        best = Allocator(curves).best()
+        rows.append({"optimized_for": os_name, **best.row()})
+    return rows
+
+
+def test_os_structure_ablation(benchmark, show):
+    rows = benchmark(compare)
+    show("Ablation: best allocation per OS", format_table(rows))
+    by_os = {r["optimized_for"]: r for r in rows}
+    mach_tlb = int(by_os["mach"]["tlb"].split()[0])
+    ultrix_tlb = int(by_os["ultrix"]["tlb"].split()[0])
+    # The multiple-API system never wants a smaller TLB than the
+    # single-API system.
+    assert mach_tlb >= ultrix_tlb

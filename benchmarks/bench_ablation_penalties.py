@@ -1,0 +1,53 @@
+"""Ablation: sensitivity of the optimal allocation to miss penalties.
+
+Section 5.4: "Of course, different miss penalties will lead to
+different optimal configurations."  This bench quantifies that: as the
+memory system slows (higher first-word latency), the optimum shifts
+toward larger caches and longer lines.
+"""
+
+import pytest
+
+from repro.core.allocator import Allocator
+from repro.core.cpi import CpiModel
+from repro.core.measure import BenefitCurves
+from repro.experiments.common import format_table
+
+
+def sweep():
+    curves = BenefitCurves.for_suite("mach")
+    rows = []
+    for miss_first in (3, 6, 12, 24):
+        model = CpiModel(miss_first=miss_first)
+        best = Allocator(curves, cpi_model=model).best()
+        rows.append(
+            {
+                "miss_first_cycles": miss_first,
+                **best.row(),
+            }
+        )
+    return rows
+
+
+def test_penalty_ablation(benchmark, show):
+    rows = benchmark(sweep)
+    show("Ablation: best allocation vs cache miss penalty", format_table(rows))
+    # Slower memory must never make the chosen I-cache smaller.
+    sizes = [int(r["icache"].split("-")[0]) for r in rows]
+    assert sizes == sorted(sizes)
+
+
+def test_tlb_penalty_ablation(benchmark, show):
+    curves = BenefitCurves.for_suite("mach")
+
+    def run():
+        rows = []
+        for kernel_penalty in (100, 400, 800):
+            model = CpiModel(tlb_kernel_penalty=kernel_penalty)
+            best = Allocator(curves, cpi_model=model).best()
+            rows.append({"tlb_kernel_penalty": kernel_penalty, **best.row()})
+        return rows
+
+    rows = benchmark(run)
+    show("Ablation: best allocation vs kernel TLB-miss penalty", format_table(rows))
+    assert all(int(r["tlb"].split()[0]) >= 64 for r in rows)

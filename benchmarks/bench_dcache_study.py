@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the Section 5.3 D-cache study."""
+
+import pytest
+
+from repro.experiments import dcache_study
+from repro.experiments.common import format_table
+
+
+@pytest.mark.parametrize("os_name", ["ultrix", "mach"])
+def test_dcache_study(benchmark, show, os_name):
+    panels = benchmark(dcache_study.run, os_name)
+    show(
+        f"D-cache study ({os_name}): load miss ratio (DM)",
+        format_table(panels["miss_ratio"]),
+    )
+    show(
+        f"D-cache study ({os_name}): CPI contribution",
+        format_table(panels["cpi"]),
+    )
+    # Section 5.3: D-cache CPI rises for lines above ~4-8 words.
+    cpi8 = next(r for r in panels["cpi"] if r["capacity_kb"] == 8)
+    assert cpi8["32w"] > min(cpi8["2w"], cpi8["4w"], cpi8["8w"])

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 10 (set-associative I-cache performance)."""
+
+import pytest
+
+from repro.experiments import fig10
+from repro.experiments.common import format_table
+
+
+@pytest.mark.parametrize("os_name", ["ultrix", "mach"])
+def test_fig10(benchmark, show, os_name):
+    panels = benchmark(fig10.run, os_name)
+    show(
+        f"Figure 10 ({os_name}): I-cache miss ratio (4-word line)",
+        format_table(panels["miss_ratio"]),
+    )
+    show(
+        f"Figure 10 ({os_name}): I-cache CPI contribution",
+        format_table(panels["cpi"]),
+    )
+    assert len(panels["miss_ratio"]) == 5

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 4 (TLB area vs size/associativity)."""
+
+from repro.experiments import fig4
+from repro.experiments.common import format_table
+
+
+def test_fig4(benchmark, show):
+    rows = benchmark(fig4.run)
+    show("Figure 4: TLB area (rbe)", format_table(rows))
+    by_entries = {r["entries"]: r for r in rows}
+    assert by_entries[512]["full"] > by_entries[512]["8-way"]

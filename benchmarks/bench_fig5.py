@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 5 (SA vs FA TLB area ratios)."""
+
+from repro.experiments import fig5
+from repro.experiments.common import format_table
+
+
+def test_fig5(benchmark, show):
+    rows = benchmark(fig5.run)
+    show("Figure 5: SA/FA TLB area ratio", format_table(rows))
+    by_entries = {r["entries"]: r for r in rows}
+    assert by_entries[16]["8-way / full"] > 1.0   # small: FA cheaper
+    assert by_entries[512]["8-way / full"] < 0.7  # large: FA ~2x

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 6 (cache area vs capacity/line size)."""
+
+from repro.experiments import fig6
+from repro.experiments.common import format_table
+
+
+def test_fig6(benchmark, show):
+    rows = benchmark(fig6.run)
+    show("Figure 6: cache area (rbe)", format_table(rows))
+    eight_kb = next(r for r in rows if r["capacity_kb"] == 8)
+    assert eight_kb["8-word"] < eight_kb["1-word"]

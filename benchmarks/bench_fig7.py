@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 7 (TLB service time vs FA TLB size)."""
+
+from repro.experiments import fig7
+from repro.experiments.common import format_table
+
+
+def test_fig7(benchmark, show):
+    rows = benchmark(fig7.run)
+    show("Figure 7: total TLB service time (suite under Mach)", format_table(rows))
+    totals = {r["tlb"]: r["total_s"] for r in rows}
+    assert totals["64 full"] > totals["256 full"]
+    assert totals["512 full"] <= totals["256 full"] * 1.05

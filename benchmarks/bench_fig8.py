@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 8 (SA TLB performance vs 256-entry FA)."""
+
+from repro.experiments import fig8
+from repro.experiments.common import format_table
+
+
+def test_fig8(benchmark, show):
+    rows = benchmark(fig8.run)
+    show("Figure 8: SA TLB performance relative to 256-FA (video_play)",
+         format_table(rows))
+    by_entries = {r["entries"]: r for r in rows}
+    assert by_entries[512]["8-way"] > by_entries[64]["8-way"]

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 9 (I-cache perf vs size and line size)."""
+
+import pytest
+
+from repro.experiments import fig9
+from repro.experiments.common import format_table
+
+
+@pytest.mark.parametrize("os_name", ["ultrix", "mach"])
+def test_fig9(benchmark, show, os_name):
+    panels = benchmark(fig9.run, os_name)
+    show(
+        f"Figure 9 ({os_name}): I-cache miss ratio (DM)",
+        format_table(panels["miss_ratio"]),
+    )
+    show(
+        f"Figure 9 ({os_name}): I-cache CPI contribution",
+        format_table(panels["cpi"]),
+    )
+    eight_kb = next(r for r in panels["miss_ratio"] if r["capacity_kb"] == 8)
+    # Long lines lower miss ratios for every workload mix.
+    assert eight_kb["32w"] < eight_kb["1w"]

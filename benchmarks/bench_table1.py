@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (processor survey + MQF pricing)."""
+
+from repro.experiments import table1
+from repro.experiments.common import format_table
+
+
+def test_table1(benchmark, show):
+    rows = benchmark(table1.run)
+    show("Table 1: on-chip memory survey", format_table(rows))
+    assert len(rows) == 13

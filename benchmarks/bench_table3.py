@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 3 (OS effect on stall behaviour)."""
+
+from repro.experiments import table3
+from repro.experiments.common import format_table
+
+
+def test_table3(benchmark, show):
+    rows = benchmark(table3.run)
+    show("Table 3: CPI breakdown, mpeg_play (None/Ultrix/Mach)", format_table(rows))
+    assert [r["os"] for r in rows] == ["None (user-only)", "Ultrix", "Mach"]

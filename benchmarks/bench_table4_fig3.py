@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 4 and Figure 3 (suite CPI components)."""
+
+from repro.experiments import fig3, table4
+from repro.experiments.common import format_table
+
+
+def test_table4(benchmark, show):
+    rows = benchmark(table4.run)
+    show("Table 4: CPI stall components, all workloads", format_table(rows))
+    assert len(rows) == 14  # 6 workloads x 2 OSes + 2 averages
+
+
+def test_fig3(benchmark, show):
+    rows = benchmark(fig3.run)
+    show("Figure 3: CPI-above-1.0 components", format_table(rows))
+    assert len(rows) == 12

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 6 (ten best allocations under budget)."""
+
+from repro.experiments import table6
+from repro.experiments.common import format_table
+
+
+def test_table6(benchmark, show):
+    rows = benchmark(table6.run)
+    show("Table 6: ten best allocations under 250,000 rbes (Mach)",
+         format_table(rows))
+    assert len(rows) == 10
+    assert all(r["total_cost_rbe"] <= 250_000 for r in rows)
+    # The headline structural results of the paper:
+    top = rows[0]
+    assert int(top["tlb"].split()[0]) >= 256
+    icache_kb = int(top["icache"].split("-")[0])
+    dcache_kb = int(top["dcache"].split("-")[0])
+    assert icache_kb >= 2 * dcache_kb

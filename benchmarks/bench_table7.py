@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 7 (allocations with 1-/2-way caches)."""
+
+from repro.experiments import table6, table7
+from repro.experiments.common import format_table
+
+
+def test_table7(benchmark, show):
+    rows = benchmark(table7.run)
+    show("Table 7: best allocations with 1-/2-way caches (Mach)",
+         format_table(rows))
+    best_restricted = rows[0]["total_cpi"]
+    best_free = table6.run(limit=1)[0]["total_cpi"]
+    assert best_restricted >= best_free

@@ -1,0 +1,34 @@
+"""Benchmark-session configuration.
+
+Benchmarks regenerate the paper's tables and figures and print the
+rows (the artifact), then time the regeneration.  Trace-backed
+experiments share the on-disk measurement cache, so the first
+invocation of a (workload, OS) measurement is the expensive one and
+later benches reuse it — exactly how the experiments CLI behaves.
+
+``REPRO_SCALE`` defaults to 0.5 here for tractable bench times; set it
+to 1.0+ for paper-fidelity runs.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    os.environ.setdefault("REPRO_SCALE", "0.5")
+    os.environ.setdefault("REPRO_CACHE_DIR", ".repro-cache-bench")
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a generated table once per benchmark session."""
+    shown = set()
+
+    def _show(title, text):
+        if title not in shown:
+            shown.add(title)
+            print(f"\n=== {title} ===")
+            print(text)
+
+    return _show

@@ -1,0 +1,39 @@
+"""Allocate a die-area budget across I-cache, D-cache and TLB.
+
+The paper's headline experiment (Tables 6/7): measure per-structure
+benefit curves for the benchmark suite under Mach, enumerate the
+Table 5 configuration space, keep combinations under the budget, and
+rank them by composed CPI.
+
+Run:  REPRO_SCALE=0.5 python examples/allocate_chip_budget.py [budget_rbe]
+"""
+
+import sys
+
+from repro.core.allocator import Allocator
+from repro.core.measure import BenefitCurves
+from repro.experiments.common import format_table
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 250_000
+    print(f"Measuring benefit curves for the suite under Mach "
+          f"(cached after the first run)...")
+    curves = BenefitCurves.for_suite("mach")
+    allocator = Allocator(curves, budget_rbes=budget)
+
+    print(f"\nBest allocations within {budget:,} rbe:")
+    print(format_table([a.row() for a in allocator.rank(limit=10)]))
+
+    print("\nBest allocations when caches are limited to 2-way "
+          "(access-time constraint, Table 7):")
+    print(format_table([a.row() for a in allocator.rank(max_cache_assoc=2, limit=5)]))
+
+    best = allocator.best()
+    print(f"\nWinner: {best.config.label()}")
+    print(f"  area {best.area_rbe:,.0f} rbe ({best.area_rbe / budget:.0%} of budget), "
+          f"CPI {best.cpi:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quantify how a multiple-API OS changes on-chip memory demands.
+
+Reproduces the Section 4 story for every benchmark: run the same
+workload model under the single-API (Ultrix) and multiple-API (Mach)
+structures and compare where the stall cycles go, then show how the
+TLB service-time curve (Figure 7) collapses with TLB size under Mach.
+
+Run:  python examples/multi_api_impact.py
+"""
+
+from repro.core.configs import TlbConfig
+from repro.monitor.monster import Monster
+from repro.monitor.tapeworm import Tapeworm
+from repro.trace.generator import generate_trace
+from repro.workloads.registry import workload_names
+
+
+def main() -> None:
+    monster = Monster()
+    print(f"{'workload':<12}{'os':<8}{'CPI':>6}{'TLB+I$ share':>14}{'D$ share':>10}")
+    for workload in workload_names():
+        for os_name in ("ultrix", "mach"):
+            trace = generate_trace(workload, os_name, 300_000, seed=1)
+            report = monster.measure(trace)
+            shifted = report.fractions["tlb"] + report.fractions["icache"]
+            print(
+                f"{workload:<12}{os_name:<8}{report.cpi:>6.2f}"
+                f"{shifted:>13.0%}{report.fractions['dcache']:>10.0%}"
+            )
+
+    print("\nTLB service time vs size (video_play under Mach, Tapeworm):")
+    trace = generate_trace("video_play", "mach", 300_000, seed=1)
+    configs = [TlbConfig(n, "full") for n in (32, 64, 128, 256)]
+    configs += [TlbConfig(512, 8)]
+    for report in Tapeworm(configs).run(trace):
+        cycles = report.service_cycles()
+        print(
+            f"  {report.config.label():<10} {cycles:>10,} cycles "
+            f"({report.user_misses} user + {report.kernel_misses} kernel misses)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Calibration harness: print Table 3/4-style CPI rows and Fig 9 anchors.
+
+Used during development to tune workload/OS model parameters; the
+formal versions live in repro.experiments.
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.memsim.multiconfig import cache_miss_ratio_grid
+from repro.memsim.timing import DECSTATION_3100, simulate_system
+from repro.trace.generator import generate_trace
+from repro.workloads.registry import workload_names
+
+# Paper targets (Table 4): CPI components per workload/OS.
+TARGETS = {
+    ("mpeg_play", "ultrix"): (1.66, 0.01, 0.10, 0.26, 0.14, 0.15),
+    ("mpeg_play", "mach"): (2.06, 0.15, 0.32, 0.30, 0.21, 0.08),
+    ("mab", "ultrix"): (1.88, 0.02, 0.18, 0.38, 0.26, 0.04),
+    ("mab", "mach"): (2.13, 0.12, 0.48, 0.28, 0.21, 0.04),
+    ("jpeg_play", "ultrix"): (1.31, 0.00, 0.02, 0.13, 0.06, 0.10),
+    ("jpeg_play", "mach"): (1.51, 0.05, 0.08, 0.17, 0.10, 0.11),
+    ("ousterhout", "ultrix"): (2.19, 0.00, 0.11, 0.80, 0.24, 0.04),
+    ("ousterhout", "mach"): (2.26, 0.21, 0.44, 0.27, 0.31, 0.03),
+    ("IOzone", "ultrix"): (2.09, 0.01, 0.10, 0.71, 0.18, 0.09),
+    ("IOzone", "mach"): (2.25, 0.17, 0.34, 0.39, 0.31, 0.04),
+    ("video_play", "ultrix"): (2.48, 0.05, 0.35, 0.82, 0.23, 0.03),
+    ("video_play", "mach"): (2.51, 0.28, 0.49, 0.43, 0.27, 0.04),
+}
+
+REFS = int(sys.argv[1]) if len(sys.argv) > 1 else 400_000
+only = sys.argv[2] if len(sys.argv) > 2 else None
+
+print(f"{'workload':<12}{'os':<8}{'CPI':>6}{'tlb':>7}{'i$':>7}{'d$':>7}{'wb':>7}{'oth':>6}   (paper in parens)")
+imiss_rows = []
+for wl in workload_names():
+    if only and wl != only:
+        continue
+    for osn in ("ultrix", "mach"):
+        t0 = time.time()
+        tr = generate_trace(wl, osn, REFS, seed=1)
+        res = simulate_system(tr, DECSTATION_3100, warmup_fraction=0.5)
+        c = res.cpi_components
+        tgt = TARGETS[(wl, osn)]
+        print(
+            f"{wl:<12}{osn:<8}{res.cpi:>6.2f}{c['tlb']:>7.3f}{c['icache']:>7.3f}"
+            f"{c['dcache']:>7.3f}{c['write_buffer']:>7.3f}{c['other']:>6.2f}"
+            f"   ({tgt[0]:.2f} | {tgt[1]:.2f} {tgt[2]:.2f} {tgt[3]:.2f} {tgt[4]:.2f} {tgt[5]:.2f})"
+            f"  [{time.time()-t0:.1f}s]"
+        )
+        # Fig 9 anchor: 8KB and 32KB direct-mapped, 4-word line I-cache.
+        grid = cache_miss_ratio_grid(
+            tr.ifetch_physical(), [8192, 32768], [4], [1], warmup_fraction=0.5
+        )
+        imiss_rows.append(
+            (wl, osn, grid[(8192, 4, 1)], grid[(32768, 4, 1)])
+        )
+
+print("\nFig 9 anchors (I-cache DM 4-word line): paper avg ultrix 8K=0.028 32K=0.013; mach 8K=0.065")
+for wl, osn, m8, m32 in imiss_rows:
+    print(f"  {wl:<12}{osn:<8}8K={m8:.3f}  32K={m32:.3f}")
+avg = {}
+for wl, osn, m8, m32 in imiss_rows:
+    avg.setdefault(osn, []).append((m8, m32))
+for osn, vals in avg.items():
+    a8 = np.mean([v[0] for v in vals]); a32 = np.mean([v[1] for v in vals])
+    print(f"  AVG {osn}: 8K={a8:.3f} 32K={a32:.3f}")

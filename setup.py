@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that editable installs work in
+offline environments whose setuptools lacks the ``wheel`` package
+(pip's legacy ``setup.py develop`` path needs no wheel building).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro: reproduction of "Optimal Allocation of On-chip Memory for
+Multiple-API Operating Systems" (Nagle, Uhlig, Mudge & Sechrest,
+ISCA 1994).
+
+Public API tour:
+
+* generate a workload trace:      :func:`repro.trace.generate_trace`
+* attribute its stall cycles:     :class:`repro.monitor.Monster`
+* sweep TLB configurations:       :class:`repro.monitor.Tapeworm`
+* price a structure in die area:  :func:`repro.areamodel.cache_area_rbe`,
+                                  :func:`repro.areamodel.tlb_area_rbe`
+* allocate an area budget:        :class:`repro.core.Allocator`
+* regenerate the paper:           ``python -m repro.experiments.runner --all``
+"""
+
+from repro.areamodel import cache_area_rbe, tlb_area_rbe
+from repro.core import Allocator, BenefitCurves, CacheConfig, MemSystemConfig, TlbConfig
+from repro.memsim import Cache, SystemConfig, Tlb, simulate_system
+from repro.monitor import Monster, Tapeworm
+from repro.trace import ReferenceTrace, generate_trace
+from repro.workloads import WorkloadSpec, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cache_area_rbe",
+    "tlb_area_rbe",
+    "Allocator",
+    "BenefitCurves",
+    "CacheConfig",
+    "MemSystemConfig",
+    "TlbConfig",
+    "Cache",
+    "SystemConfig",
+    "Tlb",
+    "simulate_system",
+    "Monster",
+    "Tapeworm",
+    "ReferenceTrace",
+    "generate_trace",
+    "WorkloadSpec",
+    "get_workload",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""MQF-style die-area model for on-chip memory structures.
+
+This subpackage reproduces the cost side of the paper's cost/benefit
+analysis.  The original study uses the area model of Mulder, Quach and
+Flynn (MQF) [Mulder91], which expresses area in a technology-independent
+unit, the register-bit equivalent (rbe), and accounts for data, tag and
+status bits, cell type (SRAM vs. CAM), and periphery overhead (wordline
+drivers, sense amplifiers, tag comparators, control logic).
+
+The MQF paper's exact constants are not reprinted in the ISCA paper, so
+the model here keeps the MQF *structure* and calibrates its constants by
+least squares against the anchor values the ISCA paper does print: the
+total-cost column of Tables 6 and 7 and the in-text area quotes.  See
+``repro.areamodel.fitting`` for the calibration and ``tests/areamodel``
+for the assertions that the anchors reproduce.
+"""
+
+from repro.areamodel.constants import AreaConstants, CALIBRATED_CONSTANTS
+from repro.areamodel.cache_area import CacheGeometry, cache_area_rbe
+from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE, TlbGeometry, tlb_area_rbe
+from repro.areamodel.access_time import cache_access_time_ns, tlb_access_time_ns
+
+__all__ = [
+    "AreaConstants",
+    "CALIBRATED_CONSTANTS",
+    "CacheGeometry",
+    "cache_area_rbe",
+    "FULLY_ASSOCIATIVE",
+    "TlbGeometry",
+    "tlb_area_rbe",
+    "cache_access_time_ns",
+    "tlb_access_time_ns",
+]

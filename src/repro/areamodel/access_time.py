@@ -1,0 +1,53 @@
+"""Simplified Wada-style access-time model (paper future-work extension).
+
+The paper names an access-time model (Wada et al., JSSC 1992) as the
+natural extension of its cost/benefit analysis.  This module provides a
+first-order version: access time grows with the log of the row count
+(decoder depth), with wordline/bitline RC delay proportional to array
+width/height, and with a comparator/mux term for associative lookups.
+It is deliberately coarse — the ablation bench uses it only to rank
+configurations, mirroring how the paper proposes it would be used.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.areamodel.cache_area import CacheGeometry
+from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE, TlbGeometry
+
+# First-order delay coefficients (ns), loosely calibrated so that a
+# 8-KB direct-mapped cache lands near a mid-1990s 1-cycle target
+# (~5 ns) and large fully-associative TLBs are visibly slow.
+_BASE_NS = 1.5
+_DECODE_NS_PER_BIT = 0.25
+_WORDLINE_NS_PER_KBIT = 0.4
+_BITLINE_NS_PER_KROW = 0.6
+_WAY_MUX_NS_PER_LOG_WAY = 0.8
+_CAM_MATCH_NS_PER_KENTRY = 16.0
+
+
+def cache_access_time_ns(capacity_bytes: int, line_words: int, assoc: int) -> float:
+    """First-order access-time estimate for a cache, in nanoseconds."""
+    geom = CacheGeometry.from_config(capacity_bytes, line_words, assoc)
+    decode = _DECODE_NS_PER_BIT * math.log2(max(geom.sets, 2))
+    wordline = _WORDLINE_NS_PER_KBIT * geom.bits_per_line / 1024.0
+    bitline = _BITLINE_NS_PER_KROW * geom.sets / 1024.0
+    way_mux = _WAY_MUX_NS_PER_LOG_WAY * math.log2(max(geom.assoc, 1) * 2)
+    return _BASE_NS + decode + wordline + bitline + way_mux
+
+
+def tlb_access_time_ns(entries: int, assoc: int | str) -> float:
+    """First-order access-time estimate for a TLB, in nanoseconds."""
+    geom = TlbGeometry.from_config(entries, assoc)
+    if geom.fully_associative:
+        match = _CAM_MATCH_NS_PER_KENTRY * geom.entries / 1024.0
+        return _BASE_NS + match + _WORDLINE_NS_PER_KBIT * geom.bits_per_entry / 1024.0
+    decode = _DECODE_NS_PER_BIT * math.log2(max(geom.sets, 2))
+    wordline = _WORDLINE_NS_PER_KBIT * geom.bits_per_entry / 1024.0
+    bitline = _BITLINE_NS_PER_KROW * geom.sets / 1024.0
+    way_mux = _WAY_MUX_NS_PER_LOG_WAY * math.log2(max(geom.assoc, 1) * 2)
+    return _BASE_NS + decode + wordline + bitline + way_mux
+
+
+FULLY_ASSOCIATIVE = FULLY_ASSOCIATIVE  # re-export for convenience

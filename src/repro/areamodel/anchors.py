@@ -1,0 +1,71 @@
+"""Calibration anchors extracted from the paper.
+
+Each anchor is the total-cost column of one row of Table 6 or Table 7:
+the summed rbe area of one TLB, one I-cache and one D-cache
+configuration.  These are the only absolute rbe values the ISCA paper
+prints in bulk, so they are what the model constants are fitted to.
+
+Caches are written ``("cache", capacity_bytes, line_words, assoc)`` and
+TLBs ``("tlb", entries, assoc)`` where ``assoc`` may be the string
+``"full"``.
+"""
+
+from __future__ import annotations
+
+from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE
+from repro.units import KB
+
+StructureSpec = tuple
+Anchor = tuple[tuple[StructureSpec, ...], float]
+
+TABLE6_ANCHORS: list[Anchor] = [
+    ((("tlb", 512, 8), ("cache", 16 * KB, 8, 8), ("cache", 8 * KB, 8, 8)), 163_438.0),
+    ((("tlb", 512, 4), ("cache", 16 * KB, 8, 8), ("cache", 8 * KB, 8, 8)), 162_497.0),
+    ((("tlb", 512, 2), ("cache", 16 * KB, 8, 8), ("cache", 8 * KB, 8, 8)), 162_579.0),
+    ((("tlb", 512, 8), ("cache", 32 * KB, 16, 8), ("cache", 8 * KB, 8, 8)), 249_089.0),
+    ((("tlb", 512, 4), ("cache", 32 * KB, 16, 8), ("cache", 8 * KB, 8, 8)), 248_148.0),
+    ((("tlb", 512, 8), ("cache", 32 * KB, 8, 4), ("cache", 8 * KB, 8, 8)), 243_502.0),
+    ((("tlb", 512, 2), ("cache", 32 * KB, 16, 8), ("cache", 8 * KB, 8, 8)), 248_230.0),
+    ((("tlb", 512, 4), ("cache", 32 * KB, 8, 4), ("cache", 8 * KB, 8, 8)), 242_561.0),
+    ((("tlb", 512, 2), ("cache", 32 * KB, 8, 4), ("cache", 8 * KB, 8, 8)), 242_643.0),
+    ((("tlb", 512, 8), ("cache", 16 * KB, 16, 8), ("cache", 8 * KB, 8, 8)), 167_815.0),
+]
+
+TABLE7_ANCHORS: list[Anchor] = [
+    ((("tlb", 512, 8), ("cache", 32 * KB, 8, 2), ("cache", 8 * KB, 4, 2)), 239_259.0),
+    ((("tlb", 512, 8), ("cache", 32 * KB, 4, 2), ("cache", 8 * KB, 8, 2)), 248_628.0),
+    ((("tlb", 512, 8), ("cache", 32 * KB, 16, 2), ("cache", 8 * KB, 8, 2)), 232_040.0),
+    ((("tlb", 512, 8), ("cache", 32 * KB, 16, 2), ("cache", 8 * KB, 2, 2)), 241_256.0),
+    ((("tlb", 512, 8), ("cache", 32 * KB, 4, 2), ("cache", 4 * KB, 4, 2)), 228_214.0),
+    ((("tlb", 256, 8), ("cache", 32 * KB, 4, 2), ("cache", 8 * KB, 2, 2)), 249_684.0),
+    (
+        (
+            ("tlb", 64, FULLY_ASSOCIATIVE),
+            ("cache", 32 * KB, 8, 2),
+            ("cache", 8 * KB, 4, 2),
+        ),
+        225_438.0,
+    ),
+    ((("tlb", 128, 8), ("cache", 32 * KB, 8, 2), ("cache", 8 * KB, 4, 2)), 226_971.0),
+    ((("tlb", 512, 8), ("cache", 32 * KB, 16, 2), ("cache", 8 * KB, 16, 2)), 232_117.0),
+    ((("tlb", 512, 8), ("cache", 16 * KB, 8, 2), ("cache", 16 * KB, 2, 2)), 212_442.0),
+    ((("tlb", 512, 8), ("cache", 16 * KB, 4, 2), ("cache", 16 * KB, 2, 2)), 219_138.0),
+    ((("tlb", 512, 8), ("cache", 16 * KB, 8, 2), ("cache", 8 * KB, 8, 2)), 151_875.0),
+    (
+        (
+            ("tlb", 64, FULLY_ASSOCIATIVE),
+            ("cache", 32 * KB, 4, 2),
+            ("cache", 8 * KB, 8, 2),
+        ),
+        234_807.0,
+    ),
+    ((("tlb", 64, 4), ("cache", 8 * KB, 1, 1), ("cache", 16 * KB, 2, 1)), 176_909.0),
+]
+
+ALL_ANCHORS: list[Anchor] = TABLE6_ANCHORS + TABLE7_ANCHORS
+
+# In-text quotes from Section 5.4 of the paper.  They are rounded
+# ("just 19,000", "over 74,000") so they are validated loosely and not
+# used in the least-squares fit.
+TEXT_QUOTE_TLB_512_8WAY = 19_000.0
+TEXT_QUOTE_CACHE_8KB_DM_4WORD = 74_000.0

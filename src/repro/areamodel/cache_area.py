@@ -1,0 +1,118 @@
+"""MQF-style area model for on-chip caches.
+
+A cache is modelled as ``assoc`` identical SRAM ways.  Each way holds
+``sets`` rows; a row stores one line of data plus its tag and status
+bits.  Periphery overhead is charged per row (wordline drivers), per
+column per way (sense amplifiers), per way (tag comparator) and per
+structure (control logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.areamodel.constants import CALIBRATED_CONSTANTS, AreaConstants
+from repro.errors import ConfigurationError
+from repro.units import ADDRESS_BITS, WORD_BYTES, is_pow2, log2i
+
+STATUS_BITS_PER_LINE = 2
+"""Valid + dirty bits per cache line."""
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Derived geometry of a cache configuration.
+
+    Attributes:
+        capacity_bytes: total data capacity.
+        line_bytes: line size in bytes.
+        assoc: set associativity (1 = direct-mapped).
+        sets: number of sets.
+        lines: total number of lines.
+        tag_bits: address tag width per line.
+        bits_per_line: data + tag + status bits stored per line.
+        storage_bits: total bits stored in the array.
+    """
+
+    capacity_bytes: int
+    line_bytes: int
+    assoc: int
+    sets: int
+    lines: int
+    tag_bits: int
+    bits_per_line: int
+    storage_bits: int
+
+    @classmethod
+    def from_config(
+        cls, capacity_bytes: int, line_words: int, assoc: int
+    ) -> "CacheGeometry":
+        """Derive the geometry for a (capacity, line size, associativity) triple.
+
+        Args:
+            capacity_bytes: total data capacity in bytes (power of two).
+            line_words: line size in 4-byte words (power of two).
+            assoc: set associativity (power of two, 1 = direct-mapped).
+
+        Raises:
+            ConfigurationError: if the parameters are inconsistent (e.g.
+                fewer lines than ways) or not powers of two.
+        """
+        for name, value in (
+            ("capacity_bytes", capacity_bytes),
+            ("line_words", line_words),
+            ("assoc", assoc),
+        ):
+            if not is_pow2(value):
+                raise ConfigurationError(f"{name}={value} must be a power of two")
+        line_bytes = line_words * WORD_BYTES
+        if line_bytes > capacity_bytes:
+            raise ConfigurationError(
+                f"line size {line_bytes}B exceeds capacity {capacity_bytes}B"
+            )
+        lines = capacity_bytes // line_bytes
+        if assoc > lines:
+            raise ConfigurationError(
+                f"associativity {assoc} exceeds line count {lines}"
+            )
+        sets = lines // assoc
+        offset_bits = log2i(line_bytes)
+        index_bits = log2i(sets)
+        tag_bits = ADDRESS_BITS - index_bits - offset_bits
+        bits_per_line = 8 * line_bytes + tag_bits + STATUS_BITS_PER_LINE
+        return cls(
+            capacity_bytes=capacity_bytes,
+            line_bytes=line_bytes,
+            assoc=assoc,
+            sets=sets,
+            lines=lines,
+            tag_bits=tag_bits,
+            bits_per_line=bits_per_line,
+            storage_bits=lines * bits_per_line,
+        )
+
+
+def cache_area_rbe(
+    capacity_bytes: int,
+    line_words: int,
+    assoc: int,
+    constants: AreaConstants = CALIBRATED_CONSTANTS,
+) -> float:
+    """Estimate the die area of a cache in register-bit equivalents.
+
+    Args:
+        capacity_bytes: total data capacity in bytes.
+        line_words: line size in 4-byte words.
+        assoc: set associativity (1 = direct-mapped).
+        constants: technology constants (defaults to the values
+            calibrated against the paper's Tables 6/7).
+
+    Returns:
+        Estimated area in rbe.
+    """
+    geom = CacheGeometry.from_config(capacity_bytes, line_words, assoc)
+    storage = geom.storage_bits * constants.sram_cell
+    sense = geom.assoc * geom.bits_per_line * constants.sense
+    drive = geom.lines * constants.drive
+    comparators = geom.assoc * geom.tag_bits * constants.comparator
+    return storage + sense + drive + comparators + constants.control

@@ -1,0 +1,59 @@
+"""Calibrated constants for the MQF-style area model.
+
+The model is linear in these constants once a structure's geometry is
+fixed:
+
+    area = storage_bits * cell
+         + ways * bits_per_row * sense          (sense amps / column muxes)
+         + total_rows * drive                   (wordline drivers)
+         + ways * tag_bits * comparator         (one comparator per way)
+         + control                              (fixed decode/control block)
+
+Fully-associative structures store their tag bits in CAM cells
+(``cam_cell`` rbe per bit) and need no separate comparator bank.
+
+``CALIBRATED_CONSTANTS`` was produced by ``repro.areamodel.fitting``,
+which solves the least-squares system formed by the 24 usable anchor
+equations from Tables 6 and 7 of the paper.  The committed values are
+checked by ``tests/areamodel/test_fitting.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AreaConstants:
+    """Technology constants for the area model, all in rbe.
+
+    Attributes:
+        sram_cell: area of one static RAM bit.
+        cam_cell: area of one content-addressable (CAM) bit, used for the
+            tags of fully-associative structures.
+        sense: per-column overhead (sense amplifier + output mux), paid
+            once per bit of row width per way.
+        drive: per-row overhead (wordline driver), paid once per row.
+        comparator: per-tag-bit comparator area, paid once per way in
+            set-associative / direct-mapped structures.
+        control: fixed control/decode overhead per structure.
+    """
+
+    sram_cell: float
+    cam_cell: float
+    sense: float
+    drive: float
+    comparator: float
+    control: float
+
+
+# Values produced by ``python -m repro.areamodel.fitting``; see that
+# module for the anchor system.  Do not edit by hand — re-run the fit.
+CALIBRATED_CONSTANTS = AreaConstants(
+    sram_cell=0.6021,
+    cam_cell=1.8983,
+    sense=3.3698,
+    drive=0.7831,
+    comparator=3.9393,
+    control=246.0045,
+)

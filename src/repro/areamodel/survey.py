@@ -1,0 +1,178 @@
+"""Table 1 of the paper: on-chip memory in current-generation (1992-94)
+microprocessors, plus helpers that apply the area model to each design.
+
+Line sizes are in 4-byte words, as in the paper.  ``None`` marks values
+the paper leaves blank; a unified cache is recorded on the I-cache side
+with ``unified=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.areamodel.cache_area import cache_area_rbe
+from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE, tlb_area_rbe
+from repro.units import KB
+
+
+@dataclass(frozen=True)
+class ProcessorSurveyEntry:
+    """One row of the paper's Table 1.
+
+    TLB sizing follows the paper's notation: ``tlb_entries`` with a
+    ``tlb_split`` flag — e.g. the Pentium's "32-I 64-D" becomes two
+    entries in ``tlb_parts``.
+    """
+
+    name: str
+    die_mm2: float | None
+    icache_bytes: int | None
+    icache_assoc: int | None
+    icache_line_words: int | None
+    dcache_bytes: int | None
+    dcache_assoc: int | None
+    dcache_line_words: int | None
+    unified_cache: bool
+    tlb_parts: tuple[tuple[int, int | str], ...]
+    """Tuple of (entries, associativity) — one element for unified TLBs,
+    two (instruction, data) for split TLBs."""
+
+    def total_memory_rbe(self) -> float | None:
+        """MQF-predicted area of this design's on-chip memory, in rbe.
+
+        Returns None when the survey row lacks the data to price it.
+        Non-power-of-two survey geometries (e.g. the SuperSPARC's 20-KB
+        5-way I-cache or the R4000's 96-entry TLB) are priced by linear
+        interpolation between the nearest powers of two.
+        """
+        total = 0.0
+        if self.icache_bytes is None:
+            return None
+        total += _cache_area_interp(
+            self.icache_bytes, self.icache_line_words or 4, self.icache_assoc or 1
+        )
+        if not self.unified_cache:
+            if self.dcache_bytes is None:
+                return None
+            total += _cache_area_interp(
+                self.dcache_bytes, self.dcache_line_words or 4, self.dcache_assoc or 1
+            )
+        if not self.tlb_parts:
+            return None
+        for entries, assoc in self.tlb_parts:
+            total += _tlb_area_interp(entries, assoc)
+        return total
+
+
+def _interp_pow2(value: int, fn) -> float:
+    """Evaluate fn at `value`, interpolating between powers of two."""
+    if value & (value - 1) == 0:
+        return fn(value)
+    low = 1 << (value.bit_length() - 1)
+    high = low * 2
+    frac = (value - low) / (high - low)
+    return (1 - frac) * fn(low) + frac * fn(high)
+
+
+def _cache_area_interp(capacity: int, line_words: int, assoc: int) -> float:
+    def at_capacity(cap: int) -> float:
+        def at_assoc(ways: int) -> float:
+            return cache_area_rbe(cap, line_words, ways)
+
+        return _interp_pow2(assoc, at_assoc)
+
+    return _interp_pow2(capacity, at_capacity)
+
+
+def _tlb_area_interp(entries: int, assoc: int | str) -> float:
+    if assoc == FULLY_ASSOCIATIVE:
+        return _interp_pow2(entries, lambda n: tlb_area_rbe(n, FULLY_ASSOCIATIVE))
+    return _interp_pow2(entries, lambda n: tlb_area_rbe(n, min(assoc, n)))
+
+
+FULL = FULLY_ASSOCIATIVE
+
+PROCESSOR_SURVEY: tuple[ProcessorSurveyEntry, ...] = (
+    ProcessorSurveyEntry("Intel i486DX", 81, 8 * KB, 4, None, None, None, None, True, ((32, 4),)),
+    ProcessorSurveyEntry("Cyrix 486DX", 148, 8 * KB, 4, 4, None, None, None, True, ((32, 4),)),
+    ProcessorSurveyEntry(
+        "Intel Pentium", 296, 8 * KB, 2, 8, 8 * KB, 2, 8, False, ((32, 4), (64, 4))
+    ),
+    ProcessorSurveyEntry(
+        "DEC 21064 (Alpha)", 234, 8 * KB, 1, 8, 8 * KB, 1, 8, False,
+        ((32, FULL), (12, FULL)),
+    ),
+    ProcessorSurveyEntry(
+        "Hitachi HARP-1 (PA-RISC)", 264, 8 * KB, 1, 8, 16 * KB, 1, 8, False,
+        ((128, 1), (128, 1)),
+    ),
+    ProcessorSurveyEntry("PowerPC 601", 121, 32 * KB, 8, 16, None, None, None, True, ((256, 2),)),
+    ProcessorSurveyEntry(
+        "MIPS R4000", 184, 8 * KB, 1, 8, 8 * KB, 1, 8, False, ((96, FULL),)
+    ),
+    ProcessorSurveyEntry(
+        "MIPS R4200", 81, 16 * KB, 1, 8, 8 * KB, 1, 4, False, ((64, FULL),)
+    ),
+    ProcessorSurveyEntry(
+        "MIPS R4400", 184, 16 * KB, 1, 8, 16 * KB, 1, 8, False, ((96, FULL),)
+    ),
+    ProcessorSurveyEntry(
+        "MIPS TFP", 298, 16 * KB, 1, 8, 16 * KB, 1, 8, False, ((384, 4),)
+    ),
+    ProcessorSurveyEntry(
+        "SuperSPARC (Viking)", None, 20 * KB, 5, 16, 16 * KB, 4, 8, False, ((64, FULL),)
+    ),
+    ProcessorSurveyEntry(
+        "MicroSPARC", 225, 4 * KB, 1, 8, 2 * KB, 1, 4, False, ((32, FULL),)
+    ),
+    ProcessorSurveyEntry(
+        "TeraSPARC", None, 4 * KB, 1, 8, 4 * KB, 1, 8, False, ()
+    ),
+)
+
+
+def survey_table(include_area: bool = True) -> list[dict]:
+    """Render Table 1 as a list of row dictionaries.
+
+    When *include_area* is set, a ``predicted_rbe`` column (our addition)
+    prices each design's on-chip memory with the calibrated MQF model.
+    """
+    rows = []
+    for entry in PROCESSOR_SURVEY:
+        row = {
+            "processor": entry.name,
+            "die_mm2": entry.die_mm2,
+            "icache": _fmt_cache(
+                entry.icache_bytes, entry.icache_assoc, entry.icache_line_words
+            ),
+            "dcache": "(unified)"
+            if entry.unified_cache
+            else _fmt_cache(entry.dcache_bytes, entry.dcache_assoc, entry.dcache_line_words),
+            "tlb": _fmt_tlb(entry.tlb_parts),
+        }
+        if include_area:
+            area = entry.total_memory_rbe()
+            row["predicted_rbe"] = None if area is None else round(area)
+        rows.append(row)
+    return rows
+
+
+def _fmt_cache(size: int | None, assoc: int | None, line: int | None) -> str:
+    if size is None:
+        return "-"
+    parts = [f"{size // KB}-KB"]
+    if assoc is not None:
+        parts.append("direct" if assoc == 1 else f"{assoc}-way")
+    if line is not None:
+        parts.append(f"{line}-word")
+    return " ".join(parts)
+
+
+def _fmt_tlb(parts: tuple[tuple[int, int | str], ...]) -> str:
+    if not parts:
+        return "-"
+    rendered = []
+    for entries, assoc in parts:
+        assoc_label = "full" if assoc == FULLY_ASSOCIATIVE else f"{assoc}-way"
+        rendered.append(f"{entries} {assoc_label}")
+    return ", ".join(rendered)

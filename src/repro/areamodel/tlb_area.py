@@ -1,0 +1,126 @@
+"""MQF-style area model for translation lookaside buffers.
+
+Set-associative TLBs are modelled like small caches whose "line" is one
+page-table entry.  Fully-associative TLBs store their tags in CAM cells
+(larger than SRAM cells, because each embeds a comparator) and need no
+separate comparator bank; this reproduces the cost crossover of
+Figure 5 of the paper, where full associativity is *cheaper* than 4-/8-way
+set associativity for small TLBs but roughly twice as expensive for
+large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.areamodel.constants import CALIBRATED_CONSTANTS, AreaConstants
+from repro.errors import ConfigurationError
+from repro.units import ASID_BITS, PFN_BITS, VPN_BITS, is_pow2, log2i
+
+FULLY_ASSOCIATIVE = "full"
+"""Sentinel associativity value selecting a fully-associative (CAM) TLB."""
+
+FLAG_BITS = 6
+"""PTE flag bits per entry (valid, dirty, global, non-cacheable, ...)."""
+
+STATUS_BITS_PER_ENTRY = 2
+"""Replacement/bookkeeping bits per entry."""
+
+DATA_BITS = PFN_BITS + FLAG_BITS
+"""Payload bits per entry (physical frame number + flags)."""
+
+
+@dataclass(frozen=True)
+class TlbGeometry:
+    """Derived geometry of a TLB configuration.
+
+    Attributes:
+        entries: total number of entries.
+        assoc: ways, or ``entries`` itself for a fully-associative TLB.
+        fully_associative: True for a CAM-organised TLB.
+        sets: number of sets (1 when fully associative).
+        tag_bits: tag width per entry (VPN remainder + ASID).
+        bits_per_entry: tag + data + status bits per entry.
+        storage_bits: total bits stored.
+    """
+
+    entries: int
+    assoc: int
+    fully_associative: bool
+    sets: int
+    tag_bits: int
+    bits_per_entry: int
+    storage_bits: int
+
+    @classmethod
+    def from_config(cls, entries: int, assoc: int | str) -> "TlbGeometry":
+        """Derive geometry for an (entries, associativity) pair.
+
+        Args:
+            entries: total TLB entries (power of two).
+            assoc: way count, or :data:`FULLY_ASSOCIATIVE`.
+
+        Raises:
+            ConfigurationError: on inconsistent or non-power-of-two sizes.
+        """
+        if not is_pow2(entries):
+            raise ConfigurationError(f"entries={entries} must be a power of two")
+        if assoc == FULLY_ASSOCIATIVE:
+            tag_bits = VPN_BITS + ASID_BITS
+            bits_per_entry = tag_bits + DATA_BITS + STATUS_BITS_PER_ENTRY
+            return cls(
+                entries=entries,
+                assoc=entries,
+                fully_associative=True,
+                sets=1,
+                tag_bits=tag_bits,
+                bits_per_entry=bits_per_entry,
+                storage_bits=entries * bits_per_entry,
+            )
+        if not isinstance(assoc, int) or not is_pow2(assoc):
+            raise ConfigurationError(f"assoc={assoc!r} must be a power of two or 'full'")
+        if assoc > entries:
+            raise ConfigurationError(f"associativity {assoc} exceeds entries {entries}")
+        sets = entries // assoc
+        tag_bits = (VPN_BITS - log2i(sets)) + ASID_BITS
+        bits_per_entry = tag_bits + DATA_BITS + STATUS_BITS_PER_ENTRY
+        return cls(
+            entries=entries,
+            assoc=assoc,
+            fully_associative=False,
+            sets=sets,
+            tag_bits=tag_bits,
+            bits_per_entry=bits_per_entry,
+            storage_bits=entries * bits_per_entry,
+        )
+
+
+def tlb_area_rbe(
+    entries: int,
+    assoc: int | str,
+    constants: AreaConstants = CALIBRATED_CONSTANTS,
+) -> float:
+    """Estimate the die area of a TLB in register-bit equivalents.
+
+    Args:
+        entries: total TLB entries.
+        assoc: way count (power of two) or :data:`FULLY_ASSOCIATIVE`.
+        constants: technology constants.
+
+    Returns:
+        Estimated area in rbe.
+    """
+    geom = TlbGeometry.from_config(entries, assoc)
+    if geom.fully_associative:
+        storage = geom.entries * (
+            geom.tag_bits * constants.cam_cell
+            + (DATA_BITS + STATUS_BITS_PER_ENTRY) * constants.sram_cell
+        )
+        sense = geom.bits_per_entry * constants.sense
+        drive = geom.entries * constants.drive
+        return storage + sense + drive + constants.control
+    storage = geom.storage_bits * constants.sram_cell
+    sense = geom.assoc * geom.bits_per_entry * constants.sense
+    drive = geom.entries * constants.drive
+    comparators = geom.assoc * geom.tag_bits * constants.comparator
+    return storage + sense + drive + comparators + constants.control

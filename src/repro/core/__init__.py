@@ -1,0 +1,40 @@
+"""The paper's primary contribution: budgeted on-chip memory allocation.
+
+Given an rbe area budget, enumerate TLB + I-cache + D-cache
+configurations (Table 5 of the paper), price each with the MQF area
+model, score each with CPI composed from independently measured
+per-structure benefit curves, and rank the feasible allocations
+(Tables 6 and 7).
+"""
+
+from repro.core.configs import CacheConfig, MemSystemConfig, TlbConfig
+from repro.core.space import (
+    TABLE5_CACHE_ASSOCS,
+    TABLE5_CACHE_CAPACITIES,
+    TABLE5_CACHE_LINES,
+    TABLE5_TLB_CONFIGS,
+    enumerate_cache_configs,
+    enumerate_memory_systems,
+    enumerate_tlb_configs,
+)
+from repro.core.measure import BenefitCurves, measure_suite
+from repro.core.cpi import CpiModel
+from repro.core.allocator import Allocation, Allocator
+
+__all__ = [
+    "CacheConfig",
+    "MemSystemConfig",
+    "TlbConfig",
+    "TABLE5_CACHE_ASSOCS",
+    "TABLE5_CACHE_CAPACITIES",
+    "TABLE5_CACHE_LINES",
+    "TABLE5_TLB_CONFIGS",
+    "enumerate_cache_configs",
+    "enumerate_memory_systems",
+    "enumerate_tlb_configs",
+    "BenefitCurves",
+    "measure_suite",
+    "CpiModel",
+    "Allocation",
+    "Allocator",
+]

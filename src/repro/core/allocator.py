@@ -1,0 +1,152 @@
+"""Budgeted allocation of on-chip memory (Tables 6 and 7).
+
+Enumerate the Table 5 configuration space, price every TLB + I-cache +
+D-cache combination with the MQF model, keep those under the area
+budget, score each with composed CPI, and rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configs import CacheConfig, MemSystemConfig, TlbConfig
+from repro.core.cpi import CpiModel
+from repro.core.measure import BenefitCurves, StructureCurves
+from repro.core.space import enumerate_cache_configs, enumerate_tlb_configs
+from repro.errors import BudgetError
+
+DEFAULT_BUDGET_RBES = 250_000
+"""The paper's die-area budget, chosen from the Table 1 survey."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One scored candidate allocation."""
+
+    config: MemSystemConfig
+    area_rbe: float
+    cpi: float
+
+    def row(self) -> dict:
+        """Table row matching the paper's column layout."""
+        return {
+            "tlb": self.config.tlb.label(),
+            "icache": self.config.icache.label(),
+            "dcache": self.config.dcache.label(),
+            "total_cost_rbe": round(self.area_rbe),
+            "total_cpi": round(self.cpi, 3),
+        }
+
+
+class Allocator:
+    """Cost/benefit allocator over the Table 5 space.
+
+    Args:
+        curves: measured benefit curves (typically the Mach suite).
+        cpi_model: penalty model (paper defaults).
+        budget_rbes: area budget (250,000 rbe in the paper).
+    """
+
+    def __init__(
+        self,
+        curves: BenefitCurves | StructureCurves,
+        cpi_model: CpiModel | None = None,
+        budget_rbes: float = DEFAULT_BUDGET_RBES,
+    ):
+        self.curves = curves
+        self.cpi_model = cpi_model if cpi_model is not None else CpiModel()
+        self.budget_rbes = budget_rbes
+
+    def rank(
+        self,
+        max_cache_assoc: int | None = None,
+        tlbs: list[TlbConfig] | None = None,
+        icaches: list[CacheConfig] | None = None,
+        dcaches: list[CacheConfig] | None = None,
+        limit: int | None = None,
+        max_access_time_ns: float | None = None,
+    ) -> list[Allocation]:
+        """Rank feasible allocations by total CPI (best first).
+
+        Args:
+            max_cache_assoc: cap on cache associativity (2 reproduces
+                Table 7's access-time restriction; None gives Table 6).
+            tlbs / icaches / dcaches: override the Table 5 points.
+            limit: truncate the ranking after this many entries.
+            max_access_time_ns: optional cycle-time constraint applied
+                with the Wada-style access-time extension — the
+                paper's named future work: structures slower than this
+                bound are excluded instead of approximating the bound
+                with an associativity cap.
+
+        Raises:
+            BudgetError: if no configuration fits the budget.
+        """
+        tlbs = tlbs if tlbs is not None else enumerate_tlb_configs()
+        icaches = icaches if icaches is not None else enumerate_cache_configs()
+        dcaches = dcaches if dcaches is not None else enumerate_cache_configs()
+        if max_access_time_ns is not None:
+            from repro.areamodel.access_time import (
+                cache_access_time_ns,
+                tlb_access_time_ns,
+            )
+
+            tlbs = [
+                t
+                for t in tlbs
+                if tlb_access_time_ns(t.entries, t.assoc) <= max_access_time_ns
+            ]
+            icaches = [
+                c
+                for c in icaches
+                if cache_access_time_ns(c.capacity_bytes, c.line_words, c.assoc)
+                <= max_access_time_ns
+            ]
+            dcaches = [
+                c
+                for c in dcaches
+                if cache_access_time_ns(c.capacity_bytes, c.line_words, c.assoc)
+                <= max_access_time_ns
+            ]
+
+        # Per-structure areas and CPI contributions are independent, so
+        # precompute them once instead of per combination.
+        tlb_cost = {t: (t.area_rbe(), self.cpi_model.tlb_cpi(self.curves, t)) for t in tlbs}
+        icache_cost = {
+            c: (c.area_rbe(), self.cpi_model.icache_cpi(self.curves, c))
+            for c in icaches
+            if max_cache_assoc is None or c.assoc <= max_cache_assoc
+        }
+        dcache_cost = {
+            c: (c.area_rbe(), self.cpi_model.dcache_cpi(self.curves, c))
+            for c in dcaches
+            if max_cache_assoc is None or c.assoc <= max_cache_assoc
+        }
+        fixed_cpi = 1.0 + self.curves.other_cpi + self.curves.wb_stall_per_instr
+
+        feasible: list[Allocation] = []
+        for tlb, (tlb_area, tlb_cpi) in tlb_cost.items():
+            for icache, (i_area, i_cpi) in icache_cost.items():
+                budget_left = self.budget_rbes - tlb_area - i_area
+                if budget_left < 0:
+                    continue
+                for dcache, (d_area, d_cpi) in dcache_cost.items():
+                    if d_area > budget_left:
+                        continue
+                    feasible.append(
+                        Allocation(
+                            config=MemSystemConfig(tlb, icache, dcache),
+                            area_rbe=tlb_area + i_area + d_area,
+                            cpi=fixed_cpi + tlb_cpi + i_cpi + d_cpi,
+                        )
+                    )
+        if not feasible:
+            raise BudgetError(
+                f"no configuration fits within {self.budget_rbes} rbes"
+            )
+        feasible.sort(key=lambda a: (a.cpi, a.area_rbe))
+        return feasible[:limit] if limit is not None else feasible
+
+    def best(self, **kwargs) -> Allocation:
+        """The single lowest-CPI feasible allocation."""
+        return self.rank(limit=1, **kwargs)[0]

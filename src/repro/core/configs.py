@@ -1,0 +1,71 @@
+"""Typed configuration records for the allocation study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.areamodel.cache_area import cache_area_rbe
+from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE, tlb_area_rbe
+from repro.units import KB
+
+
+@dataclass(frozen=True, order=True)
+class TlbConfig:
+    """A TLB design point: total entries and associativity."""
+
+    entries: int
+    assoc: int | str
+
+    @property
+    def fully_associative(self) -> bool:
+        """True for a CAM-organised TLB."""
+        return self.assoc == FULLY_ASSOCIATIVE
+
+    def area_rbe(self) -> float:
+        """MQF-predicted die area."""
+        return tlb_area_rbe(self.entries, self.assoc)
+
+    def label(self) -> str:
+        """Human-readable label matching the paper's notation."""
+        assoc = "full" if self.fully_associative else f"{self.assoc}-way"
+        return f"{self.entries} {assoc}"
+
+
+@dataclass(frozen=True, order=True)
+class CacheConfig:
+    """A cache design point: capacity, line size (words), associativity."""
+
+    capacity_bytes: int
+    line_words: int
+    assoc: int
+
+    def area_rbe(self) -> float:
+        """MQF-predicted die area."""
+        return cache_area_rbe(self.capacity_bytes, self.line_words, self.assoc)
+
+    def label(self) -> str:
+        """Human-readable label matching the paper's notation."""
+        return (
+            f"{self.capacity_bytes // KB}-KB {self.line_words}-word "
+            f"{self.assoc}-way"
+        )
+
+
+@dataclass(frozen=True)
+class MemSystemConfig:
+    """One candidate allocation: a TLB, an I-cache and a D-cache."""
+
+    tlb: TlbConfig
+    icache: CacheConfig
+    dcache: CacheConfig
+
+    def area_rbe(self) -> float:
+        """Total MQF-predicted die area of the three structures."""
+        return self.tlb.area_rbe() + self.icache.area_rbe() + self.dcache.area_rbe()
+
+    def label(self) -> str:
+        """One-line label for tables."""
+        return (
+            f"TLB[{self.tlb.label()}] I[{self.icache.label()}] "
+            f"D[{self.dcache.label()}]"
+        )

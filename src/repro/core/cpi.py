@@ -1,0 +1,95 @@
+"""CPI composition from per-structure benefit curves.
+
+Mirrors Section 5.4 of the paper: total CPI for a candidate on-chip
+memory system is the base CPI of 1.0 (single-issue machine) plus
+independent contributions —
+
+* I-cache: miss ratio x (6 + line_words - 1) cycles per instruction;
+* D-cache: load miss ratio x the same penalty, times loads/instruction
+  (stores are write-through and charged to the write buffer);
+* TLB: user misses x ~20 cycles + kernel misses x ~400 cycles
+  (software-managed R2000 refill);
+* write buffer and "other" interlocks, which do not vary across the
+  allocation space and enter as measured constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configs import CacheConfig, MemSystemConfig, TlbConfig
+from repro.core.measure import BenefitCurves, StructureCurves
+
+DEFAULT_MISS_FIRST = 6
+DEFAULT_MISS_PER_WORD = 1
+DEFAULT_TLB_USER_PENALTY = 20
+DEFAULT_TLB_KERNEL_PENALTY = 400
+
+
+@dataclass(frozen=True)
+class CpiModel:
+    """Penalty model used to turn miss curves into CPI contributions.
+
+    The defaults are the paper's: cache misses cost 6 cycles for the
+    first word and 1 for each additional word; TLB misses cost ~20
+    (user) / ~400 (kernel) cycles.  "Different miss penalties will lead
+    to different optimal configurations" — so they are parameters here
+    and an ablation bench sweeps them.
+    """
+
+    miss_first: int = DEFAULT_MISS_FIRST
+    miss_per_word: int = DEFAULT_MISS_PER_WORD
+    tlb_user_penalty: int = DEFAULT_TLB_USER_PENALTY
+    tlb_kernel_penalty: int = DEFAULT_TLB_KERNEL_PENALTY
+
+    def cache_penalty(self, line_words: int) -> float:
+        """Cycles to fill one line."""
+        return self.miss_first + self.miss_per_word * (line_words - 1)
+
+    def icache_cpi(
+        self, curves: BenefitCurves | StructureCurves, config: CacheConfig
+    ) -> float:
+        """I-cache CPI contribution of a design point."""
+        return curves.icache_miss_ratio(config) * self.cache_penalty(
+            config.line_words
+        )
+
+    def dcache_cpi(
+        self, curves: BenefitCurves | StructureCurves, config: CacheConfig
+    ) -> float:
+        """D-cache CPI contribution of a design point."""
+        return (
+            curves.dcache_miss_ratio(config)
+            * self.cache_penalty(config.line_words)
+            * curves.loads_per_instr
+        )
+
+    def tlb_cpi(
+        self, curves: BenefitCurves | StructureCurves, config: TlbConfig
+    ) -> float:
+        """TLB CPI contribution of a design point."""
+        user, kernel = curves.tlb_misses_per_instr(config)
+        return user * self.tlb_user_penalty + kernel * self.tlb_kernel_penalty
+
+    def total_cpi(
+        self,
+        curves: BenefitCurves | StructureCurves,
+        config: MemSystemConfig,
+        include_fixed: bool = True,
+    ) -> float:
+        """Total CPI of a candidate allocation.
+
+        Args:
+            curves: measured benefit curves (suite or single workload).
+            config: the candidate TLB + I-cache + D-cache.
+            include_fixed: add the base cycle and the allocation-
+                invariant write-buffer/other components.
+        """
+        cpi = (
+            self.icache_cpi(curves, config.icache)
+            + self.dcache_cpi(curves, config.dcache)
+            + self.tlb_cpi(curves, config.tlb)
+        )
+        if include_fixed:
+            cpi += 1.0 + curves.other_cpi + curves.wb_stall_per_instr
+        return cpi

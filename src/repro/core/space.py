@@ -1,0 +1,89 @@
+"""The configuration space of Table 5.
+
+TLBs from 64 to 512 entries (1/2/4/8-way set-associative, plus fully
+associative up to 64 entries) and caches from 2 to 32 Kbytes with
+1/2/4/8-way associativity and 1-32 word lines.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE
+from repro.core.configs import CacheConfig, MemSystemConfig, TlbConfig
+from repro.units import KB
+
+TABLE5_TLB_ENTRIES = (64, 128, 256, 512)
+TABLE5_TLB_ASSOCS = (1, 2, 4, 8)
+TABLE5_TLB_FULL_MAX_ENTRIES = 64
+
+TABLE5_CACHE_CAPACITIES = tuple(k * KB for k in (2, 4, 8, 16, 32))
+TABLE5_CACHE_ASSOCS = (1, 2, 4, 8)
+TABLE5_CACHE_LINES = (1, 2, 4, 8, 16, 32)
+
+TABLE5_TLB_CONFIGS: tuple[TlbConfig, ...] = tuple(
+    TlbConfig(entries, assoc)
+    for entries in TABLE5_TLB_ENTRIES
+    for assoc in TABLE5_TLB_ASSOCS
+) + tuple(
+    TlbConfig(entries, FULLY_ASSOCIATIVE)
+    for entries in TABLE5_TLB_ENTRIES
+    if entries <= TABLE5_TLB_FULL_MAX_ENTRIES
+)
+
+
+def enumerate_tlb_configs(
+    entries: tuple[int, ...] = TABLE5_TLB_ENTRIES,
+    assocs: tuple[int, ...] = TABLE5_TLB_ASSOCS,
+    full_max_entries: int = TABLE5_TLB_FULL_MAX_ENTRIES,
+) -> list[TlbConfig]:
+    """TLB design points considered by the study."""
+    configs = [TlbConfig(n, a) for n in entries for a in assocs if a <= n]
+    configs.extend(
+        TlbConfig(n, FULLY_ASSOCIATIVE) for n in entries if n <= full_max_entries
+    )
+    return configs
+
+
+def enumerate_cache_configs(
+    capacities: tuple[int, ...] = TABLE5_CACHE_CAPACITIES,
+    lines: tuple[int, ...] = TABLE5_CACHE_LINES,
+    assocs: tuple[int, ...] = TABLE5_CACHE_ASSOCS,
+) -> list[CacheConfig]:
+    """Cache design points considered by the study.
+
+    Geometrically infeasible combinations (fewer lines than ways) are
+    skipped.
+    """
+    configs = []
+    for capacity, line_words, assoc in product(capacities, lines, assocs):
+        if capacity // (line_words * 4) >= assoc:
+            configs.append(CacheConfig(capacity, line_words, assoc))
+    return configs
+
+
+def enumerate_memory_systems(
+    tlbs: list[TlbConfig] | None = None,
+    icaches: list[CacheConfig] | None = None,
+    dcaches: list[CacheConfig] | None = None,
+    max_cache_assoc: int | None = None,
+) -> Iterator[MemSystemConfig]:
+    """Yield every TLB x I-cache x D-cache combination.
+
+    Args:
+        tlbs / icaches / dcaches: design points (Table 5 defaults).
+        max_cache_assoc: optional cap on cache associativity — the
+            paper's Table 7 restricts caches to 1- or 2-way because
+            higher associativities may not meet access-time goals.
+    """
+    tlbs = tlbs if tlbs is not None else enumerate_tlb_configs()
+    icaches = icaches if icaches is not None else enumerate_cache_configs()
+    dcaches = dcaches if dcaches is not None else enumerate_cache_configs()
+    if max_cache_assoc is not None:
+        icaches = [c for c in icaches if c.assoc <= max_cache_assoc]
+        dcaches = [c for c in dcaches if c.assoc <= max_cache_assoc]
+    for tlb in tlbs:
+        for icache in icaches:
+            for dcache in dcaches:
+                yield MemSystemConfig(tlb=tlb, icache=icache, dcache=dcache)

@@ -1,0 +1,20 @@
+"""Exception types shared across the package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid hardware configuration was requested (e.g. a cache whose
+    line size exceeds its capacity, or a non-power-of-two geometry)."""
+
+
+class TraceError(ReproError):
+    """A malformed reference trace was supplied to a simulator."""
+
+
+class BudgetError(ReproError):
+    """An allocation request cannot be satisfied within the area budget."""

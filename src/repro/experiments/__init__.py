@@ -1,0 +1,27 @@
+"""Reproduction experiments: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> dict`` returning the table rows or
+figure series, and ``main()`` for pretty-printing; the CLI runner
+(``python -m repro.experiments.runner``) dispatches to them.  All
+experiments share the measurement cache, so the second experiment that
+needs a given (workload, OS) trace is nearly free.
+"""
+
+EXPERIMENT_NAMES = (
+    "table1",
+    "table3",
+    "table4",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table5",
+    "table6",
+    "table7",
+    "dcache_study",
+    "seed_stability",
+)

@@ -1,0 +1,66 @@
+"""Shared experiment infrastructure: traces, scaling and formatting."""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.core.measure import DEFAULT_REFERENCES, scale
+from repro.trace.events import ReferenceTrace
+from repro.trace.generator import generate_trace
+from repro.workloads.registry import workload_names
+
+DEFAULT_SEED = 1
+WARMUP_FRACTION = 0.4
+
+R2000_CLOCK_HZ = 16.67e6
+"""DECstation 3100 clock."""
+
+NOMINAL_RUN_SECONDS = 150.0
+"""The paper tunes benchmark inputs so each run takes 100-200 s under
+Mach; service-time figures are projected to this nominal duration."""
+
+NOMINAL_RUN_INSTRUCTIONS = NOMINAL_RUN_SECONDS * R2000_CLOCK_HZ / 2.0
+"""Instructions in a nominal run, assuming CPI ~ 2 (Table 4 average)."""
+
+
+def trace_references() -> int:
+    """Per-trace reference target, honouring REPRO_SCALE."""
+    return int(DEFAULT_REFERENCES * scale())
+
+
+@lru_cache(maxsize=16)
+def get_trace(workload: str, os_name: str, seed: int = DEFAULT_SEED) -> ReferenceTrace:
+    """Generate (and memoize in-process) one workload/OS trace."""
+    return generate_trace(workload, os_name, trace_references(), seed=seed)
+
+
+def suite() -> list[str]:
+    """Benchmark names in the paper's order."""
+    return workload_names()
+
+
+def projection_factor(measured_instructions: int) -> float:
+    """Scale measured-window counts to a nominal full benchmark run."""
+    return NOMINAL_RUN_INSTRUCTIONS / max(measured_instructions, 1)
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Plain-text table for experiment output."""
+    if not rows:
+        return "(no rows)"
+    columns = columns if columns is not None else list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    divider = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, divider]
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def is_quick() -> bool:
+    """True when REPRO_QUICK asks experiments to shrink workloads."""
+    return os.environ.get("REPRO_QUICK", "0") not in ("0", "", "false")

@@ -1,0 +1,54 @@
+"""D-cache behaviour (Section 5.3's prose — the paper prints no
+D-cache figure, but makes three testable claims):
+
+* for small caches, Mach's D-cache miss ratios are also higher than
+  Ultrix's, but the gap is smaller than for the I-cache;
+* line sizes and associativity give D-caches a more modest improvement
+  than I-caches;
+* lines beyond 8 words pollute under *both* operating systems, and
+  CPI rises for lines above 4 words (with the paper's penalties).
+"""
+
+from __future__ import annotations
+
+from repro.core.configs import CacheConfig
+from repro.core.cpi import CpiModel
+from repro.core.measure import BenefitCurves
+from repro.experiments.common import format_table
+from repro.units import KB
+
+CAPACITIES = tuple(k * KB for k in (2, 4, 8, 16, 32))
+LINES = (1, 2, 4, 8, 16, 32)
+
+
+def run(os_name: str) -> dict[str, list[dict]]:
+    """Return miss-ratio and CPI grids for direct-mapped D-caches."""
+    curves = BenefitCurves.for_suite(os_name)
+    model = CpiModel()
+    miss_rows = []
+    cpi_rows = []
+    for capacity in CAPACITIES:
+        miss_row = {"capacity_kb": capacity // KB}
+        cpi_row = {"capacity_kb": capacity // KB}
+        for line_words in LINES:
+            config = CacheConfig(capacity, line_words, 1)
+            miss_row[f"{line_words}w"] = round(curves.dcache_miss_ratio(config), 4)
+            cpi_row[f"{line_words}w"] = round(model.dcache_cpi(curves, config), 3)
+        miss_rows.append(miss_row)
+        cpi_rows.append(cpi_row)
+    return {"miss_ratio": miss_rows, "cpi": cpi_rows}
+
+
+def main() -> None:
+    """Print the D-cache study for both OSes."""
+    for os_name in ("ultrix", "mach"):
+        panels = run(os_name)
+        print(f"D-cache study ({os_name}): load miss ratio, direct-mapped")
+        print(format_table(panels["miss_ratio"]))
+        print(f"\nD-cache study ({os_name}): CPI contribution")
+        print(format_table(panels["cpi"]))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Export experiment results as CSV files.
+
+Every experiment's ``run()`` returns rows; this module writes them
+under a target directory so external plotting tools can regenerate
+the paper's figures.  Used by ``python -m repro.experiments.export``.
+"""
+
+from __future__ import annotations
+
+import csv
+import importlib
+from pathlib import Path
+
+from repro.experiments import EXPERIMENT_NAMES
+
+
+def rows_for(name: str) -> dict[str, list[dict]]:
+    """Collect one experiment's row sets, keyed by artifact name.
+
+    Multi-panel experiments (fig9/fig10) export one CSV per panel;
+    table5 exports its summary as a single-row table.
+    """
+    module = importlib.import_module(f"repro.experiments.{name}")
+    if name in ("fig9", "fig10"):
+        out = {}
+        for os_name in ("ultrix", "mach"):
+            panels = module.run(os_name)
+            for panel, rows in panels.items():
+                out[f"{name}_{os_name}_{panel}"] = rows
+        return out
+    result = module.run()
+    if isinstance(result, dict):
+        return {name: [result]}
+    return {name: result}
+
+
+def write_csv(rows: list[dict], path: Path) -> None:
+    """Write one row set to a CSV file."""
+    if not rows:
+        return
+    fieldnames = list(rows[0].keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def export_all(directory: str | Path, names: tuple[str, ...] = EXPERIMENT_NAMES) -> list[Path]:
+    """Export every experiment's rows; returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in names:
+        for artifact, rows in rows_for(name).items():
+            path = directory / f"{artifact}.csv"
+            write_csv(rows, path)
+            written.append(path)
+    return written
+
+
+def main() -> None:
+    """CLI: ``python -m repro.experiments.export [directory]``."""
+    import sys
+
+    target = sys.argv[1] if len(sys.argv) > 1 else "results"
+    for path in export_all(target):
+        print(path)
+
+
+if __name__ == "__main__":
+    main()

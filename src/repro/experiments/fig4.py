@@ -1,0 +1,34 @@
+"""Figure 4: area cost for TLBs of different sizes and associativities."""
+
+from __future__ import annotations
+
+from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE, tlb_area_rbe
+from repro.experiments.common import format_table
+
+SIZES = (8, 16, 32, 64, 128, 256, 512)
+ASSOCS = (1, 2, 4, 8, FULLY_ASSOCIATIVE)
+
+
+def run() -> list[dict]:
+    """Return the TLB area grid in rbe."""
+    rows = []
+    for entries in SIZES:
+        row = {"entries": entries}
+        for assoc in ASSOCS:
+            label = "full" if assoc == FULLY_ASSOCIATIVE else f"{assoc}-way"
+            if assoc != FULLY_ASSOCIATIVE and assoc > entries:
+                row[label] = None
+            else:
+                row[label] = round(tlb_area_rbe(entries, assoc))
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 4 series."""
+    print("Figure 4: TLB area (rbe) vs size and associativity")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Figure 5: set-associative TLB area relative to fully-associative.
+
+Values below 1.0 mean the set-associative organisation is cheaper than
+a fully-associative TLB of the same capacity.  The paper's crossover:
+for small TLBs full associativity is cheaper than 4-/8-way; for large
+TLBs it costs about twice as much.
+"""
+
+from __future__ import annotations
+
+from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE, tlb_area_rbe
+from repro.experiments.common import format_table
+
+SIZES = (8, 16, 32, 64, 128, 256, 512)
+ASSOCS = (1, 4, 8)
+
+
+def run() -> list[dict]:
+    """Return the SA/FA area-ratio grid."""
+    rows = []
+    for entries in SIZES:
+        full_area = tlb_area_rbe(entries, FULLY_ASSOCIATIVE)
+        row = {"entries": entries}
+        for assoc in ASSOCS:
+            if assoc > entries:
+                row[f"{assoc}-way / full"] = None
+            else:
+                row[f"{assoc}-way / full"] = round(
+                    tlb_area_rbe(entries, assoc) / full_area, 3
+                )
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 5 series."""
+    print("Figure 5: set-associative TLB area relative to fully-associative")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

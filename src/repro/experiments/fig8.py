@@ -1,0 +1,59 @@
+"""Figure 8: set-associative TLB performance relative to a 256-entry
+fully-associative TLB (video_play under Mach).
+
+Performance is the ratio of the 256-entry FA TLB's service time to the
+configuration's service time (1.0 = equal; higher = better).  The
+paper's findings: >= 2-way set-associative TLBs of 128+ entries are
+close to the FA reference, and 512-entry set-associative TLBs match it;
+direct-mapped TLBs are poor and excluded from the plot.
+"""
+
+from __future__ import annotations
+
+from repro.core.measure import measure_workload
+from repro.experiments.common import format_table
+from repro.monitor.tapeworm import PAGE_FAULT_SERVICE_CYCLES
+
+WORKLOAD = "video_play"
+SIZES = (64, 128, 256, 512)
+ASSOCS = (2, 4, 8)
+USER_PENALTY = 20
+KERNEL_PENALTY = 400
+
+
+def _service_cycles(curves, key) -> float:
+    user, kernel = curves.tlb[key]
+    other = (
+        curves.page_fault_per_instr * curves.instructions * PAGE_FAULT_SERVICE_CYCLES
+    )
+    return user * USER_PENALTY + kernel * KERNEL_PENALTY + other
+
+
+def run(os_name: str = "mach") -> list[dict]:
+    """Return relative-performance rows per TLB size."""
+    curves = measure_workload(
+        WORKLOAD,
+        os_name,
+        tlb_entries=SIZES,
+        tlb_full_max=256,
+    )
+    reference = _service_cycles(curves, (256, "full"))
+    rows = []
+    for size in SIZES:
+        row = {"entries": size}
+        for assoc in ASSOCS:
+            cycles = _service_cycles(curves, (size, assoc))
+            row[f"{assoc}-way"] = round(reference / cycles, 3) if cycles else None
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 8 series."""
+    print("Figure 8: set-associative TLB performance relative to a "
+          "256-entry fully-associative TLB (video_play, Mach)")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

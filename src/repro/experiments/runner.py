@@ -1,0 +1,63 @@
+"""CLI runner for the reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner table6 fig9
+    python -m repro.experiments.runner --all
+
+Set ``REPRO_SCALE`` to trade accuracy for runtime (e.g. 0.3 for a
+quick pass, 3.0 for a long, tighter run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENT_NAMES
+
+
+def run_experiment(name: str) -> None:
+    """Import and execute one experiment's main()."""
+    module = importlib.import_module(f"repro.experiments.{name}")
+    started = time.time()
+    module.main()
+    print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-experiments``."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiment names (choose from: {', '.join(EXPERIMENT_NAMES)})",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment names")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENT_NAMES:
+            print(name)
+        return 0
+    names = list(EXPERIMENT_NAMES) if args.all else args.experiments
+    if not names:
+        parser.print_help()
+        return 1
+    unknown = [n for n in names if n not in EXPERIMENT_NAMES]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        run_experiment(name)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Table 4: CPI stall components for all workloads under both OSes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import WARMUP_FRACTION, format_table, get_trace, suite
+from repro.monitor.monster import COMPONENT_ORDER, Monster
+
+
+def run() -> list[dict]:
+    """Return Table 4 rows (one per workload/OS plus suite averages)."""
+    monster = Monster(warmup_fraction=WARMUP_FRACTION)
+    rows = []
+    sums: dict[str, dict[str, list[float]]] = {
+        "ultrix": {k: [] for k in (*COMPONENT_ORDER, "cpi")},
+        "mach": {k: [] for k in (*COMPONENT_ORDER, "cpi")},
+    }
+    for workload in suite():
+        for os_name in ("ultrix", "mach"):
+            report = monster.measure(get_trace(workload, os_name))
+            row = {
+                "workload": workload,
+                "os": os_name,
+                "cpi": round(report.cpi, 2),
+            }
+            for key in COMPONENT_ORDER:
+                row[key] = (
+                    f"{report.components[key]:.2f} "
+                    f"({round(100 * report.fractions[key])}%)"
+                )
+                sums[os_name][key].append(report.components[key])
+            sums[os_name]["cpi"].append(report.cpi)
+            rows.append(row)
+    for os_name in ("ultrix", "mach"):
+        avg_components = {
+            k: float(np.mean(sums[os_name][k])) for k in COMPONENT_ORDER
+        }
+        overhead = sum(avg_components.values())
+        row = {
+            "workload": "Average",
+            "os": os_name,
+            "cpi": round(float(np.mean(sums[os_name]["cpi"])), 2),
+        }
+        for key in COMPONENT_ORDER:
+            pct = round(100 * avg_components[key] / overhead) if overhead else 0
+            row[key] = f"{avg_components[key]:.2f} ({pct}%)"
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print Table 4."""
+    print("Table 4: CPI stall components for all workloads")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

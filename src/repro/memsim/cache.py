@@ -1,0 +1,183 @@
+"""Reference set-associative cache simulator.
+
+This is the readable, per-access simulator used to validate the fast
+stack-distance sweeps and to run one-off configurations (e.g. the
+DECstation 3100 off-chip caches of Table 3).  It models a physically
+indexed, physically tagged cache — matching the R2000-based systems in
+the paper, where all address spaces share the cache and interference
+between user, kernel and server code is part of the measured effect.
+
+Write handling follows the DECstation 3100: write-through with no
+write-allocate by default (stores update the cache only on hit and are
+passed to the write buffer).  Write-back/write-allocate variants are
+provided for completeness and exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memsim.replacement import ReplacementPolicy, make_policy
+from repro.memsim.types import AccessKind
+from repro.units import WORD_BYTES, is_pow2, log2i
+
+
+@dataclass
+class CacheResult:
+    """Aggregate outcome of a cache simulation.
+
+    Attributes:
+        accesses: total references presented to the cache.
+        misses: references that missed (for no-write-allocate caches,
+            store misses are counted here but do not fill the cache).
+        read_misses: ifetch + load misses only — the component that
+            stalls the processor in the paper's CPI model.
+        writebacks: dirty lines evicted (write-back caches only).
+        miss_flags: optional per-access boolean miss array.
+    """
+
+    accesses: int = 0
+    misses: int = 0
+    read_misses: int = 0
+    writebacks: int = 0
+    miss_flags: np.ndarray | None = None
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access (0.0 for an empty simulation)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative cache with configurable geometry and policies.
+
+    Args:
+        capacity_bytes: total data capacity (power of two).
+        line_words: line size in 4-byte words (power of two).
+        assoc: set associativity, 1 for direct-mapped.
+        policy: replacement policy name ('lru', 'fifo', 'random').
+        write_back: True for write-back, False for write-through.
+        write_allocate: whether store misses allocate a line.
+        seed: seed for the random replacement policy.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_words: int,
+        assoc: int,
+        policy: str = "lru",
+        write_back: bool = False,
+        write_allocate: bool = False,
+        seed: int = 0,
+    ):
+        if not (is_pow2(capacity_bytes) and is_pow2(line_words) and is_pow2(assoc)):
+            raise ConfigurationError("cache geometry must use powers of two")
+        line_bytes = line_words * WORD_BYTES
+        lines = capacity_bytes // line_bytes
+        if lines < assoc:
+            raise ConfigurationError(
+                f"{capacity_bytes}B / {line_bytes}B lines cannot hold {assoc} ways"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.line_words = line_words
+        self.assoc = assoc
+        self.sets = lines // assoc
+        self.write_back = write_back
+        self.write_allocate = write_allocate
+        self._offset_bits = log2i(line_bytes)
+        self._index_bits = log2i(self.sets)
+        self._set_mask = self.sets - 1
+        self._sets: list[ReplacementPolicy] = [
+            make_policy(policy, assoc, seed=seed + i) for i in range(self.sets)
+        ]
+        self._dirty: list[set[int]] = [set() for _ in range(self.sets)]
+        self.result = CacheResult()
+
+    def line_id(self, address: int) -> int:
+        """Map a byte address to its global line identifier."""
+        return address >> self._offset_bits
+
+    def set_index(self, address: int) -> int:
+        """Map a byte address to its set index."""
+        return (address >> self._offset_bits) & self._set_mask
+
+    def access(self, address: int, kind: AccessKind = AccessKind.LOAD) -> bool:
+        """Present one reference; returns True on hit.
+
+        Misses are recorded in :attr:`result`.  Store misses on a
+        no-write-allocate cache bypass the array (no fill).
+        """
+        line = address >> self._offset_bits
+        set_index = line & self._set_mask
+        tag = line >> self._index_bits
+        policy = self._sets[set_index]
+        dirty = self._dirty[set_index]
+
+        is_store = kind == AccessKind.STORE
+        resident_before = set(policy.contents())
+        hit = tag in resident_before
+
+        self.result.accesses += 1
+        if hit:
+            policy.access(tag)
+            if is_store and self.write_back:
+                dirty.add(tag)
+            return True
+
+        self.result.misses += 1
+        if not is_store:
+            self.result.read_misses += 1
+        if is_store and not self.write_allocate:
+            return False
+
+        policy.access(tag)
+        resident_after = set(policy.contents())
+        evicted = resident_before - resident_after
+        for victim in evicted:
+            if victim in dirty:
+                dirty.discard(victim)
+                self.result.writebacks += 1
+        if is_store and self.write_back:
+            dirty.add(tag)
+        return False
+
+    def simulate(
+        self,
+        addresses: np.ndarray,
+        kinds: np.ndarray | None = None,
+        record_flags: bool = False,
+    ) -> CacheResult:
+        """Run a whole reference stream through the cache.
+
+        Args:
+            addresses: byte addresses (any integer dtype).
+            kinds: optional per-access :class:`AccessKind` values; all
+                loads when omitted.
+            record_flags: store a per-access miss flag array on the result.
+
+        Returns:
+            The accumulated :class:`CacheResult` (also kept on ``self``).
+        """
+        flags = np.zeros(len(addresses), dtype=bool) if record_flags else None
+        if kinds is None:
+            for i, addr in enumerate(addresses):
+                hit = self.access(int(addr), AccessKind.LOAD)
+                if flags is not None:
+                    flags[i] = not hit
+        else:
+            for i, (addr, kind) in enumerate(zip(addresses, kinds)):
+                hit = self.access(int(addr), AccessKind(int(kind)))
+                if flags is not None:
+                    flags[i] = not hit
+        if flags is not None:
+            self.result.miss_flags = flags
+        return self.result
+
+    def contents(self) -> list[list[int]]:
+        """Resident tags per set (for tests and debugging)."""
+        return [policy.contents() for policy in self._sets]

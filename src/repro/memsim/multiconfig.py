@@ -1,0 +1,134 @@
+"""Multi-configuration sweep helpers.
+
+These functions turn one reference stream into miss ratios for a whole
+grid of cache or TLB configurations, exploiting the LRU inclusion
+property so each (line size, set count) pair costs a single pass
+(see :mod:`repro.memsim.stackdist`).  They are the workhorses behind
+Figures 7-10 and the Table 6/7 allocation sweep.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.units import WORD_BYTES, log2i
+
+
+def line_ids_for(addresses: np.ndarray, line_words: int) -> np.ndarray:
+    """Map byte addresses to global line identifiers for a line size."""
+    offset_bits = log2i(line_words * WORD_BYTES)
+    return np.asarray(addresses, dtype=np.int64) >> offset_bits
+
+
+def dedupe_consecutive(
+    ids: np.ndarray, *flags: np.ndarray
+) -> tuple[np.ndarray, ...]:
+    """Drop references identical to their immediate predecessor.
+
+    Consecutive references to the same line (or page) are guaranteed
+    hits in any cache of that line size, so removing them changes no
+    miss count while shrinking the stream several-fold for instruction
+    streams.  Any *flags* arrays are filtered with the same mask.
+
+    Returns:
+        ``(deduped_ids, *deduped_flags)``.
+    """
+    ids = np.asarray(ids)
+    if len(ids) == 0:
+        return (ids, *flags)
+    keep = np.empty(len(ids), dtype=bool)
+    keep[0] = True
+    np.not_equal(ids[1:], ids[:-1], out=keep[1:])
+    return (ids[keep], *(np.asarray(f)[keep] for f in flags))
+
+
+def miss_flags_lru(ids: np.ndarray, n_sets: int, assoc: int) -> np.ndarray:
+    """Per-reference miss flags for one LRU set-associative structure.
+
+    The set index is ``id & (n_sets - 1)`` and the full id is the tag,
+    so callers must arrange ids so their low bits are the indexing bits
+    (line ids for caches; ``(asid << VPN_BITS) | vpn`` for TLBs).
+    """
+    if n_sets < 1 or n_sets & (n_sets - 1):
+        raise ValueError("n_sets must be a positive power of two")
+    flags = np.zeros(len(ids), dtype=bool)
+    mask = n_sets - 1
+    stacks: dict[int, list[int]] = defaultdict(list)
+    for i, ref in enumerate(np.asarray(ids).tolist()):
+        stack = stacks[ref & mask]
+        try:
+            depth = stack.index(ref)
+        except ValueError:
+            flags[i] = True
+            stack.insert(0, ref)
+            if len(stack) > assoc:
+                stack.pop()
+            continue
+        if depth:
+            del stack[depth]
+            stack.insert(0, ref)
+    return flags
+
+
+def cache_miss_ratio_grid(
+    addresses: np.ndarray,
+    capacities: list[int],
+    line_words_list: list[int],
+    assocs: list[int],
+    warmup_fraction: float = 0.0,
+) -> dict[tuple[int, int, int], float]:
+    """Miss ratios for every (capacity, line_words, assoc) combination.
+
+    All requested associativities must not exceed the deepest pass
+    depth, which is ``max(assocs)``.  The leading ``warmup_fraction`` of
+    the stream primes the stacks without being counted (steady-state
+    measurement, as in the paper's long hardware runs).
+
+    Returns:
+        Mapping ``(capacity_bytes, line_words, assoc) -> miss ratio``;
+        combinations whose geometry is infeasible (fewer lines than
+        ways) are omitted.
+    """
+    from repro.memsim.stackdist import set_associative_hit_counts
+
+    addresses = np.asarray(addresses, dtype=np.int64)
+    total = len(addresses)
+    max_assoc = max(assocs)
+    grid: dict[tuple[int, int, int], float] = {}
+    if total == 0:
+        return grid
+    warm = int(total * warmup_fraction)
+    counted_total = total - warm
+    for line_words in line_words_list:
+        line_bytes = line_words * WORD_BYTES
+        ids = line_ids_for(addresses, line_words)
+        keep = np.empty(total, dtype=bool)
+        keep[0] = True
+        np.not_equal(ids[1:], ids[:-1], out=keep[1:])
+        deduped = ids[keep]
+        # Dropped (consecutive-duplicate) references are guaranteed
+        # hits, so miss counts on the deduped stream are exact; the
+        # warmup boundary maps to the deduped index space.
+        deduped_count_from = int(keep[:warm].sum())
+        n_counted_deduped = len(deduped) - deduped_count_from
+        # Distinct set counts required by the (capacity, assoc) pairs.
+        set_counts = sorted(
+            {
+                capacity // (line_bytes * assoc)
+                for capacity in capacities
+                for assoc in assocs
+                if capacity // (line_bytes * assoc) >= 1
+            }
+        )
+        for n_sets in set_counts:
+            hits = set_associative_hit_counts(
+                deduped, n_sets, max_assoc, count_from=deduped_count_from
+            )
+            for assoc in assocs:
+                capacity = n_sets * assoc * line_bytes
+                if capacity in capacities:
+                    misses = n_counted_deduped - int(hits[assoc - 1])
+                    grid[(capacity, line_words, assoc)] = misses / counted_total
+    return grid

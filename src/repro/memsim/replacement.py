@@ -1,0 +1,143 @@
+"""Replacement policies for the reference cache/TLB simulators.
+
+Each policy manages the contents of one set as an ordered list of tags.
+The reference simulators are deliberately simple and readable; bulk
+sweeps use the optimized stack-distance engine instead and are
+cross-checked against these classes in the test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class ReplacementPolicy(ABC):
+    """Replacement bookkeeping for a single set of fixed capacity."""
+
+    def __init__(self, ways: int):
+        if ways < 1:
+            raise ValueError("a set needs at least one way")
+        self.ways = ways
+
+    @abstractmethod
+    def access(self, tag: int) -> bool:
+        """Record an access to *tag*; return True on hit."""
+
+    @abstractmethod
+    def contents(self) -> list[int]:
+        """Current resident tags (order is policy-specific)."""
+
+    @abstractmethod
+    def invalidate(self, tag: int) -> bool:
+        """Remove *tag* if resident; return True if it was present."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used replacement via a move-to-front list.
+
+    The list head is the most recently used tag; evictions pop the tail.
+    """
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        self._stack: list[int] = []
+
+    def access(self, tag: int) -> bool:
+        stack = self._stack
+        try:
+            stack.remove(tag)
+            hit = True
+        except ValueError:
+            hit = False
+            if len(stack) >= self.ways:
+                stack.pop()
+        stack.insert(0, tag)
+        return hit
+
+    def contents(self) -> list[int]:
+        return list(self._stack)
+
+    def invalidate(self, tag: int) -> bool:
+        try:
+            self._stack.remove(tag)
+            return True
+        except ValueError:
+            return False
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out replacement: hits do not reorder residents."""
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        self._queue: list[int] = []
+
+    def access(self, tag: int) -> bool:
+        queue = self._queue
+        if tag in queue:
+            return True
+        if len(queue) >= self.ways:
+            queue.pop()
+        queue.insert(0, tag)
+        return False
+
+    def contents(self) -> list[int]:
+        return list(self._queue)
+
+    def invalidate(self, tag: int) -> bool:
+        try:
+            self._queue.remove(tag)
+            return True
+        except ValueError:
+            return False
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random replacement with a seeded generator for reproducibility."""
+
+    def __init__(self, ways: int, seed: int = 0):
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+        self._resident: list[int] = []
+
+    def access(self, tag: int) -> bool:
+        resident = self._resident
+        if tag in resident:
+            return True
+        if len(resident) >= self.ways:
+            victim = self._rng.randrange(len(resident))
+            resident[victim] = tag
+        else:
+            resident.append(tag)
+        return False
+
+    def contents(self) -> list[int]:
+        return list(self._resident)
+
+    def invalidate(self, tag: int) -> bool:
+        try:
+            self._resident.remove(tag)
+            return True
+        except ValueError:
+            return False
+
+
+POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name ('lru', 'fifo', 'random')."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return cls(ways, seed=seed)
+    return cls(ways)

@@ -1,0 +1,22 @@
+"""Shared types for the memory simulators."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class AccessKind(IntEnum):
+    """Classification of one memory reference.
+
+    The integer values are stable because traces store them in uint8
+    numpy arrays.
+    """
+
+    IFETCH = 0
+    LOAD = 1
+    STORE = 2
+
+    @property
+    def is_data(self) -> bool:
+        """True for loads and stores."""
+        return self is not AccessKind.IFETCH

@@ -1,0 +1,19 @@
+"""Measurement-tool substitutes.
+
+The paper measures with three tools; this package provides the two
+that are *instruments* (the third, trace-driven simulation, is
+:mod:`repro.memsim` itself):
+
+* :class:`~repro.monitor.monster.Monster` — the hardware-monitor
+  substitute: attributes every stall cycle of a run to the component
+  that caused it (Tables 3/4, Figure 3).
+* :class:`~repro.monitor.tapeworm.Tapeworm` — the kernel-based
+  simulator substitute: driven by the *miss events* of a host TLB, it
+  simulates many alternative TLB configurations in one run
+  (Figures 7/8).
+"""
+
+from repro.monitor.monster import Monster, StallReport
+from repro.monitor.tapeworm import Tapeworm, TlbServiceReport
+
+__all__ = ["Monster", "StallReport", "Tapeworm", "TlbServiceReport"]

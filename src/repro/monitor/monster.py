@@ -1,0 +1,92 @@
+"""Monster: the hardware-monitor substitute.
+
+The original Monster is a DAS 9200 logic analyzer watching the CPU
+pins of a DECstation 3100 and counting the causes of every stall
+cycle non-invasively [Nagle92].  This substitute plays that role over
+synthetic traces: it runs the full-system timing simulation and
+reports the same breakdown the paper prints — total CPI and each
+component's contribution above the base CPI of 1.0, with relative
+percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsim.timing import (
+    DECSTATION_3100,
+    SystemConfig,
+    SystemTimingResult,
+    simulate_system,
+)
+from repro.trace.events import ReferenceTrace
+
+COMPONENT_ORDER = ("tlb", "icache", "dcache", "write_buffer", "other")
+
+COMPONENT_LABELS = {
+    "tlb": "TLB",
+    "icache": "I-cache",
+    "dcache": "D-cache",
+    "write_buffer": "Write Buffer",
+    "other": "Other",
+}
+
+
+@dataclass(frozen=True)
+class StallReport:
+    """One row of Table 3/4: CPI and its stall components."""
+
+    workload: str
+    os_name: str
+    cpi: float
+    components: dict[str, float]
+    fractions: dict[str, float]
+
+    def formatted_row(self) -> str:
+        """Render in the paper's `0.15 (14%)` style."""
+        cells = [f"{self.workload:<12}", f"{self.os_name:<8}", f"{self.cpi:5.2f}"]
+        for key in COMPONENT_ORDER:
+            cells.append(
+                f"{self.components[key]:5.2f} ({round(100 * self.fractions[key]):>3d}%)"
+            )
+        return "  ".join(cells)
+
+
+class Monster:
+    """Stall-cycle attribution over reference traces.
+
+    Args:
+        config: the measured machine (DECstation 3100 by default, as
+            in the paper's Tables 3/4).
+        warmup_fraction: leading trace fraction used only for priming.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig = DECSTATION_3100,
+        warmup_fraction: float = 0.4,
+    ):
+        self.config = config
+        self.warmup_fraction = warmup_fraction
+
+    def measure(self, trace: ReferenceTrace) -> StallReport:
+        """Monitor one run and attribute its stalls."""
+        result = self.simulate(trace)
+        return StallReport(
+            workload=trace.workload,
+            os_name=trace.os_name,
+            cpi=result.cpi,
+            components=dict(result.cpi_components),
+            fractions=result.component_fractions(),
+        )
+
+    def simulate(self, trace: ReferenceTrace) -> SystemTimingResult:
+        """Raw timing result (counts as well as CPI components)."""
+        return simulate_system(trace, self.config, self.warmup_fraction)
+
+    @staticmethod
+    def header() -> str:
+        """Column header matching :meth:`StallReport.formatted_row`."""
+        cells = [f"{'workload':<12}", f"{'os':<8}", f"{'CPI':>5}"]
+        cells.extend(f"{COMPONENT_LABELS[k]:>12}" for k in COMPONENT_ORDER)
+        return "  ".join(cells)

@@ -1,0 +1,152 @@
+"""Tapeworm: the kernel-based TLB simulator substitute.
+
+The original Tapeworm [Uhlig93] compiles a TLB simulator into the OS
+kernel: every miss of the *host* TLB traps to software anyway (MIPS
+TLBs are software-managed), and the handler forwards the miss event to
+simulators of alternative TLB configurations.  The crucial property is
+that simulated TLBs must be no larger/more associative than what the
+host events can reconstruct — Tapeworm arranges the host TLB to be the
+least capable configuration so every simulated TLB's misses are a
+subset of host events.
+
+This substitute keeps that architecture: it consumes the mapped
+references of a trace, reconstructs miss events against a host
+configuration, and maintains many simulated TLBs at once, producing
+per-configuration service-time totals (Figures 7 and 8).  It is
+cross-checked against the single-pass stack engine in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.configs import TlbConfig
+from repro.memsim.tlb import Tlb
+from repro.trace.events import ReferenceTrace
+from repro.units import PAGE_SHIFT
+
+DEFAULT_USER_PENALTY = 20
+DEFAULT_KERNEL_PENALTY = 400
+PAGE_FAULT_SERVICE_CYCLES = 500
+"""Cycles the TLB-miss handler spends before discovering that a miss
+is really a page fault or protection violation (the "Other" component
+of Figure 7)."""
+
+
+@dataclass(frozen=True)
+class TlbServiceReport:
+    """Service-time accounting for one simulated TLB configuration."""
+
+    config: TlbConfig
+    accesses: int
+    user_misses: int
+    kernel_misses: int
+    other_events: int
+
+    def service_cycles(
+        self,
+        user_penalty: int = DEFAULT_USER_PENALTY,
+        kernel_penalty: int = DEFAULT_KERNEL_PENALTY,
+        other_cycles: int = PAGE_FAULT_SERVICE_CYCLES,
+    ) -> float:
+        """Total TLB service cycles, including the fixed "other" part."""
+        return (
+            self.user_misses * user_penalty
+            + self.kernel_misses * kernel_penalty
+            + self.other_events * other_cycles
+        )
+
+    def service_seconds(
+        self,
+        clock_hz: float = 16.67e6,
+        scale: float = 1.0,
+        **penalties,
+    ) -> float:
+        """Service time in seconds on a DECstation-class clock.
+
+        Args:
+            clock_hz: CPU clock (16.67 MHz R2000).
+            scale: multiplier projecting the measured window to a full
+                benchmark run (the paper's totals cover complete runs).
+            **penalties: forwarded to :meth:`service_cycles`.
+        """
+        return self.service_cycles(**penalties) * scale / clock_hz
+
+
+class Tapeworm:
+    """Miss-event-driven simulation of many TLB configurations at once.
+
+    Args:
+        configs: TLB configurations to simulate.
+        warmup_fraction: leading fraction of each trace used to prime
+            all simulated TLBs without counting misses.
+        policy: replacement policy for the simulated TLBs.
+    """
+
+    def __init__(
+        self,
+        configs: list[TlbConfig],
+        warmup_fraction: float = 0.4,
+        policy: str = "lru",
+    ):
+        self.configs = list(configs)
+        self.warmup_fraction = warmup_fraction
+        self.policy = policy
+
+    def run(self, trace: ReferenceTrace) -> list[TlbServiceReport]:
+        """Feed one trace's mapped references to every simulated TLB.
+
+        Host-TLB filtering: consecutive references to the same page
+        cannot miss in any simulated configuration (the host TLB holds
+        at least the current translation), so only page-transition
+        events are forwarded — this is the efficiency trick that makes
+        the real Tapeworm fast, reproduced exactly.
+        """
+        mapped_idx = np.flatnonzero(trace.mapped)
+        vpns = (trace.addresses[mapped_idx] >> PAGE_SHIFT).astype(np.int64)
+        asids = trace.asids[mapped_idx].astype(np.int64)
+        kernel = trace.kernel[mapped_idx]
+        keys = (asids << 20) | vpns
+        accesses = len(keys)
+
+        # Forward only page-transition events.
+        if accesses:
+            keep = np.empty(accesses, dtype=bool)
+            keep[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+            events_vpn = vpns[keep]
+            events_asid = asids[keep]
+            events_kernel = kernel[keep]
+            warm_events = int(keep[: int(accesses * self.warmup_fraction)].sum())
+        else:
+            events_vpn = vpns
+            events_asid = asids
+            events_kernel = kernel
+            warm_events = 0
+
+        reports = []
+        for config in self.configs:
+            tlb = Tlb(config.entries, config.assoc, policy=self.policy)
+            user = kernel_misses = 0
+            vpn_list = events_vpn.tolist()
+            asid_list = events_asid.tolist()
+            kernel_list = events_kernel.tolist()
+            for i in range(len(vpn_list)):
+                hit = tlb.access(vpn_list[i], asid_list[i], kernel_list[i])
+                if not hit and i >= warm_events:
+                    if kernel_list[i]:
+                        kernel_misses += 1
+                    else:
+                        user += 1
+            reports.append(
+                TlbServiceReport(
+                    config=config,
+                    accesses=accesses,
+                    user_misses=user,
+                    kernel_misses=kernel_misses,
+                    other_events=trace.page_faults,
+                )
+            )
+        return reports

@@ -1,0 +1,29 @@
+"""Executable models of OS structure for trace synthesis.
+
+The paper's central observation is *structural*: where service code
+lives (in-kernel and unmapped under Ultrix; spread across an emulation
+library, the microkernel IPC path and user-level servers under Mach)
+determines how a workload exercises the I-cache, D-cache and TLB.
+This package models exactly those structures — address spaces, code
+paths with the paper's published lengths, data-copy behaviour and
+multiprogramming — and executes them to synthesize reference traces.
+
+See DESIGN.md §2 for the substitution argument (real hardware traces →
+structural synthesis).
+"""
+
+from repro.osmodel.addrspace import AddressSpace, SegmentAllocator
+from repro.osmodel.base import OperatingSystemModel
+from repro.osmodel.ultrix import UltrixModel
+from repro.osmodel.mach import MachModel
+from repro.osmodel.services import SERVICE_CATALOG, ServiceSpec
+
+__all__ = [
+    "AddressSpace",
+    "SegmentAllocator",
+    "OperatingSystemModel",
+    "UltrixModel",
+    "MachModel",
+    "SERVICE_CATALOG",
+    "ServiceSpec",
+]

@@ -1,0 +1,377 @@
+"""Shared OS-model machinery.
+
+Both OS models execute the same user-level workload (the paper runs
+identical benchmark binaries under Ultrix and Mach) and the same
+service *bodies* (both systems derive them from 4.3 BSD).  What differs
+is everything around the body: the invocation path, the address space
+the body runs in, how payloads move, and how faults and display
+traffic are handled.  Subclasses implement exactly those hooks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.memsim.types import AccessKind
+from repro.osmodel.addrspace import AddressSpace, Segment, SegmentAllocator
+from repro.osmodel.context import DataPart, GenerationContext
+from repro.osmodel.datastate import StackModel, StreamBuffer, WorkingSet
+from repro.osmodel.services import ServiceSpec, lookup_service
+from repro.units import KB, PAGE_BYTES
+from repro.workloads.base import WorkloadSpec
+
+KERNEL_TEXT_BYTES = 512 * KB
+SERVER_TEXT_BYTES = 256 * KB
+XSERVER_TEXT_BYTES = 192 * KB
+STACK_BYTES = 64 * KB
+
+# Body code is not one straight line: service routines loop over their
+# work (block lists, copy chunks), so each invocation revisits a
+# footprint smaller than its dynamic length.
+SERVICE_BODY_REUSE = 4
+
+
+class OperatingSystemModel(ABC):
+    """Base class for the Ultrix and Mach structure models.
+
+    Args:
+        workload: the benchmark to run.
+        seed: seed for address-space layout (reference-stream randomness
+            comes from the generation context instead, so the same
+            layout can be replayed under different stream seeds).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, workload: WorkloadSpec, seed: int = 0):
+        self.workload = workload
+        self.allocator = SegmentAllocator(seed=seed)
+        self._layout_rng = np.random.default_rng(seed + 1)
+        self.spaces: dict[str, AddressSpace] = {}
+        self._next_asid = 1
+        self._build_common_spaces()
+        self._build_os_spaces()
+        self._emitters: dict[str, object] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def _new_space(self, name: str) -> AddressSpace:
+        space = AddressSpace(name=name, asid=self._next_asid)
+        self._next_asid += 1
+        self.spaces[name] = space
+        return space
+
+    def _build_common_spaces(self) -> None:
+        wl = self.workload
+        kernel = AddressSpace(name="kernel", asid=0)
+        self.spaces["kernel"] = kernel
+        kernel.add_segment(
+            self.allocator, "text", KERNEL_TEXT_BYTES, mapped=False, kernel=True
+        )
+        # k0seg data: buffer cache and most kernel structures (unmapped).
+        kernel.add_segment(
+            self.allocator, "data_unmapped", 2 * 1024 * KB, mapped=False, kernel=True
+        )
+        # kseg2 data: page tables, u-areas, IPC state (mapped, expensive
+        # TLB misses).
+        kernel.add_segment(
+            self.allocator, "data_mapped", 512 * KB, mapped=True, kernel=True
+        )
+
+        task = self._new_space("task")
+        task.add_segment(self.allocator, "text", wl.text_bytes)
+        task.add_segment(
+            self.allocator, "heap", max(wl.heap_pages * 4, 16) * PAGE_BYTES
+        )
+        task.add_segment(self.allocator, "stack", STACK_BYTES)
+        if wl.stream_bytes:
+            task.add_segment(self.allocator, "stream", wl.stream_bytes)
+
+        xserver = self._new_space("xserver")
+        xserver.add_segment(self.allocator, "text", XSERVER_TEXT_BYTES)
+        xserver.add_segment(self.allocator, "heap", 64 * PAGE_BYTES)
+        xserver.add_segment(self.allocator, "stack", STACK_BYTES)
+        xserver.add_segment(self.allocator, "framebuffer", 1024 * KB)
+
+    @abstractmethod
+    def _build_os_spaces(self) -> None:
+        """Create OS-specific address spaces and segments."""
+
+    def _setup_emitters(self, ctx: GenerationContext) -> None:
+        wl = self.workload
+        task = self.spaces["task"]
+        self._emitters = {
+            "task_heap": WorkingSet(
+                task.segment("heap"), wl.heap_pages, wl.heap_record_words, ctx.rng
+            ),
+            "task_stack": StackModel(task.segment("stack"), ctx.rng),
+            "kernel_meta": WorkingSet(
+                self.spaces["kernel"].segment("data_unmapped"), 48, 8, ctx.rng
+            ),
+            "kernel_mapped": WorkingSet(
+                self.spaces["kernel"].segment("data_mapped"),
+                self.kernel_mapped_pages(),
+                4,
+                ctx.rng,
+            ),
+            "x_heap": WorkingSet(
+                self.spaces["xserver"].segment("heap"), 24, 8, ctx.rng
+            ),
+            "x_stack": StackModel(self.spaces["xserver"].segment("stack"), ctx.rng),
+            "x_fb": StreamBuffer(
+                self.spaces["xserver"].segment("framebuffer"), 16, ctx.rng
+            ),
+        }
+        if wl.stream_bytes:
+            self._emitters["task_stream"] = StreamBuffer(
+                task.segment("stream"), wl.stream_run_words, ctx.rng
+            )
+        self._setup_os_emitters(ctx)
+
+    @abstractmethod
+    def _setup_os_emitters(self, ctx: GenerationContext) -> None:
+        """Create OS-specific data emitters."""
+
+    @abstractmethod
+    def kernel_mapped_pages(self) -> int:
+        """Active page pool of mapped kernel data (kseg2 pressure)."""
+
+    # -- generation ---------------------------------------------------------
+
+    def generate(self, ctx: GenerationContext) -> None:
+        """Fill the context's builder by running workload cycles."""
+        self._setup_emitters(ctx)
+        while not ctx.done:
+            self.run_cycle(ctx)
+
+    def run_cycle(self, ctx: GenerationContext) -> None:
+        """One workload cycle: compute, then services, faults, display."""
+        wl = self.workload
+        n_compute = max(
+            200, int(ctx.rng.normal(wl.compute_instructions, wl.compute_instructions * 0.2))
+        )
+        self.user_compute(ctx, n_compute)
+        mix = wl.normalized_service_mix()
+        if mix:
+            # Benchmarks run in phases (a copy phase, a compile phase, a
+            # read test...), so the dominant service persists across
+            # cycles instead of being redrawn per call; this matches the
+            # real suites and keeps the active OS code footprint small
+            # at any instant.
+            phase_service = self._emitters.get("_phase_service")
+            if phase_service is None or ctx.rng.random() < 0.12:
+                names = [m[0] for m in mix]
+                probs = [m[1] for m in mix]
+                phase_service = names[int(ctx.rng.choice(len(names), p=probs))]
+                self._emitters["_phase_service"] = phase_service
+            for _ in range(wl.services_per_cycle):
+                self.invoke_service(ctx, lookup_service(phase_service))
+        faults = int(ctx.rng.poisson(wl.page_fault_rate))
+        for _ in range(faults):
+            self.handle_page_fault(ctx)
+            ctx.page_faults += 1
+        if ctx.rng.random() < wl.x_interaction_rate:
+            self.x_interaction(ctx)
+        if ctx.rng.random() < 0.05:
+            self._emitters["task_heap"].refresh()
+
+    # -- user-level computation (shared between OSes) ------------------------
+
+    def user_compute(self, ctx: GenerationContext, n_instr: int) -> None:
+        """Emit one burst of user computation.
+
+        Splits instructions between the workload's hot loops and walks
+        over its cold code footprint, with data references drawn from
+        the stack, heap working set and stream in workload-specific
+        proportions.
+        """
+        wl = self.workload
+        task = self.spaces["task"]
+        text = task.segment("text")
+        hot_instr = int(n_instr * wl.hot_loop_fraction)
+        cold_instr = n_instr - hot_instr
+
+        # The workload's loop nests live at a small number of fixed
+        # sites; consecutive visits usually stay at the same site (one
+        # phase of the algorithm), which is what lets small caches hold
+        # the active nest.
+        current_site = self._emitters.setdefault("_hot_site", 0)
+        while hot_instr > 0:
+            if ctx.rng.random() < 0.15:
+                current_site = int(ctx.rng.integers(0, len(wl.hot_loop_bodies)))
+            body = wl.hot_loop_bodies[current_site]
+            iterations = max(
+                1, int(ctx.rng.normal(wl.loop_iterations, wl.loop_iterations * 0.3))
+            )
+            run = min(body * iterations, hot_instr)
+            iterations = max(1, run // body)
+            offset = (current_site * 8 * KB) % max(text.size - body * 4, 1)
+            code = ctx.loop_code(text, offset, body, iterations)
+            self._emit_user_run(ctx, task, text, code)
+            hot_instr -= len(code)
+            # Loop nests call out to helper routines (pixel conversion,
+            # memory management, maths) that live elsewhere in the
+            # text: fine-grained alternation between regions at
+            # uncorrelated cache colours.  These conflicts are what
+            # set associativity absorbs (Figure 10).
+            helper = int(ctx.rng.integers(0, 3))
+            helper_offset = (128 * KB + helper * 24 * KB) % max(
+                text.size - 200 * 4, 1
+            )
+            helper_code = ctx.loop_code(text, helper_offset, 160, 2)
+            helper_run = min(len(helper_code), max(hot_instr, 0))
+            if helper_run:
+                self._emit_user_run(ctx, task, text, helper_code[:helper_run])
+                hot_instr -= helper_run
+        self._emitters["_hot_site"] = current_site
+
+        # Cold/warm code (library calls, per-phase framework code) is
+        # revisited in the same order every cycle: a cursor marching
+        # through the footprint, wrapping at its end.  Each visited
+        # window is executed a few times (functions call helpers and
+        # loop internally — dynamic/static instruction ratios well
+        # above one even outside the hot loops).
+        cursor = self._emitters.setdefault("_cold_cursor", 0)
+        footprint = max(wl.code_footprint_bytes, 4 * KB)
+        window = 700
+        reuse = 5
+        while cold_instr > 0:
+            run = min(window * reuse, cold_instr)
+            window_instr = max(run // reuse, 1)
+            base_offset = 64 * KB + (cursor % footprint)
+            base_offset %= max(text.size - window_instr * 4, 1)
+            code = ctx.loop_code(
+                text, base_offset, window_instr, max(run // window_instr, 1), 12
+            )
+            self._emit_user_run(ctx, task, text, code)
+            cursor += window_instr * 4
+            cold_instr -= len(code)
+        self._emitters["_cold_cursor"] = cursor % footprint
+
+    def _emit_user_run(
+        self,
+        ctx: GenerationContext,
+        task: AddressSpace,
+        text: Segment,
+        code: np.ndarray,
+    ) -> None:
+        wl = self.workload
+        loads, stores = ctx.split_loads_stores(len(code), wl.load_frac, wl.store_frac)
+        parts = []
+        stack = self._emitters["task_stack"]
+        heap = self._emitters["task_heap"]
+        stream = self._emitters.get("task_stream")
+
+        def split(count: int) -> tuple[int, int, int]:
+            n_stack = int(count * 0.30)
+            n_stream = int((count - n_stack) * wl.stream_frac) if stream else 0
+            return n_stack, n_stream, count - n_stack - n_stream
+
+        for count, kind in ((loads, AccessKind.LOAD), (stores, AccessKind.STORE)):
+            n_stack, n_stream, n_heap = split(count)
+            if n_stack:
+                parts.append(
+                    DataPart(stack.addresses(n_stack), kind, True, False, task.asid)
+                )
+            if n_stream:
+                parts.append(
+                    DataPart(
+                        stream.addresses(n_stream),
+                        kind,
+                        True,
+                        False,
+                        task.asid,
+                        run_words=wl.stream_run_words,
+                    )
+                )
+            if n_heap:
+                parts.append(
+                    DataPart(
+                        heap.addresses(n_heap),
+                        kind,
+                        True,
+                        False,
+                        task.asid,
+                        run_words=wl.heap_record_words,
+                    )
+                )
+        ctx.emit(task, text, code, parts)
+
+    # -- service body (shared) ----------------------------------------------
+
+    def run_service_body(
+        self,
+        ctx: GenerationContext,
+        service: ServiceSpec,
+        space: AddressSpace,
+        text: Segment,
+        metadata: WorkingSet,
+        metadata_mapped: bool,
+        metadata_kernel: bool,
+    ) -> None:
+        """Execute a service body in the given space.
+
+        The body revisits its footprint SERVICE_BODY_REUSE times
+        (routines loop over block lists and copy chunks) and reads OS
+        metadata from the supplied working set.
+        """
+        footprint = max(service.body_instructions // SERVICE_BODY_REUSE, 64)
+        code = ctx.loop_code(text, service.body_offset, footprint, SERVICE_BODY_REUSE)
+        parts = [
+            DataPart(
+                metadata.addresses(service.metadata_refs),
+                AccessKind.LOAD,
+                metadata_mapped,
+                metadata_kernel,
+                space.asid if metadata_mapped and not metadata_kernel else 0,
+                run_words=4,
+            ),
+            DataPart(
+                metadata.addresses(service.metadata_refs // 3),
+                AccessKind.STORE,
+                metadata_mapped,
+                metadata_kernel,
+                space.asid if metadata_mapped and not metadata_kernel else 0,
+                run_words=4,
+            ),
+        ]
+        ctx.emit(space, text, code, parts)
+
+    def emit_copy(
+        self,
+        ctx: GenerationContext,
+        space: AddressSpace,
+        text: Segment,
+        code_offset: int,
+        words: int,
+        src: DataPart,
+        dst: DataPart,
+    ) -> None:
+        """A copy loop: ~2 instructions, 1 load and 1 store per word.
+
+        The loop code itself is tiny (fits in any cache); the data
+        references stream through source and destination, which is what
+        loads the D-cache and write buffer during I/O under Ultrix.
+        """
+        if words <= 0:
+            return
+        loop_body = 8
+        iterations = max(1, (2 * words) // loop_body)
+        code = ctx.loop_code(text, code_offset, loop_body, iterations)
+        ctx.emit(space, text, code, [src, dst])
+
+    # -- OS-specific hooks ----------------------------------------------------
+
+    @abstractmethod
+    def invoke_service(self, ctx: GenerationContext, service: ServiceSpec) -> None:
+        """Run one service invocation, including the invocation path."""
+
+    @abstractmethod
+    def handle_page_fault(self, ctx: GenerationContext) -> None:
+        """Run the page-fault path."""
+
+    @abstractmethod
+    def x_interaction(self, ctx: GenerationContext) -> None:
+        """Send a display update to the X server and let it run."""

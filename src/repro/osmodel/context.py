@@ -1,0 +1,220 @@
+"""Generation context: turns modelled code paths into trace references.
+
+The OS and workload models describe *what* executes (a routine of N
+instructions in some segment, with data references drawn from given
+emitters); the context turns that into interleaved, program-ordered
+reference chunks and accumulates them in a trace builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memsim.types import AccessKind
+from repro.osmodel.addrspace import AddressSpace, Segment
+from repro.trace.events import TraceChunkBuilder
+from repro.units import WORD_BYTES
+
+
+@dataclass
+class DataPart:
+    """One batch of data references to interleave into a code run.
+
+    Attributes:
+        addresses: word addresses, in the order they should appear.
+        kind: AccessKind.LOAD or AccessKind.STORE.
+        mapped / kernel: translation attributes of the touched pages.
+        asid: address space the translation belongs to.
+        run_words: spatial run length — consecutive addresses in a run
+            stay adjacent in program order when interleaved.
+    """
+
+    addresses: np.ndarray
+    kind: AccessKind
+    mapped: bool
+    kernel: bool
+    asid: int
+    run_words: int = 1
+
+
+class GenerationContext:
+    """Mutable state threaded through one trace generation run.
+
+    Args:
+        seed: seed for the private random generator.
+        target_references: generation stops soon after the builder holds
+            this many references.
+    """
+
+    def __init__(self, seed: int, target_references: int):
+        self.rng = np.random.default_rng(seed)
+        self.builder = TraceChunkBuilder()
+        self.target_references = target_references
+        self.page_faults = 0
+
+    @property
+    def done(self) -> bool:
+        """True once the target reference count has been reached."""
+        return self.builder.count >= self.target_references
+
+    # -- code-address construction ----------------------------------------
+
+    def straight_code(
+        self,
+        segment: Segment,
+        offset: int,
+        n_instr: int,
+        basic_block_mean: int = 16,
+        gap_mean: int = 10,
+    ) -> np.ndarray:
+        """Fetch addresses for one pass over a code path.
+
+        Code is not perfectly sequential: the fetch stream consists of
+        executed basic blocks (geometric length, mean
+        ``basic_block_mean``) separated by *skipped* words (mean
+        ``gap_mean``) — untaken branches, error paths and alignment
+        padding that occupy line words without ever being fetched.
+        Those gaps are what limit the payoff of very long cache lines:
+        once the line exceeds the block length, each fill drags in
+        words that are never executed, reproducing the paper's CPI
+        upturn at 16-word I-cache lines and the sub-1/L miss-ratio
+        scaling of Figure 9.  Pass ``basic_block_mean=None`` for a
+        perfectly sequential path.  Paths longer than the segment wrap.
+        """
+        size_words = max(segment.size // WORD_BYTES, 1)
+        start_word = (offset // WORD_BYTES) % size_words
+        if basic_block_mean is None or n_instr <= 8:
+            words = (np.arange(n_instr, dtype=np.int64) + start_word) % size_words
+            return segment.base + words * WORD_BYTES
+        estimated = max(int(2 * n_instr / basic_block_mean), 4)
+        lengths = self.rng.geometric(1.0 / basic_block_mean, size=estimated)
+        while lengths.sum() < n_instr:
+            lengths = np.concatenate(
+                [lengths, self.rng.geometric(1.0 / basic_block_mean, size=estimated)]
+            )
+        ends = np.cumsum(lengths)
+        n_blocks = min(int(np.searchsorted(ends, n_instr) + 1), len(lengths))
+        lengths = lengths[:n_blocks].astype(np.int64)
+        gaps = self.rng.geometric(1.0 / max(gap_mean, 1), size=n_blocks).astype(
+            np.int64
+        )
+        # Heavy tail: some gaps are entire never-executed functions
+        # (error paths, unused library entries), far longer than any
+        # cache line — lines falling wholly inside them are never
+        # fetched at any line size, which is what finally turns long
+        # lines into pure overhead.
+        cold_function = self.rng.random(n_blocks) < 0.12
+        gaps = np.where(
+            cold_function, gaps + self.rng.integers(32, 160, size=n_blocks), gaps
+        )
+        gaps[0] = 0
+        # Block i starts after all previous blocks and the skipped gaps.
+        block_starts = start_word + np.cumsum(lengths + gaps) - lengths
+        block_starts %= size_words
+        ends = np.cumsum(lengths)
+        total = int(ends[-1])
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            ends - lengths, lengths
+        )
+        words = (np.repeat(block_starts, lengths) + offsets) % size_words
+        return (segment.base + words * WORD_BYTES)[:n_instr]
+
+    def loop_code(
+        self,
+        segment: Segment,
+        offset: int,
+        body_instr: int,
+        iterations: int,
+        basic_block_mean: int = 16,
+    ) -> np.ndarray:
+        """Fetch addresses for a loop executed ``iterations`` times.
+
+        The body's internal branch structure is generated once and
+        repeated — a real loop body takes the same branches each pass.
+        """
+        body = self.straight_code(segment, offset, body_instr, basic_block_mean)
+        return np.tile(body, iterations)
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(
+        self,
+        space: AddressSpace,
+        code_segment: Segment,
+        code_addresses: np.ndarray,
+        data_parts: list[DataPart] | None = None,
+    ) -> None:
+        """Interleave a code run with its data references and record it.
+
+        Data runs are inserted at random instruction boundaries, with
+        each spatial run kept contiguous, preserving program order
+        within every part.
+        """
+        n_code = len(code_addresses)
+        parts = [p for p in (data_parts or []) if len(p.addresses)]
+        if not parts:
+            self.builder.append(
+                code_addresses,
+                int(AccessKind.IFETCH),
+                space.asid,
+                code_segment.mapped,
+                code_segment.kernel,
+            )
+            return
+
+        data_addr = []
+        data_kind = []
+        data_mapped = []
+        data_kernel = []
+        data_asid = []
+        positions = []
+        for part in parts:
+            n = len(part.addresses)
+            run = max(1, part.run_words)
+            n_runs = (n + run - 1) // run
+            run_positions = np.sort(
+                self.rng.integers(0, n_code + 1, size=n_runs)
+            )
+            pos = np.repeat(run_positions, run)[:n]
+            positions.append(pos)
+            data_addr.append(np.asarray(part.addresses, dtype=np.int64))
+            data_kind.append(np.full(n, int(part.kind), dtype=np.uint8))
+            data_mapped.append(np.full(n, part.mapped, dtype=bool))
+            data_kernel.append(np.full(n, part.kernel, dtype=bool))
+            data_asid.append(np.full(n, part.asid, dtype=np.uint8))
+
+        positions = np.concatenate(positions)
+        order = np.argsort(positions, kind="stable")
+        positions = positions[order]
+        data_addr = np.concatenate(data_addr)[order]
+        data_kind = np.concatenate(data_kind)[order]
+        data_mapped = np.concatenate(data_mapped)[order]
+        data_kernel = np.concatenate(data_kernel)[order]
+        data_asid = np.concatenate(data_asid)[order]
+
+        addresses = np.insert(code_addresses, positions, data_addr)
+        kinds = np.insert(
+            np.full(n_code, int(AccessKind.IFETCH), dtype=np.uint8),
+            positions,
+            data_kind,
+        )
+        asids = np.insert(
+            np.full(n_code, space.asid, dtype=np.uint8), positions, data_asid
+        )
+        mapped = np.insert(
+            np.full(n_code, code_segment.mapped, dtype=bool), positions, data_mapped
+        )
+        kernel = np.insert(
+            np.full(n_code, code_segment.kernel, dtype=bool), positions, data_kernel
+        )
+        self.builder.append_raw(addresses, kinds, asids, mapped, kernel)
+
+    def split_loads_stores(
+        self, n_instr: int, load_frac: float, store_frac: float
+    ) -> tuple[int, int]:
+        """Poisson-jittered load/store counts for a run of instructions."""
+        loads = int(self.rng.poisson(max(n_instr * load_frac, 0.0)))
+        stores = int(self.rng.poisson(max(n_instr * store_frac, 0.0)))
+        return loads, stores

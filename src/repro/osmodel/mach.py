@@ -1,0 +1,392 @@
+"""Mach 3.0 structure model: a multiple-API microkernel system.
+
+Services live in a user-level BSD server reached by RPC (Figure 1,
+right; Figure 2).  The paper measures the call path (trap → emulation
+library → message marshal → kernel IPC → server stub) at roughly 1000
+instructions and the return path at about 850; all of that code is
+*mapped*, as are the server's text and data, the per-task emulation
+library and the kernel's own IPC/VM structures (kseg2).  Those
+structural facts — not any inefficiency in the service bodies, which
+are shared with the Ultrix model — produce Mach's higher I-cache and
+TLB stall components.
+"""
+
+from __future__ import annotations
+
+from repro.memsim.types import AccessKind
+from repro.osmodel.base import (
+    SERVER_TEXT_BYTES,
+    STACK_BYTES,
+    OperatingSystemModel,
+)
+from repro.osmodel.context import DataPart, GenerationContext
+from repro.osmodel.datastate import StreamBuffer, WorkingSet
+from repro.osmodel.services import ServiceSpec, lookup_service
+from repro.units import KB, PAGE_BYTES
+
+# Kernel text offsets (all unmapped k0seg code).
+KTRAP_OFFSET = 0x2E000
+IPC_SEND_OFFSET = 0x2A000
+IPC_REPLY_OFFSET = 0x2C000
+VM_FAULT_OFFSET = 0x74000
+
+# Emulation-library text offsets (mapped into every task).
+EMU_CALL_OFFSET = 0x0000
+EMU_RETURN_OFFSET = 0x0800
+
+# Server text offsets.
+SERVER_DISPATCH_OFFSET = 0x28800
+SERVER_REPLY_OFFSET = 0x2A000
+
+# Path lengths from Section 4.1 of the paper: ~1000-instruction call
+# path (trap 30 + emulation library 450 + kernel IPC 400 + server
+# dispatch 120) and ~850-instruction return path (server reply 250 +
+# kernel IPC 350 + emulation library 250).
+KTRAP_INSTRUCTIONS = 30
+EMU_CALL_INSTRUCTIONS = 450
+IPC_SEND_INSTRUCTIONS = 400
+SERVER_DISPATCH_INSTRUCTIONS = 120
+SERVER_REPLY_INSTRUCTIONS = 250
+IPC_REPLY_INSTRUCTIONS = 350
+EMU_RETURN_INSTRUCTIONS = 250
+
+
+class MachModel(OperatingSystemModel):
+    """Executable model of the Mach 3.0 + BSD-server structure."""
+
+    name = "mach"
+
+    def _build_os_spaces(self) -> None:
+        task = self.spaces["task"]
+        task.add_segment(self.allocator, "emu_text", 16 * KB)
+        task.add_segment(self.allocator, "msg", 8 * KB)
+
+        server = self._new_space("bsd_server")
+        server.add_segment(self.allocator, "text", SERVER_TEXT_BYTES)
+        server.add_segment(self.allocator, "data", 96 * PAGE_BYTES)
+        server.add_segment(self.allocator, "cache", 1024 * KB)
+        server.add_segment(self.allocator, "stack", STACK_BYTES)
+        server.add_segment(self.allocator, "msg", 8 * KB)
+
+        pager = self._new_space("pager")
+        pager.add_segment(self.allocator, "text", 64 * KB)
+        pager.add_segment(self.allocator, "heap", 32 * PAGE_BYTES)
+
+    def kernel_mapped_pages(self) -> int:
+        # Page tables for many address spaces plus IPC port/message
+        # state: a much larger mapped-kernel working set than Ultrix.
+        return 36
+
+    def _setup_os_emitters(self, ctx: GenerationContext) -> None:
+        server = self.spaces["bsd_server"]
+        task = self.spaces["task"]
+        pager = self.spaces["pager"]
+        self._emitters["server_meta"] = WorkingSet(
+            server.segment("data"), 36, 8, ctx.rng
+        )
+        self._emitters["server_cache"] = StreamBuffer(
+            server.segment("cache"), 16, ctx.rng
+        )
+        self._emitters["task_msg"] = WorkingSet(task.segment("msg"), 2, 16, ctx.rng)
+        self._emitters["server_msg"] = WorkingSet(
+            server.segment("msg"), 2, 16, ctx.rng
+        )
+        self._emitters["pager_heap"] = WorkingSet(
+            pager.segment("heap"), 12, 8, ctx.rng
+        )
+
+    # -- RPC plumbing ---------------------------------------------------------
+
+    def _ipc_parts(self, ctx: GenerationContext, loads: int, stores: int) -> list:
+        """References to mapped kernel IPC/port structures (kseg2)."""
+        ipc = self._emitters["kernel_mapped"]
+        return [
+            DataPart(ipc.addresses(loads), AccessKind.LOAD, True, True, 0, 4),
+            DataPart(ipc.addresses(stores), AccessKind.STORE, True, True, 0, 4),
+        ]
+
+    def _kernel_ipc_send(
+        self, ctx: GenerationContext, caller_space, msg_words: int = 48
+    ) -> None:
+        kernel = self.spaces["kernel"]
+        text = kernel.segment("text")
+        caller_msg = self._emitters[
+            "task_msg" if caller_space.name == "task" else "server_msg"
+        ]
+        parts = self._ipc_parts(ctx, 14, 7)
+        parts.append(
+            DataPart(
+                caller_msg.addresses(msg_words),
+                AccessKind.LOAD,
+                True,
+                False,
+                caller_space.asid,
+                16,
+            )
+        )
+        ctx.emit(
+            kernel,
+            text,
+            ctx.straight_code(text, IPC_SEND_OFFSET, IPC_SEND_INSTRUCTIONS, 32),
+            parts,
+        )
+
+    def _kernel_ipc_reply(self, ctx: GenerationContext, callee_space) -> None:
+        kernel = self.spaces["kernel"]
+        text = kernel.segment("text")
+        parts = self._ipc_parts(ctx, 12, 6)
+        parts.append(
+            DataPart(
+                self._emitters["server_msg"].addresses(32),
+                AccessKind.LOAD,
+                True,
+                False,
+                callee_space.asid,
+                16,
+            )
+        )
+        ctx.emit(
+            kernel,
+            text,
+            ctx.straight_code(text, IPC_REPLY_OFFSET, IPC_REPLY_INSTRUCTIONS, 32),
+            parts,
+        )
+
+    # -- service invocation -----------------------------------------------------
+
+    def invoke_service(
+        self, ctx: GenerationContext, service: ServiceSpec, caller: str = "task"
+    ) -> None:
+        kernel = self.spaces["kernel"]
+        ktext = kernel.segment("text")
+        caller_space = self.spaces[caller]
+        server = self.spaces["bsd_server"]
+        stext = server.segment("text")
+
+        # (1) trap detects an emulated syscall and bounces it back ...
+        ctx.emit(
+            kernel, ktext, ctx.straight_code(ktext, KTRAP_OFFSET, KTRAP_INSTRUCTIONS, 32)
+        )
+
+        # (2-3) ... to the emulation library, which marshals an RPC.
+        if caller == "task":
+            self._emulation_call(ctx, caller_space)
+
+        # (4) kernel IPC carries the request to the BSD server ...
+        self._kernel_ipc_send(ctx, caller_space)
+
+        # ... whose stub dispatches to the same BSD service body.
+        ctx.emit(
+            server,
+            stext,
+            ctx.straight_code(
+                stext, SERVER_DISPATCH_OFFSET, SERVER_DISPATCH_INSTRUCTIONS, 32
+            ),
+        )
+        self.run_service_body(
+            ctx,
+            service,
+            server,
+            stext,
+            self._emitters["server_meta"],
+            metadata_mapped=True,
+            metadata_kernel=False,
+        )
+        if service.copies_payload:
+            self._move_payload(ctx, service, caller_space)
+
+        # (5) the reply flows back through the kernel ...
+        ctx.emit(
+            server,
+            stext,
+            ctx.straight_code(stext, SERVER_REPLY_OFFSET, SERVER_REPLY_INSTRUCTIONS, 32),
+        )
+        self._kernel_ipc_reply(ctx, server)
+
+        # (6-7) ... and the emulation library returns to the caller.
+        if caller == "task":
+            self._emulation_return(ctx, caller_space)
+
+    def _emulation_call(self, ctx: GenerationContext, task) -> None:
+        emu = task.segment("emu_text")
+        msg = self._emitters["task_msg"]
+        stack = self._emitters["task_stack"]
+        ctx.emit(
+            task,
+            emu,
+            ctx.straight_code(emu, EMU_CALL_OFFSET, EMU_CALL_INSTRUCTIONS, 32),
+            [
+                DataPart(stack.addresses(80), AccessKind.LOAD, True, False, task.asid),
+                DataPart(stack.addresses(40), AccessKind.STORE, True, False, task.asid),
+                DataPart(
+                    msg.addresses(48), AccessKind.STORE, True, False, task.asid, 16
+                ),
+            ],
+        )
+
+    def _emulation_return(self, ctx: GenerationContext, task) -> None:
+        emu = task.segment("emu_text")
+        msg = self._emitters["task_msg"]
+        stack = self._emitters["task_stack"]
+        ctx.emit(
+            task,
+            emu,
+            ctx.straight_code(emu, EMU_RETURN_OFFSET, EMU_RETURN_INSTRUCTIONS, 32),
+            [
+                DataPart(msg.addresses(32), AccessKind.LOAD, True, False, task.asid, 16),
+                DataPart(stack.addresses(50), AccessKind.LOAD, True, False, task.asid),
+            ],
+        )
+
+    def _move_payload(
+        self, ctx: GenerationContext, service: ServiceSpec, caller_space
+    ) -> None:
+        """Payload transfer: server-side copy, then caller touch.
+
+        Mach moves large payloads out-of-line (VM remap) instead of
+        copying twice, so the server copies between its cache and the
+        transfer region once, and the caller then touches the mapped
+        pages from its own space.
+        """
+        server = self.spaces["bsd_server"]
+        stext = server.segment("text")
+        words = self.workload.payload_bytes // 4
+        cache = self._emitters["server_cache"]
+        reading = service.name in ("read", "socket_recv")
+
+        # Out-of-line transfer: the server touches the payload once in
+        # its own cache/transfer region (no second copy — Mach remaps
+        # the pages into the receiver instead, per [Dean91]).
+        server_touch = max(words // 2, 4)
+        ctx.emit(
+            server,
+            stext,
+            ctx.straight_code(stext, service.body_offset + 0x800, server_touch // 4),
+            [
+                DataPart(
+                    cache.addresses(server_touch),
+                    AccessKind.LOAD if reading else AccessKind.STORE,
+                    True,
+                    False,
+                    server.asid,
+                    16,
+                )
+            ],
+        )
+
+        # VM bookkeeping for the out-of-line transfer (mapped kernel).
+        kernel = self.spaces["kernel"]
+        ktext = kernel.segment("text")
+        ctx.emit(
+            kernel,
+            ktext,
+            ctx.straight_code(ktext, IPC_SEND_OFFSET + 0x800, 90),
+            self._ipc_parts(ctx, 8, 6),
+        )
+
+        # Caller consumes (or produced) the payload from its own space.
+        buffer = self._caller_buffer(caller_space)
+        touch_words = max(words // 2, 1)
+        ctx.emit(
+            caller_space,
+            caller_space.segment("text"),
+            ctx.straight_code(caller_space.segment("text"), 0x3000, touch_words // 4),
+            [
+                DataPart(
+                    buffer.addresses(touch_words),
+                    AccessKind.LOAD if reading else AccessKind.STORE,
+                    True,
+                    False,
+                    caller_space.asid,
+                    self.workload.stream_run_words or 8,
+                )
+            ],
+        )
+
+    def _caller_buffer(self, space):
+        if space.name == "task" and "task_stream" in self._emitters:
+            return self._emitters["task_stream"]
+        if space.name == "xserver":
+            return self._emitters["x_heap"]
+        return self._emitters["task_heap"]
+
+    # -- faults and display -------------------------------------------------------
+
+    def handle_page_fault(self, ctx: GenerationContext) -> None:
+        """Microkernel fault path with an external-pager round trip."""
+        kernel = self.spaces["kernel"]
+        pager = self.spaces["pager"]
+        task = self.spaces["task"]
+        ktext = kernel.segment("text")
+        ptext = pager.segment("text")
+        tables = self._emitters["kernel_mapped"]
+        ctx.emit(
+            kernel,
+            ktext,
+            ctx.straight_code(ktext, VM_FAULT_OFFSET, 800),
+            [
+                DataPart(tables.addresses(20), AccessKind.LOAD, True, True, 0, 4),
+                DataPart(tables.addresses(8), AccessKind.STORE, True, True, 0, 4),
+            ],
+        )
+        # RPC to the external pager, which locates the page.
+        self._kernel_ipc_send(ctx, task, msg_words=24)
+        heap = self._emitters["pager_heap"]
+        ctx.emit(
+            pager,
+            ptext,
+            ctx.straight_code(ptext, 0x0000, 1100),
+            [
+                DataPart(
+                    heap.addresses(120), AccessKind.LOAD, True, False, pager.asid, 8
+                ),
+                DataPart(
+                    heap.addresses(40), AccessKind.STORE, True, False, pager.asid, 8
+                ),
+            ],
+        )
+        self._kernel_ipc_reply(ctx, pager)
+        # Zero-fill the freshly supplied page.
+        page = self._emitters["task_heap"].addresses(1024)
+        self.emit_copy(
+            ctx,
+            kernel,
+            ktext,
+            VM_FAULT_OFFSET + 0x1800,
+            512,
+            DataPart(page[:512], AccessKind.STORE, True, False, task.asid, 16),
+            DataPart(page[512:], AccessKind.STORE, True, False, task.asid, 16),
+        )
+
+    def x_interaction(self, ctx: GenerationContext) -> None:
+        """Display traffic via native Mach IPC (X11 rewritten for Mach)."""
+        kernel = self.spaces["kernel"]
+        xserver = self.spaces["xserver"]
+        task = self.spaces["task"]
+        ktext = kernel.segment("text")
+        ctx.emit(
+            kernel, ktext, ctx.straight_code(ktext, KTRAP_OFFSET, KTRAP_INSTRUCTIONS, 32)
+        )
+        self._kernel_ipc_send(ctx, task)
+        text = xserver.segment("text")
+        code = ctx.loop_code(text, 0x2000, 600, 4)
+        fb = self._emitters["x_fb"]
+        heap = self._emitters["x_heap"]
+        stack = self._emitters["x_stack"]
+        ctx.emit(
+            xserver,
+            text,
+            code,
+            [
+                DataPart(
+                    heap.addresses(300), AccessKind.LOAD, True, False, xserver.asid, 8
+                ),
+                DataPart(
+                    stack.addresses(200), AccessKind.LOAD, True, False, xserver.asid
+                ),
+                DataPart(
+                    fb.addresses(700), AccessKind.STORE, True, False, xserver.asid, 16
+                ),
+            ],
+        )
+        self._kernel_ipc_reply(ctx, xserver)

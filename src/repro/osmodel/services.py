@@ -1,0 +1,64 @@
+"""Catalog of OS services used by the workload models.
+
+Service *bodies* (the code that actually performs the work) are shared
+between the two OS models — the paper notes that Ultrix and Mach derive
+their service code from the same 4.2/4.3 BSD base, so the differences
+lie almost entirely in the invocation path, which each OS model adds
+around these bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Static description of one OS service body.
+
+    Attributes:
+        name: service identifier used in workload service mixes.
+        body_instructions: instructions executed by the service routine.
+        body_offset: byte offset of the routine within the OS text
+            segment (distinct offsets keep distinct services in
+            distinct cache lines, as in a real kernel).
+        metadata_refs: extra load references to OS metadata structures
+            (inode/proc/socket tables) per invocation.
+        copies_payload: whether the service moves a caller-supplied
+            payload (read/write/send) with a copy loop.
+    """
+
+    name: str
+    body_instructions: int
+    body_offset: int
+    metadata_refs: int
+    copies_payload: bool
+
+
+SERVICE_CATALOG: dict[str, ServiceSpec] = {
+    spec.name: spec
+    for spec in (
+        ServiceSpec("read", 2600, 0x00000, 60, True),
+        ServiceSpec("write", 2800, 0x04000, 60, True),
+        ServiceSpec("open", 2200, 0x08000, 90, False),
+        ServiceSpec("close", 900, 0x0B000, 30, False),
+        ServiceSpec("stat", 1500, 0x0D000, 70, False),
+        ServiceSpec("ioctl", 900, 0x10000, 40, False),
+        ServiceSpec("select", 700, 0x12000, 50, False),
+        ServiceSpec("socket_send", 2400, 0x14000, 70, True),
+        ServiceSpec("socket_recv", 2300, 0x18000, 70, True),
+        ServiceSpec("brk", 1100, 0x1C000, 40, False),
+        ServiceSpec("fork_exec", 8000, 0x1E000, 250, False),
+        ServiceSpec("gettimeofday", 220, 0x26000, 8, False),
+    )
+}
+
+
+def lookup_service(name: str) -> ServiceSpec:
+    """Fetch a service by name with a helpful error."""
+    try:
+        return SERVICE_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown service {name!r}; available: {sorted(SERVICE_CATALOG)}"
+        ) from None

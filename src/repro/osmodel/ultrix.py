@@ -1,0 +1,184 @@
+"""Ultrix structure model: a single-API monolithic kernel.
+
+Service invocation is one trap into the kernel (the paper measures the
+round-trip call/return path at under 100 instructions), the service
+body runs in kernel text, and almost all kernel code and data live in
+the unmapped k0seg window — so Ultrix exerts nearly no TLB pressure.
+Payloads move with kernel copy loops between the unmapped buffer cache
+and mapped user buffers, which is what drives Ultrix's large D-cache
+and write-buffer stall components (Tables 3/4).
+"""
+
+from __future__ import annotations
+
+from repro.memsim.types import AccessKind
+from repro.osmodel.base import OperatingSystemModel
+from repro.osmodel.context import DataPart, GenerationContext
+from repro.osmodel.datastate import StreamBuffer
+from repro.osmodel.services import ServiceSpec, lookup_service
+
+TRAP_OFFSET = 0x2E000
+RETURN_OFFSET = 0x2F000
+FAULT_OFFSET = 0x74000
+
+TRAP_INSTRUCTIONS = 45
+RETURN_INSTRUCTIONS = 45
+
+
+class UltrixModel(OperatingSystemModel):
+    """Executable model of the Ultrix 3.1 structure (Figure 1, left)."""
+
+    name = "ultrix"
+
+    def _build_os_spaces(self) -> None:
+        # Everything Ultrix adds lives in the kernel space built by the
+        # base class; there are no extra server address spaces.
+        pass
+
+    def kernel_mapped_pages(self) -> int:
+        # Only u-areas and page tables are mapped (kseg2); the active
+        # set is small.
+        return 8
+
+    def _setup_os_emitters(self, ctx: GenerationContext) -> None:
+        kernel = self.spaces["kernel"]
+        self._emitters["file_cache"] = StreamBuffer(
+            kernel.segment("data_unmapped"), 16, ctx.rng
+        )
+
+    # -- service invocation --------------------------------------------------
+
+    def invoke_service(
+        self, ctx: GenerationContext, service: ServiceSpec, caller: str = "task"
+    ) -> None:
+        kernel = self.spaces["kernel"]
+        text = kernel.segment("text")
+        caller_space = self.spaces[caller]
+
+        # (a) one trap into the kernel ...
+        ctx.emit(kernel, text, ctx.straight_code(text, TRAP_OFFSET, TRAP_INSTRUCTIONS, 32))
+
+        # ... the service body, reading unmapped kernel metadata with a
+        # sprinkle of mapped u-area/page-table references.
+        self.run_service_body(
+            ctx,
+            service,
+            kernel,
+            text,
+            self._emitters["kernel_meta"],
+            metadata_mapped=False,
+            metadata_kernel=True,
+        )
+        uarea = self._emitters["kernel_mapped"]
+        ctx.emit(
+            kernel,
+            text,
+            ctx.straight_code(text, service.body_offset + 0x400, 24),
+            [DataPart(uarea.addresses(4), AccessKind.LOAD, True, True, 0, run_words=4)],
+        )
+
+        if service.copies_payload:
+            self._copy_payload(ctx, service, caller_space)
+
+        # (b) return directly to the caller.
+        ctx.emit(
+            kernel, text, ctx.straight_code(text, RETURN_OFFSET, RETURN_INSTRUCTIONS, 32)
+        )
+
+    def _copy_payload(
+        self, ctx: GenerationContext, service: ServiceSpec, caller_space
+    ) -> None:
+        """Kernel copyin/copyout between the buffer cache and user memory."""
+        kernel = self.spaces["kernel"]
+        text = kernel.segment("text")
+        words = self.workload.payload_bytes // 4
+        cache = self._emitters["file_cache"]
+        user_buffer = self._user_buffer(caller_space)
+        reading = service.name in ("read", "socket_recv")
+        cache_part = DataPart(
+            cache.addresses(words),
+            AccessKind.LOAD if reading else AccessKind.STORE,
+            False,
+            True,
+            0,
+            run_words=16,
+        )
+        user_part = DataPart(
+            user_buffer.addresses(words),
+            AccessKind.STORE if reading else AccessKind.LOAD,
+            True,
+            False,
+            caller_space.asid,
+            run_words=self.workload.stream_run_words or 8,
+        )
+        src, dst = (cache_part, user_part) if reading else (user_part, cache_part)
+        self.emit_copy(
+            ctx, kernel, text, service.body_offset + 0x800, words, src, dst
+        )
+
+    def _user_buffer(self, space):
+        if space.name == "task" and "task_stream" in self._emitters:
+            return self._emitters["task_stream"]
+        if space.name == "xserver":
+            return self._emitters["x_heap"]
+        return self._emitters["task_heap"]
+
+    # -- faults and display ---------------------------------------------------
+
+    def handle_page_fault(self, ctx: GenerationContext) -> None:
+        """In-kernel fault handling plus zero-fill of the new page."""
+        kernel = self.spaces["kernel"]
+        task = self.spaces["task"]
+        text = kernel.segment("text")
+        tables = self._emitters["kernel_mapped"]
+        ctx.emit(
+            kernel,
+            text,
+            ctx.straight_code(text, FAULT_OFFSET, 1400),
+            [
+                DataPart(
+                    tables.addresses(20), AccessKind.LOAD, True, True, 0, run_words=4
+                ),
+                DataPart(
+                    tables.addresses(6), AccessKind.STORE, True, True, 0, run_words=4
+                ),
+            ],
+        )
+        page = self._emitters["task_heap"].addresses(1024)
+        self.emit_copy(
+            ctx,
+            kernel,
+            text,
+            FAULT_OFFSET + 0x1800,
+            512,
+            DataPart(page[:512], AccessKind.STORE, True, False, task.asid, 16),
+            DataPart(page[512:], AccessKind.STORE, True, False, task.asid, 16),
+        )
+
+    def x_interaction(self, ctx: GenerationContext) -> None:
+        """Task sends display data over a socket; the X server consumes it."""
+        xserver = self.spaces["xserver"]
+        self.invoke_service(ctx, lookup_service("socket_send"), caller="task")
+        self.invoke_service(ctx, lookup_service("socket_recv"), caller="xserver")
+        # X server renders: its own compute plus framebuffer stores.
+        text = xserver.segment("text")
+        code = ctx.loop_code(text, 0x2000, 600, 4)
+        fb = self._emitters["x_fb"]
+        heap = self._emitters["x_heap"]
+        stack = self._emitters["x_stack"]
+        ctx.emit(
+            xserver,
+            text,
+            code,
+            [
+                DataPart(
+                    heap.addresses(300), AccessKind.LOAD, True, False, xserver.asid, 8
+                ),
+                DataPart(
+                    stack.addresses(200), AccessKind.LOAD, True, False, xserver.asid
+                ),
+                DataPart(
+                    fb.addresses(700), AccessKind.STORE, True, False, xserver.asid, 16
+                ),
+            ],
+        )

@@ -1,0 +1,24 @@
+"""Reference-trace generation, storage and sampling.
+
+The paper collects its traces from DECstation 3100 hardware with a
+logic analyzer; this package substitutes a deterministic synthetic
+generator driven by the OS-structure models in :mod:`repro.osmodel`
+(see DESIGN.md for the substitution argument), plus the Laha-style
+trace-sampling estimator the paper uses for its trace-driven runs.
+"""
+
+from repro.trace.dinero import read_din, write_din
+from repro.trace.events import ReferenceTrace
+from repro.trace.generator import TraceGenerator, generate_trace
+from repro.trace.sampling import SampledEstimate, sample_intervals, sampled_miss_ratio
+
+__all__ = [
+    "ReferenceTrace",
+    "TraceGenerator",
+    "generate_trace",
+    "SampledEstimate",
+    "sample_intervals",
+    "sampled_miss_ratio",
+    "read_din",
+    "write_din",
+]

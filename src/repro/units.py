@@ -1,0 +1,46 @@
+"""Shared unit constants and small numeric helpers.
+
+The paper reports line sizes in 4-byte words, cache capacities in
+kilobytes, TLB sizes in entries and areas in register-bit equivalents
+(rbe).  Everything in this package uses bytes / words / entries / rbe
+explicitly; these helpers keep the conversions in one place.
+"""
+
+from __future__ import annotations
+
+WORD_BYTES = 4
+"""Size of a machine word on the modelled MIPS R2000 (bytes)."""
+
+PAGE_BYTES = 4096
+"""Virtual-memory page size on the modelled machine (bytes)."""
+
+PAGE_SHIFT = 12
+"""log2(PAGE_BYTES)."""
+
+KB = 1024
+"""One kilobyte, in bytes."""
+
+ADDRESS_BITS = 32
+"""Physical/virtual address width of the modelled machine."""
+
+ASID_BITS = 6
+"""Address-space-identifier width (the R2000 TLB tags entries with a
+6-bit PID so the TLB need not be flushed on context switch)."""
+
+VPN_BITS = ADDRESS_BITS - PAGE_SHIFT
+"""Virtual page number width."""
+
+PFN_BITS = ADDRESS_BITS - PAGE_SHIFT
+"""Physical frame number width."""
+
+
+def is_pow2(value: int) -> bool:
+    """Return True if *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2i(value: int) -> int:
+    """Exact integer log2.  Raises ValueError if *value* is not a power of two."""
+    if not is_pow2(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,14 @@
+"""Workload models for the paper's benchmark suite (Table 2).
+
+Each benchmark is described by a :class:`~repro.workloads.base.WorkloadSpec`
+capturing the properties the memory system actually sees: instruction
+mix, hot-loop structure, code footprint, data working set, streaming
+behaviour, OS-service mix and rate, and interaction with the X display
+server.  Parameters are derived from the paper's descriptions and
+published measurements (Tables 2-4) — see each module's docstring.
+"""
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "get_workload", "workload_names"]

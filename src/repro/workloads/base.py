@@ -1,0 +1,88 @@
+"""Workload parameterization.
+
+A workload spec captures everything the trace generator needs to
+synthesize a benchmark's user-level behaviour; the OS model supplies
+the service-invocation structure around it.  Parameters deliberately
+mirror the quantities the paper identifies as performance-relevant
+(Section 4 and Table 2) rather than opaque statistical knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters describing one benchmark's user-level behaviour.
+
+    Attributes:
+        name: benchmark name as used in the paper's tables.
+        description: one-line description (Table 2).
+        load_frac: loads per instruction.
+        store_frac: stores per instruction.
+        other_cpi: non-memory interlock CPI (FP/integer stalls), the
+            "Other" column baseline of Tables 3/4.
+        compute_instructions: mean user instructions between OS calls.
+        hot_loop_bodies: instruction counts of the workload's hot inner
+            loops (e.g. DCT / dither loops for mpeg_play).
+        hot_loop_fraction: fraction of compute spent inside hot loops.
+        loop_iterations: mean consecutive iterations per loop visit.
+        code_footprint_bytes: text walked outside hot loops per cycle
+            (libc, xlib, decoder framework...).
+        text_bytes: total text segment size.
+        heap_pages: mapped data pages in the active heap pool.
+        heap_record_words: spatial run length of heap accesses.
+        stream_bytes: size of the streamed buffer (file/frame data);
+            zero disables streaming.
+        stream_run_words: spatial run length of streamed accesses.
+        stream_frac: fraction of user data references that stream.
+        service_mix: relative weights of OS services invoked.
+        payload_bytes: bytes moved per payload-copying service call.
+        services_per_cycle: service invocations per compute cycle.
+        x_interaction_rate: probability a cycle ends with a display
+            update sent to the X server.
+        page_fault_rate: page faults per cycle.
+    """
+
+    name: str
+    description: str
+    load_frac: float
+    store_frac: float
+    other_cpi: float
+    compute_instructions: int
+    hot_loop_bodies: tuple[int, ...]
+    hot_loop_fraction: float
+    loop_iterations: int
+    code_footprint_bytes: int
+    text_bytes: int
+    heap_pages: int
+    heap_record_words: int
+    stream_bytes: int
+    stream_run_words: int
+    stream_frac: float
+    service_mix: dict[str, float] = field(default_factory=dict)
+    payload_bytes: int = 4096
+    services_per_cycle: int = 1
+    x_interaction_rate: float = 0.0
+    page_fault_rate: float = 0.02
+
+    def __post_init__(self):
+        if not 0 <= self.load_frac < 1 or not 0 <= self.store_frac < 1:
+            raise ValueError("load/store fractions must lie in [0, 1)")
+        if self.hot_loop_fraction < 0 or self.hot_loop_fraction > 1:
+            raise ValueError("hot_loop_fraction must lie in [0, 1]")
+        if self.service_mix:
+            total = sum(self.service_mix.values())
+            if total <= 0:
+                raise ValueError("service_mix weights must sum to > 0")
+
+    @property
+    def data_frac(self) -> float:
+        """Data references per instruction."""
+        return self.load_frac + self.store_frac
+
+    def normalized_service_mix(self) -> list[tuple[str, float]]:
+        """Service mix as (name, probability) pairs summing to 1."""
+        total = sum(self.service_mix.values())
+        return [(name, w / total) for name, w in self.service_mix.items()]

@@ -1,0 +1,33 @@
+"""jpeg_play: xloadimage displaying four JPEG images.
+
+The least OS-intensive benchmark of the suite (Table 4 shows the
+lowest CPI and the smallest OS stall components): long decode bursts
+in compact loops, a modest stream of image data, and only occasional
+file and display activity.
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+JPEG_PLAY = WorkloadSpec(
+    name="jpeg_play",
+    description="xloadimage displaying four JPEG images",
+    load_frac=0.20,
+    store_frac=0.09,
+    other_cpi=0.10,
+    compute_instructions=60_000,
+    hot_loop_bodies=(200, 500),
+    hot_loop_fraction=0.80,
+    loop_iterations=60,
+    code_footprint_bytes=16 * 1024,
+    text_bytes=256 * 1024,
+    heap_pages=8,
+    heap_record_words=4,
+    stream_bytes=1024 * 1024,
+    stream_run_words=8,
+    stream_frac=0.10,
+    service_mix={"read": 0.6, "gettimeofday": 0.2, "ioctl": 0.2},
+    payload_bytes=2 * 1024,
+    services_per_cycle=1,
+    x_interaction_rate=0.15,
+    page_fault_rate=0.02,
+)

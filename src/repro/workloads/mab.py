@@ -1,0 +1,42 @@
+"""mab: John Ousterhout's Modified Andrew Benchmark.
+
+A software-engineering workload (directory traversal, file copying,
+compilation) with a rich mix of file-system calls, short compute
+bursts and a large cold-code footprint from the compiler passes.
+Table 4 shows large I-cache components under both OSes and the
+second-highest Mach I-cache CPI of the suite.
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+MAB = WorkloadSpec(
+    name="mab",
+    description="Modified Andrew Benchmark (copy/stat/grep/compile phases)",
+    load_frac=0.22,
+    store_frac=0.12,
+    other_cpi=0.04,
+    compute_instructions=12_000,
+    hot_loop_bodies=(150, 400),
+    hot_loop_fraction=0.45,
+    loop_iterations=20,
+    code_footprint_bytes=48 * 1024,
+    text_bytes=512 * 1024,
+    heap_pages=16,
+    heap_record_words=4,
+    stream_bytes=256 * 1024,
+    stream_run_words=8,
+    stream_frac=0.15,
+    service_mix={
+        "open": 0.15,
+        "read": 0.25,
+        "write": 0.20,
+        "stat": 0.20,
+        "close": 0.10,
+        "fork_exec": 0.05,
+        "brk": 0.05,
+    },
+    payload_bytes=2 * 1024,
+    services_per_cycle=2,
+    x_interaction_rate=0.02,
+    page_fault_rate=0.06,
+)

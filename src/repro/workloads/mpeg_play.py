@@ -1,0 +1,35 @@
+"""mpeg_play: Berkeley MPEG decoder displaying 610 compressed frames.
+
+Structure per the paper (Section 4, Figure 2): reads a compressed
+stream from the file system, spends most of its user time in decode
+kernels (IDCT, dithering — small hot loops), and ships each frame to
+the X display server.  OS interaction is therefore a mix of file reads
+and display traffic; roughly 60% of its execution time lands in the
+kernel, BSD server and X server under Mach.
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+MPEG_PLAY = WorkloadSpec(
+    name="mpeg_play",
+    description="mpeg_play V2.0 displaying 610 frames of compressed video",
+    load_frac=0.20,
+    store_frac=0.10,
+    other_cpi=0.14,
+    compute_instructions=25_000,
+    hot_loop_bodies=(300, 800),
+    hot_loop_fraction=0.75,
+    loop_iterations=60,
+    code_footprint_bytes=24 * 1024,
+    text_bytes=384 * 1024,
+    heap_pages=8,
+    heap_record_words=4,
+    stream_bytes=2 * 1024 * 1024,
+    stream_run_words=8,
+    stream_frac=0.12,
+    service_mix={"read": 0.6, "ioctl": 0.15, "gettimeofday": 0.25},
+    payload_bytes=1024,
+    services_per_cycle=1,
+    x_interaction_rate=0.50,
+    page_fault_rate=0.03,
+)

@@ -1,0 +1,41 @@
+"""ousterhout: John Ousterhout's OS benchmark suite.
+
+Micro-benchmarks that stress OS primitives: almost no user compute
+between calls and the highest service rate of the suite.  Under Ultrix
+the paper measures the largest D-cache component of all workloads
+(0.80 CPI — kernel copy loops) and under Mach the largest shift toward
+I-cache and TLB stalls.
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+OUSTERHOUT = WorkloadSpec(
+    name="ousterhout",
+    description="Ousterhout's operating-system benchmark suite",
+    load_frac=0.21,
+    store_frac=0.12,
+    other_cpi=0.03,
+    compute_instructions=3_000,
+    hot_loop_bodies=(100,),
+    hot_loop_fraction=0.40,
+    loop_iterations=10,
+    code_footprint_bytes=12 * 1024,
+    text_bytes=128 * 1024,
+    heap_pages=10,
+    heap_record_words=4,
+    stream_bytes=512 * 1024,
+    stream_run_words=8,
+    stream_frac=0.30,
+    service_mix={
+        "read": 0.30,
+        "write": 0.30,
+        "open": 0.10,
+        "close": 0.10,
+        "stat": 0.10,
+        "gettimeofday": 0.10,
+    },
+    payload_bytes=4 * 1024,
+    services_per_cycle=2,
+    x_interaction_rate=0.01,
+    page_fault_rate=0.03,
+)

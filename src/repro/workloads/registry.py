@@ -1,0 +1,31 @@
+"""Registry of the paper's benchmark suite (Table 2)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.iozone import IOZONE
+from repro.workloads.jpeg_play import JPEG_PLAY
+from repro.workloads.mab import MAB
+from repro.workloads.mpeg_play import MPEG_PLAY
+from repro.workloads.ousterhout import OUSTERHOUT
+from repro.workloads.video_play import VIDEO_PLAY
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (IOZONE, JPEG_PLAY, MAB, MPEG_PLAY, OUSTERHOUT, VIDEO_PLAY)
+}
+
+
+def workload_names() -> list[str]:
+    """All benchmark names, in the paper's Table 2/4 order."""
+    return ["mpeg_play", "mab", "jpeg_play", "ousterhout", "IOzone", "video_play"]
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by name with a helpful error."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None

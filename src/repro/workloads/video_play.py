@@ -1,0 +1,35 @@
+"""video_play: mpeg_play modified to display uncompressed frames.
+
+The same display pipeline as mpeg_play but the input stream is raw
+frames, so far more data moves through the file system and to the X
+server per unit of computation.  The paper's Table 4 shows it with the
+highest CPI of the suite and (under Mach) the largest TLB component —
+the big streamed working set and heavy server traffic are what the
+model expresses below.
+"""
+
+from repro.workloads.base import WorkloadSpec
+
+VIDEO_PLAY = WorkloadSpec(
+    name="video_play",
+    description="modified mpeg_play displaying 610 uncompressed frames",
+    load_frac=0.21,
+    store_frac=0.12,
+    other_cpi=0.03,
+    compute_instructions=14_000,
+    hot_loop_bodies=(250, 600),
+    hot_loop_fraction=0.42,
+    loop_iterations=30,
+    code_footprint_bytes=56 * 1024,
+    text_bytes=384 * 1024,
+    heap_pages=12,
+    heap_record_words=4,
+    stream_bytes=8 * 1024 * 1024,
+    stream_run_words=16,
+    stream_frac=0.45,
+    service_mix={"read": 0.75, "ioctl": 0.25},
+    payload_bytes=4 * 1024,
+    services_per_cycle=2,
+    x_interaction_rate=0.70,
+    page_fault_rate=0.05,
+)

@@ -1,0 +1,29 @@
+"""Tests for the Wada-style access-time extension."""
+
+from repro.areamodel.access_time import cache_access_time_ns, tlb_access_time_ns
+from repro.units import KB
+
+
+class TestCacheAccessTime:
+    def test_positive_and_reasonable(self):
+        t = cache_access_time_ns(8 * KB, 4, 1)
+        assert 1.0 < t < 20.0
+
+    def test_grows_with_capacity(self):
+        times = [cache_access_time_ns(c * KB, 4, 1) for c in (2, 8, 32)]
+        assert times == sorted(times)
+
+    def test_grows_with_associativity(self):
+        assert cache_access_time_ns(8 * KB, 4, 8) > cache_access_time_ns(8 * KB, 4, 1)
+
+
+class TestTlbAccessTime:
+    def test_large_fa_tlb_slow(self):
+        # Section 5.2: large fully-associative TLBs have excessively
+        # long access times — the reason the paper studies SA TLBs.
+        fa = tlb_access_time_ns(512, "full")
+        sa = tlb_access_time_ns(512, 8)
+        assert fa > sa
+
+    def test_small_fa_tlb_fine(self):
+        assert tlb_access_time_ns(32, "full") < tlb_access_time_ns(512, "full")

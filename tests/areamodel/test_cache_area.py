@@ -1,0 +1,128 @@
+"""Unit tests for the cache area model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.areamodel.cache_area import CacheGeometry, cache_area_rbe
+from repro.errors import ConfigurationError
+from repro.units import KB
+
+POW2_CAPACITIES = [2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB]
+POW2_LINES = [1, 2, 4, 8, 16, 32]
+POW2_ASSOCS = [1, 2, 4, 8]
+
+
+class TestCacheGeometry:
+    def test_basic_derivation(self):
+        geom = CacheGeometry.from_config(8 * KB, 4, 1)
+        assert geom.line_bytes == 16
+        assert geom.lines == 512
+        assert geom.sets == 512
+        assert geom.tag_bits == 32 - 9 - 4
+
+    def test_associativity_reduces_sets(self):
+        direct = CacheGeometry.from_config(8 * KB, 4, 1)
+        four_way = CacheGeometry.from_config(8 * KB, 4, 4)
+        assert four_way.sets == direct.sets // 4
+        assert four_way.lines == direct.lines
+
+    def test_tag_bits_grow_with_associativity(self):
+        # Fewer sets means fewer index bits, so tags widen.
+        one_way = CacheGeometry.from_config(8 * KB, 4, 1)
+        eight_way = CacheGeometry.from_config(8 * KB, 4, 8)
+        assert eight_way.tag_bits == one_way.tag_bits + 3
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry.from_config(3000, 4, 1)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry.from_config(8 * KB, 3, 1)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry.from_config(8 * KB, 4, 3)
+
+    def test_rejects_line_larger_than_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry.from_config(64, 32, 1)
+
+    def test_rejects_more_ways_than_lines(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry.from_config(128, 8, 8)
+
+    def test_storage_bits_count_data_tag_status(self):
+        geom = CacheGeometry.from_config(2 * KB, 1, 1)
+        assert geom.storage_bits == geom.lines * geom.bits_per_line
+        assert geom.bits_per_line > 32  # data + tag + status
+
+
+class TestCacheArea:
+    def test_positive(self):
+        assert cache_area_rbe(8 * KB, 4, 1) > 0
+
+    @pytest.mark.parametrize("line", POW2_LINES)
+    @pytest.mark.parametrize("assoc", POW2_ASSOCS)
+    def test_monotone_in_capacity(self, line, assoc):
+        areas = [
+            cache_area_rbe(cap, line, assoc)
+            for cap in POW2_CAPACITIES
+            if cap // (line * 4) >= assoc
+        ]
+        assert areas == sorted(areas)
+
+    @pytest.mark.parametrize("cap", POW2_CAPACITIES)
+    def test_longer_lines_are_cheaper(self, cap):
+        # Figure 6 plots 1- to 8-word lines: longer lines amortize
+        # tag/status overhead over that range.  (Beyond ~16 words the
+        # per-column sense overhead flattens the curve.)
+        areas = [cache_area_rbe(cap, line, 1) for line in (1, 2, 4, 8)]
+        assert areas == sorted(areas, reverse=True)
+
+    @pytest.mark.parametrize("cap", POW2_CAPACITIES)
+    def test_line_size_saving_flattens_beyond_8_words(self, cap):
+        a8 = cache_area_rbe(cap, 8, 1)
+        a32 = cache_area_rbe(cap, 32, 1)
+        assert abs(a32 - a8) / a8 < 0.2
+
+    def test_line_size_reduction_magnitude(self):
+        # The paper reports up to a 37% reduction moving from 1-word to
+        # 8-word lines.
+        one = cache_area_rbe(8 * KB, 1, 1)
+        eight = cache_area_rbe(8 * KB, 8, 1)
+        reduction = 1 - eight / one
+        assert 0.25 < reduction < 0.45
+
+    def test_associativity_small_effect(self):
+        # Section 5.1: associativity has a much smaller area impact than
+        # line size for caches.
+        base = cache_area_rbe(16 * KB, 4, 1)
+        eight_way = cache_area_rbe(16 * KB, 4, 8)
+        assert eight_way > base
+        assert (eight_way - base) / base < 0.15
+
+    @given(
+        cap_log=st.integers(min_value=11, max_value=16),
+        line_log=st.integers(min_value=0, max_value=5),
+        assoc_log=st.integers(min_value=0, max_value=3),
+    )
+    def test_area_positive_and_finite_everywhere(self, cap_log, line_log, assoc_log):
+        cap = 1 << cap_log
+        line = 1 << line_log
+        assoc = 1 << assoc_log
+        if cap // (line * 4) < assoc:
+            return
+        area = cache_area_rbe(cap, line, assoc)
+        assert 0 < area < 1e8
+
+    def test_custom_constants_scale_storage(self):
+        from repro.areamodel.constants import AreaConstants
+
+        cheap = AreaConstants(
+            sram_cell=0.3, cam_cell=1.0, sense=0.0, drive=0.0,
+            comparator=0.0, control=0.0,
+        )
+        expensive = AreaConstants(
+            sram_cell=0.6, cam_cell=1.0, sense=0.0, drive=0.0,
+            comparator=0.0, control=0.0,
+        )
+        a = cache_area_rbe(8 * KB, 4, 1, constants=cheap)
+        b = cache_area_rbe(8 * KB, 4, 1, constants=expensive)
+        assert b == pytest.approx(2 * a)

@@ -1,0 +1,68 @@
+"""Calibration tests: the committed constants must reproduce the
+paper's printed totals."""
+
+import pytest
+
+from repro.areamodel.anchors import (
+    ALL_ANCHORS,
+    TEXT_QUOTE_TLB_512_8WAY,
+)
+from repro.areamodel.constants import CALIBRATED_CONSTANTS
+from repro.areamodel.fitting import (
+    PARAM_NAMES,
+    anchor_residuals,
+    build_system,
+    fit_constants,
+    structure_coefficients,
+)
+from repro.areamodel.tlb_area import tlb_area_rbe
+
+
+class TestAnchorSystem:
+    def test_every_anchor_has_three_structures(self):
+        for specs, total in ALL_ANCHORS:
+            assert len(specs) == 3
+            assert total > 100_000
+
+    def test_design_matrix_shape(self):
+        matrix, totals = build_system(ALL_ANCHORS)
+        assert matrix.shape == (len(ALL_ANCHORS), len(PARAM_NAMES))
+        assert totals.shape == (len(ALL_ANCHORS),)
+
+    def test_structure_coefficients_reject_unknown_kind(self):
+        with pytest.raises(ValueError):
+            structure_coefficients(("register_file", 32))
+
+
+class TestCommittedConstants:
+    def test_anchors_reproduce_within_tolerance(self):
+        # Every Table 6/7 total must reproduce within 2%.
+        for (specs, total), predicted, rel in anchor_residuals(CALIBRATED_CONSTANTS):
+            assert abs(rel) < 0.02, (specs, total, predicted)
+
+    def test_mean_absolute_error_is_small(self):
+        residuals = [abs(rel) for *_, rel in anchor_residuals(CALIBRATED_CONSTANTS)]
+        assert sum(residuals) / len(residuals) < 0.005
+
+    def test_constants_physically_sensible(self):
+        c = CALIBRATED_CONSTANTS
+        assert 0.5 <= c.sram_cell <= 0.7       # MQF pins SRAM at ~0.6 rbe
+        assert c.cam_cell > c.sram_cell        # CAM embeds a comparator
+        assert c.sense >= 0
+        assert c.drive >= 0
+        assert c.comparator >= 0
+        assert c.control >= 0
+
+    def test_refit_matches_committed_values(self):
+        pytest.importorskip("scipy")
+        fitted = fit_constants()
+        for name in PARAM_NAMES:
+            assert getattr(fitted, name) == pytest.approx(
+                getattr(CALIBRATED_CONSTANTS, name), rel=0.02, abs=1.0
+            )
+
+    def test_text_quote_tlb_roughly_matches(self):
+        # "a 512-entry, 8-way set-associative TLB costs just 19,000
+        # rbes" — loose, the quote is rounded.
+        area = tlb_area_rbe(512, 8)
+        assert area == pytest.approx(TEXT_QUOTE_TLB_512_8WAY, rel=0.15)

@@ -1,0 +1,50 @@
+"""Tests for the Table 1 processor survey."""
+
+from repro.areamodel.survey import PROCESSOR_SURVEY, survey_table
+
+
+class TestSurvey:
+    def test_all_thirteen_processors_present(self):
+        assert len(PROCESSOR_SURVEY) == 13
+        names = [p.name for p in PROCESSOR_SURVEY]
+        assert "MIPS R4000" in names
+        assert "Intel Pentium" in names
+        assert "DEC 21064 (Alpha)" in names
+
+    def test_table_rendering_columns(self):
+        rows = survey_table()
+        assert len(rows) == 13
+        for row in rows:
+            assert {"processor", "die_mm2", "icache", "dcache", "tlb"} <= set(row)
+
+    def test_unified_caches_marked(self):
+        rows = {r["processor"]: r for r in survey_table()}
+        assert rows["Intel i486DX"]["dcache"] == "(unified)"
+        assert rows["PowerPC 601"]["dcache"] == "(unified)"
+
+    def test_area_predictions_within_survey_budget_scale(self):
+        # Section 5.4 derives a 250,000 rbe budget from this survey;
+        # priced designs should be in that neighbourhood (the PowerPC
+        # 601's 32-KB unified cache is the big outlier allowed for).
+        rows = survey_table()
+        priced = [r["predicted_rbe"] for r in rows if r.get("predicted_rbe")]
+        assert len(priced) >= 10
+        assert all(10_000 < area < 400_000 for area in priced)
+
+    def test_split_tlbs_priced_as_two_structures(self):
+        pentium = next(p for p in PROCESSOR_SURVEY if p.name == "Intel Pentium")
+        alpha = next(p for p in PROCESSOR_SURVEY if "21064" in p.name)
+        assert len(pentium.tlb_parts) == 2
+        assert len(alpha.tlb_parts) == 2
+        assert pentium.total_memory_rbe() > 0
+
+    def test_missing_data_yields_none(self):
+        tera = next(p for p in PROCESSOR_SURVEY if p.name == "TeraSPARC")
+        assert tera.total_memory_rbe() is None
+
+    def test_non_power_of_two_interpolation(self):
+        # SuperSPARC: 20-KB 5-way I-cache, 96-entry TLB on the R4000.
+        viking = next(p for p in PROCESSOR_SURVEY if "SuperSPARC" in p.name)
+        r4000 = next(p for p in PROCESSOR_SURVEY if p.name == "MIPS R4000")
+        assert viking.total_memory_rbe() > 0
+        assert r4000.total_memory_rbe() > 0

@@ -1,0 +1,83 @@
+"""Unit tests for the TLB area model."""
+
+import pytest
+
+from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE, TlbGeometry, tlb_area_rbe
+from repro.errors import ConfigurationError
+
+SIZES = [16, 32, 64, 128, 256, 512]
+
+
+class TestTlbGeometry:
+    def test_set_associative(self):
+        geom = TlbGeometry.from_config(64, 4)
+        assert geom.sets == 16
+        assert not geom.fully_associative
+        assert geom.storage_bits == 64 * geom.bits_per_entry
+
+    def test_fully_associative(self):
+        geom = TlbGeometry.from_config(64, FULLY_ASSOCIATIVE)
+        assert geom.fully_associative
+        assert geom.sets == 1
+        assert geom.assoc == 64
+
+    def test_fa_tag_is_full_vpn_plus_asid(self):
+        geom = TlbGeometry.from_config(64, FULLY_ASSOCIATIVE)
+        assert geom.tag_bits == 20 + 6
+
+    def test_sa_tag_shrinks_with_sets(self):
+        small = TlbGeometry.from_config(64, 1)   # 64 sets -> 6 index bits
+        large = TlbGeometry.from_config(512, 1)  # 512 sets -> 9 index bits
+        assert large.tag_bits == small.tag_bits - 3
+
+    def test_rejects_bad_configs(self):
+        with pytest.raises(ConfigurationError):
+            TlbGeometry.from_config(63, 1)
+        with pytest.raises(ConfigurationError):
+            TlbGeometry.from_config(64, 3)
+        with pytest.raises(ConfigurationError):
+            TlbGeometry.from_config(8, 16)
+        with pytest.raises(ConfigurationError):
+            TlbGeometry.from_config(64, "half")
+
+
+class TestTlbArea:
+    @pytest.mark.parametrize("assoc", [1, 2, 4, 8, FULLY_ASSOCIATIVE])
+    def test_monotone_in_entries(self, assoc):
+        sizes = [n for n in SIZES if assoc == FULLY_ASSOCIATIVE or assoc <= n]
+        areas = [tlb_area_rbe(n, assoc) for n in sizes]
+        assert areas == sorted(areas)
+
+    def test_direct_mapped_always_cheapest(self):
+        # Section 5.1: direct-mapped TLBs are always smaller than FA.
+        for entries in SIZES:
+            assert tlb_area_rbe(entries, 1) < tlb_area_rbe(entries, FULLY_ASSOCIATIVE)
+
+    def test_small_tlb_fa_cheaper_than_8way(self):
+        # Figure 5: below 64 entries, full associativity costs less
+        # than 8-way set associativity.
+        for entries in (16, 32):
+            assert tlb_area_rbe(entries, FULLY_ASSOCIATIVE) < tlb_area_rbe(entries, 8)
+
+    def test_large_tlb_fa_about_twice_setassoc(self):
+        # Figure 5: for large TLBs full associativity costs ~2x 8-way.
+        ratio = tlb_area_rbe(512, FULLY_ASSOCIATIVE) / tlb_area_rbe(512, 8)
+        assert 1.7 < ratio < 2.3
+
+    def test_small_tlb_8way_about_3x_direct(self):
+        # Figure 4: a 16-entry 8-way TLB needs ~3x the area of a
+        # 16-entry direct-mapped TLB.
+        ratio = tlb_area_rbe(16, 8) / tlb_area_rbe(16, 1)
+        assert 2.3 < ratio < 3.7
+
+    def test_large_tlb_assoc_small_impact(self):
+        # Figure 4: for large TLBs associativity barely matters.
+        spread = tlb_area_rbe(512, 8) / tlb_area_rbe(512, 1)
+        assert spread < 1.3
+
+    def test_512_8way_cheap_vs_8kb_cache(self):
+        # Section 5.4: a 512-entry 8-way TLB costs far less than an
+        # 8-KB direct-mapped 4-word-line cache.
+        from repro.areamodel.cache_area import cache_area_rbe
+
+        assert tlb_area_rbe(512, 8) < 0.5 * cache_area_rbe(8192, 4, 1)

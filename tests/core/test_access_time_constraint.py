@@ -1,0 +1,72 @@
+"""Tests for the access-time-constrained allocator (the paper's
+future-work extension, Section 6)."""
+
+import pytest
+
+from repro.core.allocator import Allocator
+from repro.core.measure import measure_workload
+from repro.core.space import enumerate_cache_configs, enumerate_tlb_configs
+from repro.errors import BudgetError
+from repro.units import KB
+
+GRID = dict(
+    capacities=(4 * KB, 8 * KB, 16 * KB),
+    lines=(4, 8),
+    assocs=(1, 2, 4, 8),
+    tlb_entries=(64, 256),
+    tlb_assocs=(1, 2, 8),
+    tlb_full_max=64,
+    references=80_000,
+)
+
+
+@pytest.fixture(scope="module")
+def allocator():
+    curves = measure_workload("mab", "mach", **GRID)
+    return Allocator(curves, budget_rbes=250_000)
+
+
+@pytest.fixture(scope="module")
+def space():
+    caches = enumerate_cache_configs(
+        capacities=GRID["capacities"], lines=GRID["lines"], assocs=GRID["assocs"]
+    )
+    return dict(
+        tlbs=enumerate_tlb_configs(
+            entries=GRID["tlb_entries"], assocs=GRID["tlb_assocs"], full_max_entries=64
+        ),
+        icaches=caches,
+        dcaches=caches,
+    )
+
+
+class TestAccessTimeConstraint:
+    def test_tight_bound_excludes_slow_structures(self, allocator, space):
+        from repro.areamodel.access_time import cache_access_time_ns, tlb_access_time_ns
+
+        ranked = allocator.rank(max_access_time_ns=6.0, **space)
+        for allocation in ranked[:50]:
+            config = allocation.config
+            assert (
+                cache_access_time_ns(
+                    config.icache.capacity_bytes,
+                    config.icache.line_words,
+                    config.icache.assoc,
+                )
+                <= 6.0
+            )
+            assert tlb_access_time_ns(config.tlb.entries, config.tlb.assoc) <= 6.0
+
+    def test_constraint_never_improves_best_cpi(self, allocator, space):
+        free = allocator.best(**space)
+        constrained = allocator.best(max_access_time_ns=6.5, **space)
+        assert constrained.cpi >= free.cpi
+
+    def test_loose_bound_is_a_noop(self, allocator, space):
+        free = allocator.best(**space)
+        loose = allocator.best(max_access_time_ns=1000.0, **space)
+        assert loose.config == free.config
+
+    def test_impossible_bound_raises(self, allocator, space):
+        with pytest.raises(BudgetError):
+            allocator.rank(max_access_time_ns=0.1, **space)

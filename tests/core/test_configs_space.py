@@ -1,0 +1,79 @@
+"""Tests for configuration records and the Table 5 space."""
+
+import pytest
+
+from repro.core.configs import CacheConfig, MemSystemConfig, TlbConfig
+from repro.core.space import (
+    TABLE5_TLB_CONFIGS,
+    enumerate_cache_configs,
+    enumerate_memory_systems,
+    enumerate_tlb_configs,
+)
+from repro.units import KB
+
+
+class TestConfigs:
+    def test_labels(self):
+        assert TlbConfig(512, 8).label() == "512 8-way"
+        assert TlbConfig(64, "full").label() == "64 full"
+        assert CacheConfig(16 * KB, 8, 2).label() == "16-KB 8-word 2-way"
+
+    def test_areas_positive(self):
+        system = MemSystemConfig(
+            TlbConfig(512, 8), CacheConfig(16 * KB, 8, 8), CacheConfig(8 * KB, 8, 8)
+        )
+        assert system.area_rbe() == pytest.approx(
+            system.tlb.area_rbe()
+            + system.icache.area_rbe()
+            + system.dcache.area_rbe()
+        )
+
+    def test_table6_top_row_cost_matches_paper(self):
+        # The paper's Table 6 best configuration costs 163,438 rbes.
+        system = MemSystemConfig(
+            TlbConfig(512, 8), CacheConfig(16 * KB, 8, 8), CacheConfig(8 * KB, 8, 8)
+        )
+        assert system.area_rbe() == pytest.approx(163_438, rel=0.02)
+
+    def test_table7_top_row_cost_matches_paper(self):
+        system = MemSystemConfig(
+            TlbConfig(512, 8), CacheConfig(32 * KB, 8, 2), CacheConfig(8 * KB, 4, 2)
+        )
+        assert system.area_rbe() == pytest.approx(239_259, rel=0.02)
+
+
+class TestSpace:
+    def test_cache_point_count(self):
+        # 5 capacities x 6 lines x 4 assocs = 120, all feasible at
+        # these sizes.
+        assert len(enumerate_cache_configs()) == 120
+
+    def test_tlb_point_count(self):
+        # 4 sizes x 4 assocs + fully-associative up to 64 entries.
+        assert len(enumerate_tlb_configs()) == 17
+        assert len(TABLE5_TLB_CONFIGS) == 17
+
+    def test_infeasible_geometries_skipped(self):
+        configs = enumerate_cache_configs(capacities=(256,), lines=(32,), assocs=(8,))
+        assert configs == []
+
+    def test_memory_system_enumeration_size(self):
+        systems = list(
+            enumerate_memory_systems(
+                tlbs=enumerate_tlb_configs(entries=(64,), assocs=(1,)),
+                icaches=enumerate_cache_configs(capacities=(8 * KB,), lines=(4,)),
+                dcaches=enumerate_cache_configs(capacities=(8 * KB,), lines=(4,)),
+            )
+        )
+        assert len(systems) == 2 * 4 * 4
+
+    def test_max_cache_assoc_filter(self):
+        systems = list(
+            enumerate_memory_systems(
+                tlbs=[TlbConfig(64, 1)],
+                max_cache_assoc=2,
+            )
+        )
+        assert all(
+            s.icache.assoc <= 2 and s.dcache.assoc <= 2 for s in systems
+        )

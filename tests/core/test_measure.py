@@ -1,0 +1,71 @@
+"""Tests for benefit-curve measurement (with a reduced grid so the
+suite stays fast)."""
+
+import pytest
+
+from repro.core.configs import CacheConfig, TlbConfig
+from repro.core.measure import BenefitCurves, measure_workload
+
+SMALL_GRID = dict(
+    capacities=(4096, 8192),
+    lines=(4, 8),
+    assocs=(1, 2),
+    tlb_entries=(64, 128),
+    tlb_assocs=(2, 4),
+    tlb_full_max=64,
+    references=70_000,
+)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return measure_workload("IOzone", "mach", **SMALL_GRID)
+
+
+class TestMeasureWorkload:
+    def test_grid_coverage(self, curves):
+        assert set(curves.icache) == {
+            (c, l, a) for c in (4096, 8192) for l in (4, 8) for a in (1, 2)
+        }
+        assert (64, "full") in curves.tlb
+        assert (128, 2) in curves.tlb
+
+    def test_rates_sane(self, curves):
+        assert 0.1 < curves.loads_per_instr < 0.5
+        assert 0.02 < curves.stores_per_instr < 0.4
+        assert 0 < curves.mapped_per_instr < 2.0
+        assert curves.wb_stall_per_instr >= 0
+
+    def test_accessors(self, curves):
+        ratio = curves.icache_miss_ratio(CacheConfig(8192, 4, 1))
+        assert 0 <= ratio < 1
+        user, kernel = curves.tlb_misses_per_instr(TlbConfig(64, 2))
+        assert user >= 0 and kernel >= 0
+
+    def test_miss_ratio_monotone_in_capacity(self, curves):
+        small = curves.icache_miss_ratio(CacheConfig(4096, 4, 2))
+        big = curves.icache_miss_ratio(CacheConfig(8192, 4, 2))
+        assert big <= small
+
+    def test_disk_cache_round_trip(self, curves):
+        again = measure_workload("IOzone", "mach", **SMALL_GRID)
+        assert again.icache == curves.icache
+        assert again.tlb == curves.tlb
+
+    def test_cache_key_distinguishes_parameters(self):
+        other = measure_workload(
+            "IOzone", "mach", **{**SMALL_GRID, "references": 60_000}
+        )
+        assert other.instructions > 0
+
+
+class TestBenefitCurves:
+    def test_suite_average_between_extremes(self):
+        per = [
+            measure_workload(w, "mach", **SMALL_GRID)
+            for w in ("IOzone", "jpeg_play")
+        ]
+        suite = BenefitCurves(os_name="mach", per_workload=per)
+        config = CacheConfig(8192, 4, 1)
+        ratios = [c.icache_miss_ratio(config) for c in per]
+        assert min(ratios) <= suite.icache_miss_ratio(config) <= max(ratios)

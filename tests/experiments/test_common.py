@@ -1,0 +1,51 @@
+"""Tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.experiments import common
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 100, "bb": "yyyy"}]
+        text = common.format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, divider, two rows
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_empty(self):
+        assert common.format_table([]) == "(no rows)"
+
+    def test_explicit_column_order(self):
+        rows = [{"z": 1, "a": 2}]
+        text = common.format_table(rows, columns=["a", "z"])
+        assert text.splitlines()[0].startswith("a")
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = common.format_table(rows, columns=["a", "b"])
+        assert "3" in text
+
+
+class TestScaling:
+    def test_trace_references_honours_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert common.trace_references() == pytest.approx(350_000, rel=0.01)
+
+    def test_projection_factor(self):
+        factor = common.projection_factor(1_000_000)
+        assert factor == pytest.approx(common.NOMINAL_RUN_INSTRUCTIONS / 1e6)
+        assert common.projection_factor(0) > 0  # guards divide-by-zero
+
+    def test_suite_order_matches_paper(self):
+        assert common.suite() == [
+            "mpeg_play", "mab", "jpeg_play", "ousterhout", "IOzone", "video_play",
+        ]
+
+    def test_get_trace_memoized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        common.get_trace.cache_clear()
+        a = common.get_trace("IOzone", "ultrix")
+        b = common.get_trace("IOzone", "ultrix")
+        assert a is b
+        common.get_trace.cache_clear()

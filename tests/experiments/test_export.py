@@ -1,0 +1,46 @@
+"""Tests for the CSV export utility."""
+
+import csv
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.1")
+    from repro.experiments import common
+
+    common.get_trace.cache_clear()
+    yield
+    common.get_trace.cache_clear()
+
+
+class TestExport:
+    def test_export_area_experiments(self, tmp_path):
+        from repro.experiments.export import export_all
+
+        paths = export_all(tmp_path, names=("fig4", "fig5", "fig6", "table1"))
+        assert len(paths) == 4
+        for path in paths:
+            assert path.exists()
+            with open(path) as handle:
+                rows = list(csv.DictReader(handle))
+            assert rows
+
+    def test_fig4_csv_contents(self, tmp_path):
+        from repro.experiments.export import export_all
+
+        (path,) = export_all(tmp_path, names=("fig4",))
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["entries"] == "8"
+        assert "full" in rows[0]
+
+    def test_multi_panel_experiment_exports_per_panel(self, tmp_path):
+        from repro.experiments.export import rows_for
+
+        # Use table5 (cheap, dict-valued) to check the dict path.
+        out = rows_for("table5")
+        assert list(out) == ["table5"]
+        assert out["table5"][0]["cache_points"] == 120

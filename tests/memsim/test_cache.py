@@ -1,0 +1,146 @@
+"""Unit tests for the reference cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim.cache import Cache
+from repro.memsim.types import AccessKind
+
+
+def addresses(*line_indices, line_bytes=16):
+    """Byte addresses hitting the given line indices."""
+    return [i * line_bytes for i in line_indices]
+
+
+class TestGeometry:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            Cache(1000, 4, 1)
+        with pytest.raises(ConfigurationError):
+            Cache(64, 8, 4)
+
+    def test_set_mapping(self):
+        cache = Cache(1024, 4, 1)       # 64 sets of 16B
+        assert cache.sets == 64
+        assert cache.set_index(0) == 0
+        assert cache.set_index(16) == 1
+        assert cache.set_index(1024) == 0   # wraps
+
+
+class TestHitsAndMisses:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(1024, 4, 1)
+        assert cache.access(0) is False
+        assert cache.access(4) is True      # same 16-byte line
+        assert cache.access(16) is False    # next line
+
+    def test_direct_mapped_conflict(self):
+        cache = Cache(1024, 4, 1)
+        a, b = 0, 1024                      # same set, different tags
+        cache.access(a)
+        cache.access(b)
+        assert cache.access(a) is False     # b evicted a
+
+    def test_two_way_absorbs_conflict(self):
+        cache = Cache(1024, 4, 2)
+        a, b = 0, 1024
+        cache.access(a)
+        cache.access(b)
+        assert cache.access(a) is True
+
+    def test_lru_within_set(self):
+        cache = Cache(1024, 4, 2)           # 32 sets
+        a, b, c = 0, 512, 1024              # all set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)                     # evicts a (LRU)
+        assert cache.access(b) is True
+        assert cache.access(a) is False
+
+    def test_miss_ratio_accounting(self):
+        cache = Cache(1024, 4, 1)
+        for addr in addresses(0, 1, 2, 0, 1, 2):
+            cache.access(addr)
+        assert cache.result.accesses == 6
+        assert cache.result.misses == 3
+        assert cache.result.miss_ratio == pytest.approx(0.5)
+
+
+class TestWritePolicies:
+    def test_write_through_no_allocate_store_miss_bypasses(self):
+        cache = Cache(1024, 4, 1)
+        assert cache.access(0, AccessKind.STORE) is False
+        # The store did not allocate, so a load still misses.
+        assert cache.access(0, AccessKind.LOAD) is False
+        assert cache.access(0, AccessKind.LOAD) is True
+
+    def test_write_allocate_fills_on_store(self):
+        cache = Cache(1024, 4, 1, write_allocate=True)
+        cache.access(0, AccessKind.STORE)
+        assert cache.access(0, AccessKind.LOAD) is True
+
+    def test_write_back_counts_writebacks(self):
+        cache = Cache(64, 4, 1, write_back=True, write_allocate=True)  # 4 lines
+        cache.access(0, AccessKind.STORE)       # dirty line 0
+        for i in range(1, 5):                   # evict everything
+            cache.access(i * 64, AccessKind.LOAD)
+        assert cache.result.writebacks == 1
+
+    def test_write_through_never_writes_back(self):
+        cache = Cache(64, 4, 1, write_allocate=True)
+        cache.access(0, AccessKind.STORE)
+        for i in range(1, 5):
+            cache.access(i * 64, AccessKind.LOAD)
+        assert cache.result.writebacks == 0
+
+    def test_read_misses_tracked_separately(self):
+        cache = Cache(1024, 4, 1)
+        cache.access(0, AccessKind.STORE)       # store miss
+        cache.access(256, AccessKind.LOAD)      # load miss
+        assert cache.result.misses == 2
+        assert cache.result.read_misses == 1
+
+
+class TestBulkSimulate:
+    def test_simulate_matches_scalar_access(self):
+        addrs = np.array([0, 16, 0, 32, 16, 48, 0], dtype=np.int64)
+        bulk = Cache(256, 4, 2)
+        bulk.simulate(addrs)
+        scalar = Cache(256, 4, 2)
+        for a in addrs:
+            scalar.access(int(a))
+        assert bulk.result.misses == scalar.result.misses
+
+    def test_record_flags(self):
+        cache = Cache(256, 4, 1)
+        result = cache.simulate(np.array([0, 0, 16]), record_flags=True)
+        assert result.miss_flags.tolist() == [True, False, True]
+
+    def test_simulate_with_kinds(self):
+        addrs = np.array([0, 0])
+        kinds = np.array([int(AccessKind.STORE), int(AccessKind.LOAD)])
+        cache = Cache(256, 4, 1)
+        cache.simulate(addrs, kinds)
+        assert cache.result.misses == 2     # store bypassed, load missed
+
+
+class TestPolicies:
+    def test_fifo_policy_wiring(self):
+        cache = Cache(1024, 4, 2, policy="fifo")
+        a, b, c = 0, 512, 1024
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)     # FIFO: does not refresh a
+        cache.access(c)     # evicts a
+        assert cache.access(a) is False
+
+    def test_random_policy_deterministic(self):
+        results = []
+        for _ in range(2):
+            cache = Cache(256, 4, 2, policy="random", seed=9)
+            flags = cache.simulate(
+                np.arange(0, 4096, 16, dtype=np.int64) % 1024, record_flags=True
+            )
+            results.append(flags.miss_flags.tolist())
+        assert results[0] == results[1]

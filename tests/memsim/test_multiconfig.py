@@ -1,0 +1,99 @@
+"""Tests for the multi-configuration sweep helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.cache import Cache
+from repro.memsim.multiconfig import (
+    cache_miss_ratio_grid,
+    dedupe_consecutive,
+    line_ids_for,
+)
+
+
+class TestLineIds:
+    def test_line_granularity(self):
+        addrs = np.array([0, 4, 16, 20, 32])
+        assert line_ids_for(addrs, 4).tolist() == [0, 0, 1, 1, 2]
+
+    def test_one_word_lines(self):
+        addrs = np.array([0, 4, 8])
+        assert line_ids_for(addrs, 1).tolist() == [0, 1, 2]
+
+
+class TestDedupe:
+    def test_removes_consecutive_repeats_only(self):
+        ids = np.array([1, 1, 2, 2, 1])
+        (out,) = dedupe_consecutive(ids)
+        assert out.tolist() == [1, 2, 1]
+
+    def test_flags_follow(self):
+        ids = np.array([1, 1, 2])
+        flags = np.array([True, False, True])
+        out, out_flags = dedupe_consecutive(ids, flags)
+        assert out.tolist() == [1, 2]
+        assert out_flags.tolist() == [True, True]
+
+    def test_empty(self):
+        (out,) = dedupe_consecutive(np.array([], dtype=np.int64))
+        assert len(out) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200))
+    def test_dedupe_preserves_miss_counts(self, raw):
+        """Dropped refs are guaranteed hits, so miss counts match."""
+        ids = np.array(raw, dtype=np.int64)
+        (deduped,) = dedupe_consecutive(ids)
+        for n_sets, assoc in ((1, 2), (4, 1), (2, 4)):
+            full = Cache(n_sets * assoc * 16, 4, assoc)
+            for i in ids:
+                full.access(int(i) * 16)
+            dedup_cache = Cache(n_sets * assoc * 16, 4, assoc)
+            for i in deduped:
+                dedup_cache.access(int(i) * 16)
+            assert full.result.misses == dedup_cache.result.misses
+
+
+class TestGrid:
+    def test_grid_covers_requested_space(self):
+        rng = np.random.default_rng(2)
+        addrs = rng.integers(0, 1 << 16, size=4000) * 4
+        capacities = [2048, 4096, 8192]
+        lines = [1, 4]
+        assocs = [1, 2]
+        grid = cache_miss_ratio_grid(addrs, capacities, lines, assocs)
+        assert set(grid) == {
+            (c, l, a) for c in capacities for l in lines for a in assocs
+        }
+
+    def test_grid_matches_reference_simulator(self):
+        rng = np.random.default_rng(4)
+        addrs = (rng.integers(0, 1 << 12, size=3000) * 4).astype(np.int64)
+        grid = cache_miss_ratio_grid(addrs, [1024, 2048], [4], [1, 2])
+        for (cap, line, assoc), ratio in grid.items():
+            cache = Cache(cap, line, assoc)
+            for a in addrs:
+                cache.access(int(a))
+            assert ratio == pytest.approx(cache.result.miss_ratio)
+
+    def test_miss_ratio_monotone_in_capacity(self):
+        rng = np.random.default_rng(9)
+        addrs = (rng.integers(0, 1 << 14, size=6000) * 4).astype(np.int64)
+        grid = cache_miss_ratio_grid(addrs, [1024, 2048, 4096, 8192], [4], [2])
+        ratios = [grid[(c, 4, 2)] for c in (1024, 2048, 4096, 8192)]
+        # LRU inclusion at fixed assoc & line: bigger cache never worse.
+        assert all(ratios[i] >= ratios[i + 1] for i in range(3))
+
+    def test_warmup_fraction_reduces_cold_misses(self):
+        # A stream touching fresh lines then repeating them: with
+        # warmup, the repeats dominate and the ratio drops.
+        ids = np.concatenate([np.arange(100), np.tile(np.arange(100), 3)])
+        addrs = ids * 16
+        cold = cache_miss_ratio_grid(addrs, [8192], [4], [1])
+        warm = cache_miss_ratio_grid(addrs, [8192], [4], [1], warmup_fraction=0.25)
+        assert warm[(8192, 4, 1)] < cold[(8192, 4, 1)]
+
+    def test_empty_stream(self):
+        grid = cache_miss_ratio_grid(np.array([], dtype=np.int64), [1024], [4], [1])
+        assert grid == {}

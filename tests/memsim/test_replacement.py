@@ -1,0 +1,92 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.memsim.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_fills_then_evicts_least_recent(self):
+        lru = LruPolicy(2)
+        assert lru.access(1) is False
+        assert lru.access(2) is False
+        assert lru.access(1) is True        # 1 now most recent
+        assert lru.access(3) is False       # evicts 2
+        assert lru.access(2) is False
+        assert lru.access(3) is True
+
+    def test_contents_ordered_most_recent_first(self):
+        lru = LruPolicy(3)
+        for tag in (1, 2, 3):
+            lru.access(tag)
+        assert lru.contents() == [3, 2, 1]
+        lru.access(1)
+        assert lru.contents() == [1, 3, 2]
+
+    def test_invalidate(self):
+        lru = LruPolicy(2)
+        lru.access(5)
+        assert lru.invalidate(5) is True
+        assert lru.invalidate(5) is False
+        assert lru.access(5) is False
+
+    def test_single_way_behaves_like_register(self):
+        lru = LruPolicy(1)
+        assert lru.access(1) is False
+        assert lru.access(1) is True
+        assert lru.access(2) is False
+        assert lru.access(1) is False
+
+
+class TestFifo:
+    def test_hits_do_not_reorder(self):
+        fifo = FifoPolicy(2)
+        fifo.access(1)
+        fifo.access(2)
+        fifo.access(1)                      # hit; 1 stays oldest
+        assert fifo.access(3) is False      # evicts 1 (oldest)
+        assert fifo.access(1) is False
+        assert fifo.access(2) is False      # 2 was evicted by 1's refill
+
+    def test_differs_from_lru_on_classic_sequence(self):
+        lru = LruPolicy(2)
+        fifo = FifoPolicy(2)
+        sequence = [1, 2, 1, 3, 1]
+        lru_hits = [lru.access(t) for t in sequence]
+        fifo_hits = [fifo.access(t) for t in sequence]
+        assert lru_hits != fifo_hits
+
+
+class TestRandom:
+    def test_deterministic_for_fixed_seed(self):
+        a = RandomPolicy(2, seed=42)
+        b = RandomPolicy(2, seed=42)
+        sequence = [1, 2, 3, 1, 4, 2, 5, 1]
+        assert [a.access(t) for t in sequence] == [b.access(t) for t in sequence]
+
+    def test_never_exceeds_capacity(self):
+        policy = RandomPolicy(4, seed=0)
+        for tag in range(100):
+            policy.access(tag)
+        assert len(policy.contents()) == 4
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LruPolicy), ("fifo", FifoPolicy), ("random", RandomPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 2), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("plru", 2)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)

@@ -1,0 +1,132 @@
+"""Tests for the full-system timing simulation."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.timing import DECSTATION_3100, SystemConfig, simulate_system
+from repro.trace.events import ReferenceTrace
+
+SMALL_CONFIG = SystemConfig(
+    icache_bytes=1024,
+    icache_line_words=4,
+    icache_assoc=1,
+    dcache_bytes=1024,
+    dcache_line_words=4,
+    dcache_assoc=1,
+    tlb_entries=8,
+    tlb_assoc="full",
+)
+
+
+def make_trace(addresses, kinds, mapped=None, kernel=None, other_cpi=0.0):
+    n = len(addresses)
+    addresses = np.asarray(addresses, dtype=np.int64)
+    return ReferenceTrace(
+        addresses=addresses,
+        physical=addresses.copy(),
+        kinds=np.asarray(kinds, dtype=np.uint8),
+        asids=np.zeros(n, dtype=np.uint8),
+        mapped=np.asarray(
+            mapped if mapped is not None else np.ones(n, dtype=bool), dtype=bool
+        ),
+        kernel=np.asarray(
+            kernel if kernel is not None else np.zeros(n, dtype=bool), dtype=bool
+        ),
+        other_cpi=other_cpi,
+    )
+
+
+class TestCpiAccounting:
+    def test_all_hits_cpi_is_one_plus_other(self):
+        # Two instructions in one line, same page, warmed by repetition.
+        addrs = [0, 4] * 50
+        kinds = [0, 0] * 50
+        trace = make_trace(addrs, kinds, other_cpi=0.25)
+        result = simulate_system(trace, SMALL_CONFIG, warmup_fraction=0.5)
+        assert result.cpi == pytest.approx(1.25, abs=0.05)
+
+    def test_icache_miss_penalty_applied(self):
+        # Alternate between two conflicting lines so every fetch misses.
+        addrs = [0, 1024] * 100
+        kinds = [0] * 200
+        trace = make_trace(addrs, kinds)
+        result = simulate_system(trace, SMALL_CONFIG, warmup_fraction=0.5)
+        penalty = SMALL_CONFIG.cache_penalty(4)
+        assert result.cpi_components["icache"] == pytest.approx(penalty, rel=0.05)
+
+    def test_store_misses_do_not_stall_dcache(self):
+        # Stores are write-through/no-allocate: D-cache component 0.
+        addrs = []
+        kinds = []
+        for i in range(100):
+            addrs += [0, 4096 + 16 * i]
+            kinds += [0, 2]
+        trace = make_trace(addrs, kinds)
+        result = simulate_system(trace, SMALL_CONFIG, warmup_fraction=0.2)
+        assert result.cpi_components["dcache"] == 0.0
+
+    def test_tlb_kernel_penalty(self):
+        # Mapped kernel references cycling through more pages than TLB
+        # entries: kernel misses at the expensive penalty.
+        pages = np.arange(16) * 4096
+        addrs = np.tile(pages, 20)
+        kinds = np.zeros(len(addrs), dtype=np.uint8)
+        kernel = np.ones(len(addrs), dtype=bool)
+        trace = make_trace(addrs, kinds, kernel=kernel)
+        result = simulate_system(trace, SMALL_CONFIG, warmup_fraction=0.2)
+        assert result.tlb_kernel_misses > 0
+        assert result.tlb_user_misses == 0
+        assert result.cpi_components["tlb"] > 1.0  # 400-cycle misses
+
+    def test_unmapped_references_bypass_tlb(self):
+        pages = np.arange(16) * 4096
+        addrs = np.tile(pages, 20)
+        kinds = np.zeros(len(addrs), dtype=np.uint8)
+        mapped = np.zeros(len(addrs), dtype=bool)
+        trace = make_trace(addrs, kinds, mapped=mapped)
+        result = simulate_system(trace, SMALL_CONFIG)
+        assert result.tlb_user_misses == 0
+        assert result.tlb_kernel_misses == 0
+
+    def test_components_sum_to_cpi(self, ultrix_trace):
+        result = simulate_system(ultrix_trace, DECSTATION_3100, warmup_fraction=0.4)
+        assert result.cpi == pytest.approx(
+            1.0 + sum(result.cpi_components.values()), rel=1e-6
+        )
+
+    def test_component_fractions_sum_to_one(self, ultrix_trace):
+        result = simulate_system(ultrix_trace, DECSTATION_3100, warmup_fraction=0.4)
+        assert sum(result.component_fractions().values()) == pytest.approx(1.0)
+
+
+class TestWarmup:
+    def test_warmup_restricts_measured_window(self, ultrix_trace):
+        cold = simulate_system(ultrix_trace, DECSTATION_3100)
+        warm = simulate_system(ultrix_trace, DECSTATION_3100, warmup_fraction=0.5)
+        assert warm.instructions < cold.instructions
+        assert warm.icache_misses < cold.icache_misses
+
+    def test_warmup_removes_compulsory_misses_on_cyclic_trace(self):
+        # A strictly cyclic trace misses only during the first pass, so
+        # measuring after warmup yields CPI ~= 1.
+        pages = (np.arange(64) * 16).astype(np.int64)
+        addrs = np.tile(pages, 20)
+        kinds = np.zeros(len(addrs), dtype=np.uint8)
+        trace = make_trace(addrs, kinds)
+        warm = simulate_system(trace, SMALL_CONFIG, warmup_fraction=0.5)
+        assert warm.cpi == pytest.approx(1.0, abs=0.01)
+
+    def test_bigger_caches_never_hurt(self, mach_trace):
+        small = SystemConfig(
+            icache_bytes=4096, icache_line_words=4, icache_assoc=1,
+            dcache_bytes=4096, dcache_line_words=4, dcache_assoc=1,
+            tlb_entries=32, tlb_assoc="full",
+        )
+        big = SystemConfig(
+            icache_bytes=32768, icache_line_words=4, icache_assoc=1,
+            dcache_bytes=32768, dcache_line_words=4, dcache_assoc=1,
+            tlb_entries=512, tlb_assoc="full",
+        )
+        cpi_small = simulate_system(mach_trace, small, warmup_fraction=0.4).cpi
+        cpi_big = simulate_system(mach_trace, big, warmup_fraction=0.4).cpi
+        assert cpi_big <= cpi_small

@@ -1,0 +1,93 @@
+"""Unit tests for the TLB simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim.tlb import FULLY_ASSOCIATIVE, Tlb
+
+
+class TestGeometry:
+    def test_fully_associative_one_set(self):
+        tlb = Tlb(64, FULLY_ASSOCIATIVE)
+        assert tlb.sets == 1
+
+    def test_set_associative_geometry(self):
+        tlb = Tlb(64, 4)
+        assert tlb.sets == 16
+
+    def test_rejects_bad_configs(self):
+        with pytest.raises(ConfigurationError):
+            Tlb(63, 1)
+        with pytest.raises(ConfigurationError):
+            Tlb(64, 3)
+        with pytest.raises(ConfigurationError):
+            Tlb(4, 8)
+
+
+class TestTranslation:
+    def test_miss_then_hit(self):
+        tlb = Tlb(16, FULLY_ASSOCIATIVE)
+        assert tlb.access(100) is False
+        assert tlb.access(100) is True
+
+    def test_asid_distinguishes_translations(self):
+        """The same VPN in two address spaces needs two entries — the
+        R2000's PID-tagged TLB semantics."""
+        tlb = Tlb(16, FULLY_ASSOCIATIVE)
+        tlb.access(5, asid=1)
+        assert tlb.access(5, asid=2) is False
+        assert tlb.access(5, asid=1) is True
+        assert tlb.access(5, asid=2) is True
+
+    def test_asid_preserved_in_set_associative_tags(self):
+        """Regression: the tag must keep all ASID bits even when index
+        bits are stripped from the VPN."""
+        tlb = Tlb(64, 2)  # 32 sets -> 5 index bits
+        tlb.access(32, asid=1)
+        assert tlb.access(32, asid=2) is False
+
+    def test_capacity_eviction(self):
+        tlb = Tlb(4, FULLY_ASSOCIATIVE)
+        for vpn in range(5):
+            tlb.access(vpn)
+        assert tlb.access(0) is False   # evicted (LRU)
+        assert tlb.access(4) is True
+
+    def test_kernel_misses_classified(self):
+        tlb = Tlb(16, FULLY_ASSOCIATIVE)
+        tlb.access(1, kernel=False)
+        tlb.access(2, kernel=True)
+        assert tlb.result.user_misses == 1
+        assert tlb.result.kernel_misses == 1
+
+    def test_service_cycles(self):
+        tlb = Tlb(16, FULLY_ASSOCIATIVE)
+        tlb.access(1, kernel=False)
+        tlb.access(2, kernel=True)
+        assert tlb.result.service_cycles(20, 400) == 420
+
+
+class TestBulkSimulate:
+    def test_simulate_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        vpns = rng.integers(0, 40, size=500)
+        asids = rng.integers(0, 3, size=500).astype(np.uint8)
+        kernels = rng.random(500) < 0.2
+        bulk = Tlb(16, 4)
+        bulk.simulate(vpns, asids, kernels)
+        scalar = Tlb(16, 4)
+        for v, a, k in zip(vpns, asids, kernels):
+            scalar.access(int(v), int(a), bool(k))
+        assert bulk.result.misses == scalar.result.misses
+        assert bulk.result.kernel_misses == scalar.result.kernel_misses
+
+    def test_record_flags(self):
+        tlb = Tlb(16, FULLY_ASSOCIATIVE)
+        result = tlb.simulate(np.array([1, 1, 2]), record_flags=True)
+        assert result.miss_flags.tolist() == [True, False, True]
+
+    def test_miss_ratio(self):
+        tlb = Tlb(16, FULLY_ASSOCIATIVE)
+        tlb.simulate(np.array([1, 1, 1, 2]))
+        assert tlb.result.miss_ratio == pytest.approx(0.5)

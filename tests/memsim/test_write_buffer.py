@@ -1,0 +1,71 @@
+"""Unit tests for the write-buffer timing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.write_buffer import WriteBuffer, simulate_write_buffer
+
+
+class TestWriteBuffer:
+    def test_sparse_stores_never_stall(self):
+        wb = WriteBuffer(depth=4, retire_cycles=4)
+        stalls = [wb.store(t) for t in range(0, 200, 10)]
+        assert all(s == 0 for s in stalls)
+
+    def test_burst_fills_and_stalls(self):
+        wb = WriteBuffer(depth=2, retire_cycles=10)
+        assert wb.store(0) == 0
+        assert wb.store(1) == 0
+        assert wb.store(2) > 0      # buffer full, wait for a retire
+
+    def test_stall_equals_wait_for_oldest(self):
+        wb = WriteBuffer(depth=1, retire_cycles=10)
+        wb.store(0)                 # completes at 10
+        stall = wb.store(2)
+        assert stall == 8
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(depth=0)
+
+
+class TestSimulateWriteBuffer:
+    def test_empty_stream(self):
+        result = simulate_write_buffer(np.array([], dtype=np.int64))
+        assert result.stall_cycles == 0
+
+    def test_back_to_back_burst_cost(self):
+        # 10 stores in consecutive cycles with retire 5 and depth 4:
+        # the buffer absorbs 4, then stores wait ~4 cycles each.
+        times = np.arange(10, dtype=np.int64)
+        result = simulate_write_buffer(times, depth=4, retire_cycles=5)
+        assert result.stall_cycles > 0
+
+    def test_count_from_excludes_warmup_stalls(self):
+        times = np.arange(10, dtype=np.int64)
+        full = simulate_write_buffer(times, depth=2, retire_cycles=5)
+        tail = simulate_write_buffer(times, depth=2, retire_cycles=5, count_from=5)
+        assert tail.stall_cycles < full.stall_cycles
+        assert tail.stores == 5
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        gaps=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=80),
+        retire=st.integers(min_value=1, max_value=12),
+    )
+    def test_deeper_buffer_never_stalls_more(self, gaps, retire):
+        times = np.cumsum(np.array(gaps, dtype=np.int64))
+        shallow = simulate_write_buffer(times, depth=2, retire_cycles=retire)
+        deep = simulate_write_buffer(times, depth=8, retire_cycles=retire)
+        assert deep.stall_cycles <= shallow.stall_cycles
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        gaps=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=80),
+    )
+    def test_faster_memory_never_stalls_more(self, gaps):
+        times = np.cumsum(np.array(gaps, dtype=np.int64))
+        slow = simulate_write_buffer(times, depth=4, retire_cycles=10)
+        fast = simulate_write_buffer(times, depth=4, retire_cycles=2)
+        assert fast.stall_cycles <= slow.stall_cycles

@@ -1,0 +1,42 @@
+"""Tests for the Monster stall-attribution tool."""
+
+import pytest
+
+from repro.monitor.monster import COMPONENT_ORDER, Monster
+
+
+class TestMonster:
+    def test_report_fields(self, ultrix_trace):
+        report = Monster().measure(ultrix_trace)
+        assert report.workload == "mpeg_play"
+        assert report.os_name == "ultrix"
+        assert report.cpi > 1.0
+        assert set(report.components) == set(COMPONENT_ORDER)
+
+    def test_fractions_sum_to_one(self, ultrix_trace):
+        report = Monster().measure(ultrix_trace)
+        assert sum(report.fractions.values()) == pytest.approx(1.0)
+
+    def test_formatted_row_shape(self, ultrix_trace):
+        report = Monster().measure(ultrix_trace)
+        row = report.formatted_row()
+        assert "mpeg_play" in row
+        assert row.count("%") == len(COMPONENT_ORDER)
+        assert len(Monster.header().split()) >= 3
+
+    def test_mach_shifts_stalls_to_tlb_and_icache(self, ultrix_trace, mach_trace):
+        """The paper's central observation (Tables 3/4)."""
+        monster = Monster()
+        ultrix = monster.measure(ultrix_trace)
+        mach = monster.measure(mach_trace)
+        assert mach.components["tlb"] > 2 * ultrix.components["tlb"]
+        assert (
+            mach.fractions["tlb"] + mach.fractions["icache"]
+            > ultrix.fractions["tlb"] + ultrix.fractions["icache"]
+        )
+
+    def test_dcache_share_falls_under_mach(self, iozone_traces):
+        monster = Monster()
+        ultrix = monster.measure(iozone_traces["ultrix"])
+        mach = monster.measure(iozone_traces["mach"])
+        assert mach.fractions["dcache"] < ultrix.fractions["dcache"]

@@ -1,0 +1,76 @@
+"""Tests for address spaces and segment layout."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.osmodel.addrspace import AddressSpace, SegmentAllocator
+from repro.units import PAGE_BYTES
+
+
+class TestSegmentAllocator:
+    def test_allocations_do_not_overlap(self):
+        allocator = SegmentAllocator(seed=0)
+        ranges = []
+        for size in (4096, 65536, 200_000, 8192):
+            base = allocator.allocate(size)
+            ranges.append((base, base + size))
+        ranges.sort()
+        for (a0, a1), (b0, __) in zip(ranges, ranges[1:]):
+            assert a1 <= b0
+
+    def test_granule_alignment(self):
+        allocator = SegmentAllocator(seed=1)
+        base = allocator.allocate(100)
+        assert base % SegmentAllocator.GRANULE == 0
+
+    def test_deterministic_for_seed(self):
+        a = SegmentAllocator(seed=7)
+        b = SegmentAllocator(seed=7)
+        assert [a.allocate(4096) for _ in range(5)] == [
+            b.allocate(4096) for _ in range(5)
+        ]
+
+    def test_multi_granule_contiguous(self):
+        allocator = SegmentAllocator(seed=2)
+        base = allocator.allocate(5 * SegmentAllocator.GRANULE)
+        assert base >= 0
+        # A following allocation must not land inside the block.
+        other = allocator.allocate(4096)
+        block = range(base, base + 5 * SegmentAllocator.GRANULE)
+        assert other not in block
+
+
+class TestAddressSpace:
+    def test_add_and_lookup_segment(self):
+        allocator = SegmentAllocator(seed=0)
+        space = AddressSpace(name="task", asid=1)
+        segment = space.add_segment(allocator, "text", 64 * 1024)
+        assert space.segment("text") is segment
+        assert segment.pages == 16
+
+    def test_duplicate_segment_rejected(self):
+        allocator = SegmentAllocator(seed=0)
+        space = AddressSpace(name="task", asid=1)
+        space.add_segment(allocator, "text", 4096)
+        with pytest.raises(ConfigurationError):
+            space.add_segment(allocator, "text", 4096)
+
+    def test_missing_segment_rejected(self):
+        space = AddressSpace(name="task", asid=1)
+        with pytest.raises(ConfigurationError):
+            space.segment("nope")
+
+    def test_mapped_pages_excludes_unmapped(self):
+        allocator = SegmentAllocator(seed=0)
+        space = AddressSpace(name="kernel", asid=0)
+        space.add_segment(allocator, "text", 8 * PAGE_BYTES, mapped=False)
+        space.add_segment(allocator, "data", 4 * PAGE_BYTES, mapped=True)
+        assert space.mapped_pages == 4
+
+    def test_page_base_bounds(self):
+        allocator = SegmentAllocator(seed=0)
+        space = AddressSpace(name="task", asid=1)
+        segment = space.add_segment(allocator, "heap", 2 * PAGE_BYTES)
+        assert segment.page_base(1) == segment.base + PAGE_BYTES
+        with pytest.raises(ConfigurationError):
+            segment.page_base(2)

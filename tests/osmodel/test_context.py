@@ -1,0 +1,124 @@
+"""Tests for the generation context (code synthesis and interleaving)."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.types import AccessKind
+from repro.osmodel.addrspace import AddressSpace, Segment, SegmentAllocator
+from repro.osmodel.context import DataPart, GenerationContext
+
+
+@pytest.fixture
+def ctx():
+    return GenerationContext(seed=3, target_references=10_000)
+
+
+@pytest.fixture
+def space():
+    allocator = SegmentAllocator(seed=0)
+    sp = AddressSpace(name="task", asid=2)
+    sp.add_segment(allocator, "text", 64 * 1024)
+    sp.add_segment(allocator, "heap", 64 * 1024)
+    return sp
+
+
+class TestStraightCode:
+    def test_sequential_when_blocks_disabled(self, ctx, space):
+        text = space.segment("text")
+        code = ctx.straight_code(text, 0, 100, basic_block_mean=None)
+        assert (np.diff(code) == 4).all()
+        assert code[0] == text.base
+
+    def test_length_exact(self, ctx, space):
+        text = space.segment("text")
+        for n in (1, 7, 100, 999):
+            assert len(ctx.straight_code(text, 0, n)) == n
+
+    def test_stays_in_segment(self, ctx, space):
+        text = space.segment("text")
+        code = ctx.straight_code(text, 60 * 1024, 5000)
+        assert (code >= text.base).all()
+        assert (code < text.end).all()
+
+    def test_basic_blocks_leave_gaps(self, ctx, space):
+        """With block structure, some words in the walked span are
+        never fetched (untaken paths) — the long-line pollution source."""
+        text = space.segment("text")
+        code = ctx.straight_code(text, 0, 2000, basic_block_mean=8)
+        span = int(code.max() - code.min()) // 4 + 1
+        touched = len(np.unique(code))
+        assert touched < span
+
+    def test_word_alignment(self, ctx, space):
+        code = ctx.straight_code(space.segment("text"), 0, 500)
+        assert (code % 4 == 0).all()
+
+
+class TestLoopCode:
+    def test_iterations_repeat_body(self, ctx, space):
+        text = space.segment("text")
+        code = ctx.loop_code(text, 0, 50, 4, basic_block_mean=None)
+        assert len(code) == 200
+        assert (code[:50] == code[50:100]).all()
+
+    def test_loop_reuses_same_branch_pattern(self, ctx, space):
+        text = space.segment("text")
+        code = ctx.loop_code(text, 0, 64, 3)
+        assert (code[:64] == code[64:128]).all()
+
+
+class TestEmit:
+    def test_code_only(self, ctx, space):
+        text = space.segment("text")
+        code = ctx.straight_code(text, 0, 100)
+        ctx.emit(space, text, code)
+        trace = ctx.builder.build()
+        assert len(trace) == 100
+        assert (trace.kinds == AccessKind.IFETCH).all()
+        assert (trace.asids == 2).all()
+
+    def test_interleaving_preserves_counts_and_order(self, ctx, space):
+        text = space.segment("text")
+        heap = space.segment("heap")
+        code = ctx.straight_code(text, 0, 100, basic_block_mean=None)
+        loads = np.arange(10, dtype=np.int64) * 4 + heap.base
+        part = DataPart(loads, AccessKind.LOAD, True, False, space.asid, run_words=1)
+        ctx.emit(space, text, code, [part])
+        trace = ctx.builder.build()
+        assert len(trace) == 110
+        assert trace.loads == 10
+        # Program order within each class is preserved.
+        fetched = trace.addresses[trace.kinds == AccessKind.IFETCH]
+        assert (fetched == code).all()
+        loaded = trace.addresses[trace.kinds == AccessKind.LOAD]
+        assert (loaded == loads).all()
+
+    def test_run_words_keep_spatial_runs_adjacent(self, ctx, space):
+        text = space.segment("text")
+        heap = space.segment("heap")
+        code = ctx.straight_code(text, 0, 200, basic_block_mean=None)
+        data = np.arange(32, dtype=np.int64) * 4 + heap.base
+        part = DataPart(data, AccessKind.STORE, True, False, space.asid, run_words=8)
+        ctx.emit(space, text, code, [part])
+        trace = ctx.builder.build()
+        store_positions = np.flatnonzero(trace.kinds == AccessKind.STORE)
+        # Each 8-word run occupies consecutive trace slots.
+        for start in range(0, 32, 8):
+            run = store_positions[start : start + 8]
+            assert (np.diff(run) == 1).all()
+
+    def test_attributes_per_part(self, ctx, space):
+        text = space.segment("text")
+        kernel_part = DataPart(
+            np.array([1 << 28], dtype=np.int64), AccessKind.LOAD, True, True, 0
+        )
+        code = ctx.straight_code(text, 0, 10)
+        ctx.emit(space, text, code, [kernel_part])
+        trace = ctx.builder.build()
+        kernel_refs = trace.kernel[trace.kinds == AccessKind.LOAD]
+        assert kernel_refs.all()
+
+    def test_split_loads_stores_scales_with_instructions(self, ctx):
+        loads, stores = ctx.split_loads_stores(100_000, 0.2, 0.1)
+        assert 18_000 < loads < 22_000
+        assert 8_500 < stores < 11_500

@@ -1,0 +1,99 @@
+"""Tests for the data-reference emitters."""
+
+import numpy as np
+import pytest
+
+from repro.osmodel.addrspace import Segment
+from repro.osmodel.datastate import StackModel, StreamBuffer, WorkingSet
+
+
+def make_segment(size=64 * 4096, base=1 << 20):
+    return Segment(name="data", base=base, size=size)
+
+
+class TestWorkingSet:
+    def test_addresses_within_segment(self, rng):
+        segment = make_segment()
+        ws = WorkingSet(segment, pages=8, record_words=4, rng=rng)
+        addrs = ws.addresses(500)
+        assert (addrs >= segment.base).all()
+        assert (addrs < segment.end).all()
+
+    def test_bounded_page_pool(self, rng):
+        segment = make_segment()
+        ws = WorkingSet(segment, pages=8, record_words=4, rng=rng)
+        pages = np.unique(ws.addresses(5000) >> 12)
+        assert len(pages) <= 8
+
+    def test_record_runs_are_contiguous(self, rng):
+        segment = make_segment()
+        ws = WorkingSet(segment, pages=4, record_words=8, rng=rng, locality=0.0)
+        addrs = ws.addresses(16)
+        # First 8 addresses are one record: consecutive words.
+        deltas = np.diff(addrs[:8])
+        assert (deltas == 4).all()
+
+    def test_refresh_changes_pool(self, rng):
+        segment = make_segment()
+        ws = WorkingSet(segment, pages=8, record_words=4, rng=rng)
+        before = set((ws.addresses(2000) >> 12).tolist())
+        for _ in range(10):
+            ws.refresh(fraction=0.5)
+        after = set((ws.addresses(2000) >> 12).tolist())
+        assert before != after
+
+    def test_temporal_locality_reuses_recent_records(self, rng):
+        segment = make_segment()
+        local = WorkingSet(segment, pages=8, record_words=4, rng=rng, locality=0.9)
+        local.addresses(64)
+        repeat = local.addresses(4000)
+        __, counts = np.unique(repeat, return_counts=True)
+        # High locality concentrates accesses on few records.
+        assert counts.max() > 10
+
+    def test_zero_count(self, rng):
+        ws = WorkingSet(make_segment(), pages=4, record_words=4, rng=rng)
+        assert len(ws.addresses(0)) == 0
+
+
+class TestStreamBuffer:
+    def test_sequential_runs(self, rng):
+        segment = make_segment()
+        stream = StreamBuffer(segment, run_words=8, rng=rng)
+        addrs = stream.addresses(8)
+        assert (np.diff(addrs) == 4).all()
+
+    def test_cursor_advances_between_calls(self, rng):
+        segment = make_segment()
+        stream = StreamBuffer(segment, run_words=8, rng=rng)
+        first = stream.addresses(8)
+        second = stream.addresses(8)
+        assert second[0] > first[0]
+
+    def test_wraps_at_segment_end(self, rng):
+        segment = make_segment(size=4096)
+        stream = StreamBuffer(segment, run_words=8, rng=rng)
+        addrs = stream.addresses(5000)
+        assert (addrs < segment.end).all()
+        assert (addrs >= segment.base).all()
+
+    def test_stride_leaves_gaps(self, rng):
+        segment = make_segment()
+        stream = StreamBuffer(segment, run_words=4, rng=rng, stride_words=8)
+        addrs = stream.addresses(8)
+        # Second run starts 8 words after the first, not 4.
+        assert addrs[4] - addrs[0] == 8 * 4
+
+
+class TestStackModel:
+    def test_hot_region_is_tiny(self, rng):
+        segment = make_segment(size=64 * 1024)
+        stack = StackModel(segment, rng, hot_bytes=256)
+        addrs = stack.addresses(1000)
+        assert addrs.max() - addrs.min() <= 256
+
+    def test_within_segment(self, rng):
+        segment = make_segment(size=4096)
+        stack = StackModel(segment, rng, hot_bytes=1 << 20)
+        addrs = stack.addresses(100)
+        assert (addrs < segment.end).all()

@@ -1,0 +1,196 @@
+"""Structural tests of the Ultrix and Mach OS models.
+
+These check the *mechanisms* the paper identifies, not tuned numbers:
+where code runs, what is mapped, and how long the invocation paths are.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memsim.types import AccessKind
+from repro.osmodel.context import GenerationContext
+from repro.osmodel.mach import (
+    EMU_CALL_INSTRUCTIONS,
+    IPC_SEND_INSTRUCTIONS,
+    KTRAP_INSTRUCTIONS,
+    SERVER_DISPATCH_INSTRUCTIONS,
+    EMU_RETURN_INSTRUCTIONS,
+    IPC_REPLY_INSTRUCTIONS,
+    SERVER_REPLY_INSTRUCTIONS,
+    MachModel,
+)
+from repro.osmodel.services import SERVICE_CATALOG, lookup_service
+from repro.osmodel.ultrix import (
+    RETURN_INSTRUCTIONS,
+    TRAP_INSTRUCTIONS,
+    UltrixModel,
+)
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture
+def workload():
+    return get_workload("mpeg_play")
+
+
+def invoke_once(model, service_name="read"):
+    """Run one service invocation and return the resulting trace."""
+    ctx = GenerationContext(seed=5, target_references=10**9)
+    model._setup_emitters(ctx)
+    model.invoke_service(ctx, lookup_service(service_name))
+    return ctx.builder.build()
+
+
+class TestPathLengths:
+    def test_ultrix_round_trip_under_100_instructions(self):
+        # Section 4.1: the Ultrix call+return path is < 100 instructions.
+        assert TRAP_INSTRUCTIONS + RETURN_INSTRUCTIONS < 100
+
+    def test_mach_call_path_about_1000_instructions(self):
+        call = (
+            KTRAP_INSTRUCTIONS
+            + EMU_CALL_INSTRUCTIONS
+            + IPC_SEND_INSTRUCTIONS
+            + SERVER_DISPATCH_INSTRUCTIONS
+        )
+        assert 900 <= call <= 1100
+
+    def test_mach_return_path_about_850_instructions(self):
+        ret = (
+            SERVER_REPLY_INSTRUCTIONS
+            + IPC_REPLY_INSTRUCTIONS
+            + EMU_RETURN_INSTRUCTIONS
+        )
+        assert 750 <= ret <= 950
+
+    def test_mach_invocation_executes_more_instructions(self, workload):
+        ultrix = invoke_once(UltrixModel(workload, seed=1))
+        mach = invoke_once(MachModel(workload, seed=1))
+        assert mach.instructions > ultrix.instructions + 1000
+
+
+class TestAddressSpaceStructure:
+    def test_ultrix_has_no_server_spaces(self, workload):
+        model = UltrixModel(workload, seed=1)
+        assert "bsd_server" not in model.spaces
+        assert "pager" not in model.spaces
+
+    def test_mach_has_server_and_pager(self, workload):
+        model = MachModel(workload, seed=1)
+        assert "bsd_server" in model.spaces
+        assert "pager" in model.spaces
+        assert "emu_text" in model.spaces["task"].segments
+
+    def test_distinct_asids(self, workload):
+        model = MachModel(workload, seed=1)
+        asids = [space.asid for space in model.spaces.values()]
+        assert len(asids) == len(set(asids))
+        assert model.spaces["kernel"].asid == 0
+
+    def test_kernel_text_unmapped_both_systems(self, workload):
+        for cls in (UltrixModel, MachModel):
+            model = cls(workload, seed=1)
+            assert not model.spaces["kernel"].segment("text").mapped
+
+    def test_mach_kernel_mapped_pool_larger(self, workload):
+        # Section 4.2: more address spaces mean more PTEs and IPC state
+        # held in mapped kernel memory.
+        assert (
+            MachModel(workload, seed=1).kernel_mapped_pages()
+            > UltrixModel(workload, seed=1).kernel_mapped_pages()
+        )
+
+
+class TestServiceInvocationTraces:
+    def test_ultrix_service_code_is_unmapped_kernel(self, workload):
+        trace = invoke_once(UltrixModel(workload, seed=1))
+        fetch_mask = trace.kinds == AccessKind.IFETCH
+        unmapped_fetches = (~trace.mapped[fetch_mask]).mean()
+        assert unmapped_fetches > 0.95
+
+    def test_mach_service_code_mostly_mapped(self, workload):
+        # Emulation library + server code run mapped at user level.
+        trace = invoke_once(MachModel(workload, seed=1))
+        fetch_mask = trace.kinds == AccessKind.IFETCH
+        mapped_fetches = trace.mapped[fetch_mask].mean()
+        assert mapped_fetches > 0.5
+
+    def test_mach_invocation_touches_more_address_spaces(self, workload):
+        ultrix = invoke_once(UltrixModel(workload, seed=1))
+        mach = invoke_once(MachModel(workload, seed=1))
+        assert len(np.unique(mach.asids)) > len(np.unique(ultrix.asids))
+
+    def test_mach_invocation_touches_more_mapped_pages(self, workload):
+        ultrix = invoke_once(UltrixModel(workload, seed=1))
+        mach = invoke_once(MachModel(workload, seed=1))
+
+        def mapped_pages(trace):
+            keys = (trace.asids[trace.mapped].astype(np.int64) << 20) | (
+                trace.addresses[trace.mapped] >> 12
+            )
+            return len(np.unique(keys))
+
+        assert mapped_pages(mach) > mapped_pages(ultrix)
+
+    def test_ultrix_copies_payload_twice_per_byte(self, workload):
+        """The Ultrix read() path copies: loads from the buffer cache
+        and stores to the user buffer, word by word."""
+        trace = invoke_once(UltrixModel(workload, seed=1), "read")
+        words = workload.payload_bytes // 4
+        assert trace.stores >= words * 0.8
+
+    def test_mach_moves_payload_out_of_line(self, workload):
+        """Mach remaps instead of copying twice: far fewer stores per
+        payload byte than Ultrix."""
+        ultrix = invoke_once(UltrixModel(workload, seed=1), "read")
+        mach = invoke_once(MachModel(workload, seed=1), "read")
+        assert mach.stores < ultrix.stores
+
+    def test_non_copy_service_moves_no_payload(self, workload):
+        trace = invoke_once(UltrixModel(workload, seed=1), "gettimeofday")
+        assert trace.stores < workload.payload_bytes // 8
+
+
+class TestFaultAndDisplayPaths:
+    def test_mach_fault_path_runs_pager_space(self, workload):
+        model = MachModel(workload, seed=1)
+        ctx = GenerationContext(seed=5, target_references=10**9)
+        model._setup_emitters(ctx)
+        model.handle_page_fault(ctx)
+        trace = ctx.builder.build()
+        pager_asid = model.spaces["pager"].asid
+        assert (trace.asids == pager_asid).any()
+
+    def test_ultrix_fault_stays_in_kernel(self, workload):
+        model = UltrixModel(workload, seed=1)
+        ctx = GenerationContext(seed=5, target_references=10**9)
+        model._setup_emitters(ctx)
+        model.handle_page_fault(ctx)
+        trace = ctx.builder.build()
+        fetch_mask = trace.kinds == AccessKind.IFETCH
+        assert (~trace.mapped[fetch_mask]).all()
+
+    def test_x_interaction_runs_xserver(self, workload):
+        for cls in (UltrixModel, MachModel):
+            model = cls(workload, seed=1)
+            ctx = GenerationContext(seed=5, target_references=10**9)
+            model._setup_emitters(ctx)
+            model.x_interaction(ctx)
+            trace = ctx.builder.build()
+            x_asid = model.spaces["xserver"].asid
+            assert (trace.asids == x_asid).any()
+
+
+class TestServiceCatalog:
+    def test_catalog_contents(self):
+        assert "read" in SERVICE_CATALOG
+        assert SERVICE_CATALOG["read"].copies_payload
+        assert not SERVICE_CATALOG["stat"].copies_payload
+
+    def test_distinct_body_offsets(self):
+        offsets = [s.body_offset for s in SERVICE_CATALOG.values()]
+        assert len(offsets) == len(set(offsets))
+
+    def test_lookup_error(self):
+        with pytest.raises(KeyError, match="unknown service"):
+            lookup_service("teleport")

@@ -1,0 +1,134 @@
+"""End-to-end integration tests: the pipeline from workload model to
+ranked allocation, plus the paper's headline qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import Allocator
+from repro.core.configs import CacheConfig, TlbConfig
+from repro.core.cpi import CpiModel
+from repro.core.measure import measure_workload
+from repro.memsim.timing import DECSTATION_3100, simulate_system
+from repro.monitor.monster import Monster
+from repro.trace.generator import generate_trace
+
+GRID = dict(
+    capacities=(4096, 8192, 16384),
+    lines=(4, 8, 16),
+    assocs=(1, 2),
+    tlb_entries=(64, 256, 512),
+    tlb_assocs=(2, 8),
+    tlb_full_max=64,
+    references=120_000,
+)
+
+
+@pytest.fixture(scope="module")
+def mach_curves():
+    return measure_workload("ousterhout", "mach", **GRID)
+
+
+@pytest.fixture(scope="module")
+def ultrix_curves():
+    return measure_workload("ousterhout", "ultrix", **GRID)
+
+
+class TestHeadlineClaims:
+    """Section 4/5: the structural effects of a multiple-API OS."""
+
+    def test_mach_tlb_pressure_an_order_of_magnitude_higher(
+        self, mach_curves, ultrix_curves
+    ):
+        config = TlbConfig(64, "full")
+        mach_user, mach_kernel = mach_curves.tlb_misses_per_instr(config)
+        ultrix_user, ultrix_kernel = ultrix_curves.tlb_misses_per_instr(config)
+        assert (mach_user + mach_kernel) > 3 * (ultrix_user + ultrix_kernel)
+
+    def test_mach_icache_miss_ratio_higher(self, mach_curves, ultrix_curves):
+        config = CacheConfig(8192, 4, 1)
+        assert mach_curves.icache_miss_ratio(config) > 1.2 * ultrix_curves.icache_miss_ratio(
+            config
+        )
+
+    def test_large_tlb_removes_most_tlb_cpi(self, mach_curves):
+        model = CpiModel()
+        small = model.tlb_cpi(mach_curves, TlbConfig(64, 2))
+        large = model.tlb_cpi(mach_curves, TlbConfig(512, 8))
+        assert large < 0.5 * small
+
+    def test_doubling_line_size_beats_doubling_capacity_under_mach(
+        self, mach_curves
+    ):
+        # Section 5.3's observation for small caches under Mach.
+        base = mach_curves.icache_miss_ratio(CacheConfig(4096, 4, 1))
+        double_line = mach_curves.icache_miss_ratio(CacheConfig(4096, 8, 1))
+        double_size = mach_curves.icache_miss_ratio(CacheConfig(8192, 4, 1))
+        assert double_line < double_size < base
+
+    def test_allocator_prefers_large_tlb_and_big_icache(self, mach_curves):
+        from repro.core.space import enumerate_cache_configs, enumerate_tlb_configs
+
+        caches = enumerate_cache_configs(
+            capacities=GRID["capacities"], lines=GRID["lines"], assocs=GRID["assocs"]
+        )
+        allocator = Allocator(mach_curves, budget_rbes=250_000)
+        best = allocator.best(
+            tlbs=enumerate_tlb_configs(
+                entries=GRID["tlb_entries"],
+                assocs=GRID["tlb_assocs"],
+                full_max_entries=GRID["tlb_full_max"],
+            ),
+            icaches=caches,
+            dcaches=caches,
+        )
+        # Even for this single (D-heavy) workload on a reduced grid,
+        # the large set-associative TLB always wins; the I-cache >=
+        # 2x D-cache property is suite-level and asserted by the
+        # table6 experiment test instead.
+        assert best.config.tlb.entries >= 256
+        assert best.config.icache.line_words >= 8
+
+
+class TestCrossToolConsistency:
+    """The three measurement approaches must agree (Section 3)."""
+
+    def test_monster_and_curves_agree_on_tlb(self, mach_curves):
+        trace = generate_trace("ousterhout", "mach", 120_000, seed=1)
+        monster = Monster(warmup_fraction=0.4)
+        timing = monster.simulate(trace)
+        # The DECstation TLB is 64-entry FA; compare misses/instr.
+        user, kernel = mach_curves.tlb_misses_per_instr(TlbConfig(64, "full"))
+        monster_rate = (
+            timing.tlb_user_misses + timing.tlb_kernel_misses
+        ) / timing.instructions
+        assert monster_rate == pytest.approx(user + kernel, rel=0.2)
+
+    def test_curve_grid_matches_direct_timing(self, mach_curves):
+        trace = generate_trace("ousterhout", "mach", 120_000, seed=1)
+        config = DECSTATION_3100
+        direct = simulate_system(trace, config, warmup_fraction=0.4)
+        # An 8-KB 4-word DM I-cache timing run vs. the measured grid.
+        from dataclasses import replace
+
+        small = replace(
+            config, icache_bytes=8192, icache_line_words=4, icache_assoc=1
+        )
+        timing = simulate_system(trace, small, warmup_fraction=0.4)
+        grid_ratio = mach_curves.icache_miss_ratio(CacheConfig(8192, 4, 1))
+        timing_ratio = timing.icache_misses / timing.instructions
+        assert timing_ratio == pytest.approx(grid_ratio, rel=0.15)
+        assert direct.instructions == timing.instructions
+
+
+class TestDeterminismEndToEnd:
+    def test_full_pipeline_reproducible(self):
+        results = []
+        for _ in range(2):
+            curves = measure_workload(
+                "IOzone", "mach", use_cache=False,
+                capacities=(4096,), lines=(4,), assocs=(1,),
+                tlb_entries=(64,), tlb_assocs=(2,), tlb_full_max=64,
+                references=60_000,
+            )
+            results.append(curves.icache[(4096, 4, 1)])
+        assert results[0] == results[1]

@@ -1,0 +1,116 @@
+"""Suite-wide parametrized checks: every workload under every OS
+produces well-formed traces with the structural properties the paper's
+analysis depends on."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.types import AccessKind
+from repro.trace.generator import TraceGenerator, generate_trace
+from repro.workloads.registry import get_workload, workload_names
+
+REFS = 60_000
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        (workload, os_name): generate_trace(workload, os_name, REFS, seed=13)
+        for workload in workload_names()
+        for os_name in ("ultrix", "mach")
+    }
+
+
+@pytest.mark.parametrize("workload", workload_names())
+@pytest.mark.parametrize("os_name", ["ultrix", "mach"])
+class TestEveryWorkload:
+    def test_meets_length_and_alignment(self, traces, workload, os_name):
+        trace = traces[(workload, os_name)]
+        assert len(trace) >= REFS
+        assert (trace.addresses % 4 == 0).all()
+
+    def test_labels_recorded(self, traces, workload, os_name):
+        trace = traces[(workload, os_name)]
+        assert trace.workload == workload
+        assert trace.os_name == os_name
+
+    def test_kinds_are_valid(self, traces, workload, os_name):
+        trace = traces[(workload, os_name)]
+        assert set(np.unique(trace.kinds)) <= {0, 1, 2}
+        assert trace.instructions > 0.5 * len(trace)
+
+    def test_kernel_flag_only_on_kernel_space(self, traces, workload, os_name):
+        trace = traces[(workload, os_name)]
+        # Kernel-space references carry asid 0 in both models.
+        kernel_asids = np.unique(trace.asids[trace.kernel])
+        assert set(kernel_asids.tolist()) <= {0}
+
+    def test_unmapped_refs_exist_and_are_kernel(self, traces, workload, os_name):
+        trace = traces[(workload, os_name)]
+        unmapped = ~trace.mapped
+        assert unmapped.any()
+        assert trace.kernel[unmapped].all()
+
+    def test_physical_mapping_consistent(self, traces, workload, os_name):
+        trace = traces[(workload, os_name)]
+        virt_pages = trace.addresses >> 12
+        phys_pages = trace.physical >> 12
+        # One physical frame per virtual page, consistently.
+        pairs = np.stack([virt_pages, phys_pages], axis=1)
+        unique_pairs = np.unique(pairs, axis=0)
+        assert len(unique_pairs) == len(np.unique(virt_pages))
+
+    def test_stores_never_exceed_loads_much(self, traces, workload, os_name):
+        trace = traces[(workload, os_name)]
+        assert trace.stores < 2 * trace.loads
+
+
+@pytest.mark.parametrize("workload", workload_names())
+class TestOsContrastPerWorkload:
+    """Section 4's structural contrasts, workload by workload."""
+
+    def test_mach_fetches_from_more_address_spaces(self, traces, workload):
+        """Mach's service path crosses the BSD server (and pager), so
+        instruction fetches come from address spaces Ultrix never
+        executes in."""
+        ultrix = traces[(workload, "ultrix")]
+        mach = traces[(workload, "mach")]
+        ultrix_fetch_asids = set(
+            np.unique(ultrix.asids[ultrix.kinds == AccessKind.IFETCH]).tolist()
+        )
+        mach_fetch_asids = set(
+            np.unique(mach.asids[mach.kinds == AccessKind.IFETCH]).tolist()
+        )
+        # jpeg_play's long compute bursts can fill a short trace
+        # before any service fires, so >= for the general case; the
+        # strict inequality is asserted for the service-dense
+        # workloads below.
+        assert len(mach_fetch_asids) >= len(ultrix_fetch_asids)
+        if workload in ("IOzone", "ousterhout", "mab"):
+            assert len(mach_fetch_asids) > len(ultrix_fetch_asids)
+
+    def test_mach_uses_more_address_spaces(self, traces, workload):
+        ultrix = traces[(workload, "ultrix")]
+        mach = traces[(workload, "mach")]
+        assert len(np.unique(mach.asids)) >= len(np.unique(ultrix.asids))
+
+    def test_mach_touches_more_mapped_kernel_pages(self, traces, workload):
+        def kernel_pages(trace):
+            mask = trace.mapped & trace.kernel
+            return len(np.unique(trace.addresses[mask] >> 12))
+
+        assert kernel_pages(traces[(workload, "mach")]) >= kernel_pages(
+            traces[(workload, "ultrix")]
+        )
+
+
+class TestGeneratorConstruction:
+    def test_spec_object_accepted_directly(self):
+        spec = get_workload("IOzone")
+        generator = TraceGenerator(spec, "ultrix", seed=2)
+        assert generator.workload is spec
+
+    def test_models_share_workload_layout_keys(self):
+        for os_name in ("ultrix", "mach"):
+            generator = TraceGenerator("mab", os_name, seed=2)
+            assert {"kernel", "task", "xserver"} <= set(generator.model.spaces)

@@ -1,0 +1,41 @@
+"""Tests for shared units, helpers and exception types."""
+
+import pytest
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_constants_consistent(self):
+        assert units.PAGE_BYTES == 1 << units.PAGE_SHIFT
+        assert units.VPN_BITS + units.PAGE_SHIFT == units.ADDRESS_BITS
+        assert units.WORD_BYTES == 4
+
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 1 << 20])
+    def test_is_pow2_true(self, value):
+        assert units.is_pow2(value)
+
+    @pytest.mark.parametrize("value", [0, -4, 3, 6, 1023])
+    def test_is_pow2_false(self, value):
+        assert not units.is_pow2(value)
+
+    def test_log2i(self):
+        assert units.log2i(1) == 0
+        assert units.log2i(4096) == 12
+        with pytest.raises(ValueError):
+            units.log2i(12)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (
+            errors.ConfigurationError,
+            errors.TraceError,
+            errors.BudgetError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+            assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BudgetError("nothing fits")

@@ -1,0 +1,74 @@
+"""Tests for din-format trace interchange."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.memsim.types import AccessKind
+from repro.trace.dinero import read_din, write_din
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, ultrix_trace, tmp_path):
+        path = tmp_path / "trace.din"
+        count = write_din(ultrix_trace, path)
+        assert count == len(ultrix_trace)
+        loaded = read_din(path)
+        assert (loaded.addresses == ultrix_trace.addresses).all()
+        assert (loaded.kinds == ultrix_trace.kinds).all()
+
+    def test_translation_metadata_lost(self, ultrix_trace, tmp_path):
+        # din carries no OS information: everything comes back as
+        # mapped user references — the pixie blind spot of Table 3.
+        path = tmp_path / "trace.din"
+        write_din(ultrix_trace, path)
+        loaded = read_din(path)
+        assert loaded.mapped.all()
+        assert not loaded.kernel.any()
+        assert (loaded.asids == 1).all()
+
+    def test_stream_objects_supported(self):
+        buffer = io.StringIO()
+        from repro.trace.events import TraceChunkBuilder
+
+        builder = TraceChunkBuilder()
+        builder.append(np.array([0x1000, 0x1004]), int(AccessKind.IFETCH), 1, True, False)
+        trace = builder.build()
+        write_din(trace, buffer)
+        buffer.seek(0)
+        loaded = read_din(buffer)
+        assert loaded.addresses.tolist() == [0x1000, 0x1004]
+
+
+class TestFormat:
+    def test_labels(self):
+        text = "0 ff00\n1 ff04\n2 400000\n"
+        trace = read_din(io.StringIO(text))
+        assert trace.kinds.tolist() == [
+            int(AccessKind.LOAD),
+            int(AccessKind.STORE),
+            int(AccessKind.IFETCH),
+        ]
+        assert trace.addresses.tolist() == [0xFF00, 0xFF04, 0x400000]
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# header\n\n2 1000\n"
+        trace = read_din(io.StringIO(text))
+        assert len(trace) == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(TraceError, match="malformed"):
+            read_din(io.StringIO("2\n"))
+        with pytest.raises(TraceError, match="malformed"):
+            read_din(io.StringIO("x 1000\n"))
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(TraceError, match="unknown din label"):
+            read_din(io.StringIO("7 1000\n"))
+
+    def test_physical_frames_assigned(self):
+        text = "2 1000\n2 2000\n"
+        trace = read_din(io.StringIO(text), physical_seed=3)
+        assert len(np.unique(trace.physical >> 12)) == 2

@@ -1,0 +1,82 @@
+"""Tests for trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.trace.generator import OS_MODELS, TraceGenerator, generate_trace
+
+
+class TestGenerator:
+    def test_meets_target_length(self):
+        trace = generate_trace("IOzone", "ultrix", 50_000, seed=3)
+        assert len(trace) >= 50_000
+
+    def test_deterministic_for_seed(self):
+        a = generate_trace("mab", "mach", 40_000, seed=5)
+        b = generate_trace("mab", "mach", 40_000, seed=5)
+        assert (a.addresses == b.addresses).all()
+        assert (a.kinds == b.kinds).all()
+        assert (a.physical == b.physical).all()
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("mab", "mach", 40_000, seed=5)
+        b = generate_trace("mab", "mach", 40_000, seed=6)
+        assert len(a) != len(b) or not (a.addresses[: len(b)] == b.addresses[: len(a)]).all()
+
+    def test_unknown_os_rejected(self):
+        with pytest.raises(KeyError, match="unknown OS"):
+            TraceGenerator("mab", "windows_nt")
+
+    def test_metadata_labels(self):
+        trace = generate_trace("jpeg_play", "ultrix", 30_000, seed=2)
+        assert trace.workload == "jpeg_play"
+        assert trace.os_name == "ultrix"
+
+    def test_mach_dilutes_other_cpi(self):
+        ultrix = generate_trace("mpeg_play", "ultrix", 30_000, seed=2)
+        mach = generate_trace("mpeg_play", "mach", 30_000, seed=2)
+        assert mach.other_cpi < ultrix.other_cpi
+
+    def test_os_models_registry(self):
+        assert set(OS_MODELS) == {"ultrix", "mach"}
+
+
+class TestTraceComposition:
+    @pytest.mark.parametrize("os_name", ["ultrix", "mach"])
+    def test_reasonable_instruction_mix(self, os_name):
+        trace = generate_trace("mpeg_play", os_name, 60_000, seed=4)
+        instr = trace.instructions
+        assert 0.55 < instr / len(trace) < 0.9
+        assert 0.1 < trace.loads / instr < 0.45
+        assert 0.03 < trace.stores / instr < 0.35
+
+    def test_ultrix_has_unmapped_kernel_refs(self):
+        trace = generate_trace("IOzone", "ultrix", 60_000, seed=4)
+        assert (~trace.mapped).sum() > 0.05 * len(trace)
+
+    def test_mach_mapped_fraction_higher(self):
+        """Mach runs its OS code mapped at user level, so the mapped
+        fraction of all references must exceed Ultrix's."""
+        ultrix = generate_trace("IOzone", "ultrix", 60_000, seed=4)
+        mach = generate_trace("IOzone", "mach", 60_000, seed=4)
+        assert mach.mapped.mean() > ultrix.mapped.mean()
+
+    def test_mach_touches_more_distinct_pages(self):
+        ultrix = generate_trace("mpeg_play", "ultrix", 60_000, seed=4)
+        mach = generate_trace("mpeg_play", "mach", 60_000, seed=4)
+
+        def mapped_pages(trace):
+            keys = (trace.asids[trace.mapped].astype(np.int64) << 20) | (
+                trace.addresses[trace.mapped] >> 12
+            )
+            return len(np.unique(keys))
+
+        assert mapped_pages(mach) > mapped_pages(ultrix)
+
+    def test_page_faults_recorded(self):
+        trace = generate_trace("mab", "mach", 120_000, seed=4)
+        assert trace.page_faults > 0
+
+    def test_addresses_word_aligned(self):
+        trace = generate_trace("ousterhout", "ultrix", 30_000, seed=4)
+        assert (trace.addresses % 4 == 0).all()

@@ -1,0 +1,82 @@
+"""Tests for the Laha-style trace-sampling estimator."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.cache import Cache
+from repro.trace.sampling import sample_intervals, sampled_miss_ratio
+
+
+class TestSampleIntervals:
+    def test_non_overlapping(self, rng):
+        intervals = sample_intervals(100_000, samples=20, sample_length=2_000, rng=rng)
+        for (a0, a1), (b0, __) in zip(intervals, intervals[1:]):
+            assert a1 <= b0
+
+    def test_rejects_oversampling(self, rng):
+        with pytest.raises(ValueError):
+            sample_intervals(10_000, samples=10, sample_length=2_000, rng=rng)
+
+    def test_lengths_exact(self, rng):
+        intervals = sample_intervals(50_000, samples=5, sample_length=1_000, rng=rng)
+        assert all(stop - start == 1_000 for start, stop in intervals)
+
+
+class TestSampledMissRatio:
+    def _cache_simulator(self, capacity=8192, line_words=4):
+        def simulate(sub_trace, warmup):
+            cache = Cache(capacity, line_words, 1)
+            result = cache.simulate(sub_trace.ifetch_physical())
+            # Count misses only after the warmup prefix: re-run with
+            # flags for exactness.
+            cache2 = Cache(capacity, line_words, 1)
+            flags = cache2.simulate(
+                sub_trace.ifetch_physical(), record_flags=True
+            ).miss_flags
+            counted = flags[warmup:]
+            return int(counted.sum()), len(counted)
+
+        return simulate
+
+    def test_estimate_close_to_full_simulation(self, ultrix_trace):
+        estimate = sampled_miss_ratio(
+            ultrix_trace,
+            self._cache_simulator(),
+            samples=12,
+            sample_length=6_000,
+            seed=3,
+        )
+        cache = Cache(8192, 4, 1)
+        flags = cache.simulate(
+            ultrix_trace.ifetch_physical(), record_flags=True
+        ).miss_flags
+        half = len(flags) // 2
+        full_ratio = flags[half:].mean()
+        # Section 3: sampling should land within tens of percent
+        # relative error of the full simulation.
+        assert estimate.mean == pytest.approx(full_ratio, rel=0.5)
+
+    def test_more_samples_reduce_relative_error(self, ultrix_trace):
+        # Use a small cache so every sample sees a healthy miss ratio
+        # (low-miss configurations need many samples — Martonosi's
+        # caveat, quoted in Section 3 of the paper).
+        few = sampled_miss_ratio(
+            ultrix_trace, self._cache_simulator(capacity=2048), samples=4,
+            sample_length=4_000, seed=3,
+        )
+        many = sampled_miss_ratio(
+            ultrix_trace, self._cache_simulator(capacity=2048), samples=16,
+            sample_length=4_000, seed=3,
+        )
+        assert many.samples > few.samples
+        assert many.std_error <= few.std_error * 1.5
+
+    def test_relative_error_property(self, ultrix_trace):
+        estimate = sampled_miss_ratio(
+            ultrix_trace, self._cache_simulator(), samples=6,
+            sample_length=4_000, seed=3,
+        )
+        if estimate.mean:
+            assert estimate.relative_error == pytest.approx(
+                estimate.std_error / estimate.mean
+            )

@@ -1,0 +1,94 @@
+"""Tests for the workload parameterizations."""
+
+import pytest
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+
+class TestRegistry:
+    def test_six_paper_benchmarks(self):
+        assert set(workload_names()) == {
+            "mpeg_play", "mab", "jpeg_play", "ousterhout", "IOzone", "video_play",
+        }
+        assert set(WORKLOADS) == set(workload_names())
+
+    def test_lookup(self):
+        assert get_workload("mpeg_play").name == "mpeg_play"
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("doom")
+
+    def test_descriptions_present(self):
+        for spec in WORKLOADS.values():
+            assert spec.description
+
+
+class TestSpecValidation:
+    def _base_kwargs(self, **overrides):
+        kwargs = dict(
+            name="x", description="d", load_frac=0.2, store_frac=0.1,
+            other_cpi=0.1, compute_instructions=1000, hot_loop_bodies=(100,),
+            hot_loop_fraction=0.5, loop_iterations=10,
+            code_footprint_bytes=8192, text_bytes=65536, heap_pages=8,
+            heap_record_words=4, stream_bytes=0, stream_run_words=8,
+            stream_frac=0.0,
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**self._base_kwargs(load_frac=1.5))
+        with pytest.raises(ValueError):
+            WorkloadSpec(**self._base_kwargs(hot_loop_fraction=1.1))
+
+    def test_service_mix_weights(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**self._base_kwargs(service_mix={"read": 0.0}))
+
+    def test_normalized_mix_sums_to_one(self):
+        spec = WorkloadSpec(**self._base_kwargs(service_mix={"read": 2, "write": 2}))
+        mix = spec.normalized_service_mix()
+        assert sum(p for _, p in mix) == pytest.approx(1.0)
+        assert dict(mix)["read"] == pytest.approx(0.5)
+
+    def test_data_frac(self):
+        spec = WorkloadSpec(**self._base_kwargs())
+        assert spec.data_frac == pytest.approx(0.3)
+
+
+class TestPaperDerivedStructure:
+    def test_iozone_is_io_bound(self):
+        iozone = get_workload("IOzone")
+        assert set(iozone.service_mix) == {"read", "write"}
+        assert iozone.stream_bytes >= 1 << 20
+        assert iozone.x_interaction_rate == 0.0
+
+    def test_ousterhout_has_highest_service_density(self):
+        oust = get_workload("ousterhout")
+        densities = {
+            name: spec.services_per_cycle / spec.compute_instructions
+            for name, spec in WORKLOADS.items()
+        }
+        assert densities["ousterhout"] == max(densities.values())
+
+    def test_video_play_streams_most(self):
+        assert get_workload("video_play").stream_bytes == max(
+            spec.stream_bytes for spec in WORKLOADS.values()
+        )
+
+    def test_display_workloads_talk_to_x(self):
+        for name in ("mpeg_play", "video_play", "jpeg_play"):
+            assert get_workload(name).x_interaction_rate > 0
+
+    def test_jpeg_play_most_compute_bound(self):
+        jpeg = get_workload("jpeg_play")
+        assert jpeg.hot_loop_fraction == max(
+            spec.hot_loop_fraction for spec in WORKLOADS.values()
+        )
+
+    def test_all_services_exist_in_catalog(self):
+        from repro.osmodel.services import SERVICE_CATALOG
+
+        for spec in WORKLOADS.values():
+            assert set(spec.service_mix) <= set(SERVICE_CATALOG)
