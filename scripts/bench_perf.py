@@ -1,0 +1,164 @@
+"""Performance benchmark harness: writes BENCH_perf.json.
+
+Times the two layers the fast simulation engine accelerates:
+
+1. The Table 5 cache-miss-ratio grid on a 700k-reference instruction
+   stream — interpreted baseline vs the engine (and each forced engine
+   mode), with a bit-identity check.
+2. A full StructureCurves measurement (all units for one
+   (workload, OS) pair), serial and with ``--jobs 4``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py [--output BENCH_perf.json]
+
+``REPRO_SCALE`` is ignored: the numbers are defined at full trace
+length so they are comparable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.core.measure import measure_workload
+from repro.core.space import (
+    TABLE5_CACHE_ASSOCS,
+    TABLE5_CACHE_CAPACITIES,
+    TABLE5_CACHE_LINES,
+)
+from repro.memsim.engine import engine_mode, native_available
+from repro.memsim.multiconfig import (
+    cache_miss_ratio_grid,
+    cache_miss_ratio_grid_reference,
+)
+from repro.trace.generator import generate_trace
+
+BENCH_REFERENCES = 700_000
+WORKLOAD = "mpeg_play"
+OS_NAME = "mach"
+
+
+def best_of(fn, reps: int = 3) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_grid(trace) -> dict:
+    stream = np.asarray(trace.ifetch_physical(), dtype=np.int64)
+    args = (
+        stream,
+        list(TABLE5_CACHE_CAPACITIES),
+        list(TABLE5_CACHE_LINES),
+        list(TABLE5_CACHE_ASSOCS),
+    )
+    t0 = time.perf_counter()
+    reference = cache_miss_ratio_grid_reference(*args)
+    reference_s = time.perf_counter() - t0
+
+    modes = ["auto", "vector", "python"] + (
+        ["native"] if native_available() else []
+    )
+    results: dict = {
+        "stream": "ifetch",
+        "references": int(len(stream)),
+        "reference_seconds": round(reference_s, 3),
+        "engines": {},
+    }
+    for mode in modes:
+        seconds, grid = best_of(
+            lambda: cache_miss_ratio_grid(*args, engine=mode)
+        )
+        results["engines"][mode] = {
+            "seconds": round(seconds, 4),
+            "speedup": round(reference_s / seconds, 1),
+            "bit_identical": grid == reference,
+        }
+    return results
+
+
+def bench_curves() -> dict:
+    def run(jobs):
+        return measure_workload(
+            WORKLOAD,
+            OS_NAME,
+            references=BENCH_REFERENCES,
+            use_cache=False,
+            jobs=jobs,
+        )
+
+    t0 = time.perf_counter()
+    serial = run(1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run(4)
+    parallel_s = time.perf_counter() - t0
+    return {
+        "workload": WORKLOAD,
+        "os": OS_NAME,
+        "references": BENCH_REFERENCES,
+        "serial_seconds": round(serial_s, 2),
+        "jobs4_seconds": round(parallel_s, 2),
+        "identical": serial == parallel,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_perf.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    out_dir = os.path.dirname(os.path.abspath(args.output))
+    if not os.path.isdir(out_dir):
+        parser.error(f"output directory does not exist: {out_dir}")
+
+    print(f"generating {BENCH_REFERENCES:,}-reference {WORKLOAD}/{OS_NAME} trace ...")
+    trace = generate_trace(WORKLOAD, OS_NAME, BENCH_REFERENCES, seed=1)
+
+    print("benchmarking Table 5 grid sweep ...")
+    grid = bench_grid(trace)
+    for mode, row in grid["engines"].items():
+        print(
+            f"  {mode:>7}: {row['seconds']:.3f}s "
+            f"({row['speedup']}x, identical={row['bit_identical']})"
+        )
+
+    print("benchmarking full StructureCurves measurement ...")
+    curves = bench_curves()
+    print(
+        f"  serial: {curves['serial_seconds']}s   "
+        f"jobs=4: {curves['jobs4_seconds']}s   "
+        f"identical={curves['identical']}"
+    )
+
+    payload = {
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "default_engine": engine_mode(),
+            "native_kernel": native_available(),
+        },
+        "grid_sweep": grid,
+        "structure_curves": curves,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

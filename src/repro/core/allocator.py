@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.configs import CacheConfig, MemSystemConfig, TlbConfig
 from repro.core.cpi import CpiModel
 from repro.core.measure import BenefitCurves, StructureCurves
@@ -111,6 +113,89 @@ class Allocator:
 
         # Per-structure areas and CPI contributions are independent, so
         # precompute them once instead of per combination.
+        tlb_cost = {t: (t.area_rbe(), self.cpi_model.tlb_cpi(self.curves, t)) for t in tlbs}
+        icache_cost = {
+            c: (c.area_rbe(), self.cpi_model.icache_cpi(self.curves, c))
+            for c in icaches
+            if max_cache_assoc is None or c.assoc <= max_cache_assoc
+        }
+        dcache_cost = {
+            c: (c.area_rbe(), self.cpi_model.dcache_cpi(self.curves, c))
+            for c in dcaches
+            if max_cache_assoc is None or c.assoc <= max_cache_assoc
+        }
+        fixed_cpi = 1.0 + self.curves.other_cpi + self.curves.wb_stall_per_instr
+
+        # Vectorized scoring: per-structure areas and CPI contributions
+        # broadcast over the (tlb, icache, dcache) cross product, then
+        # one stable lexsort ranks every feasible point at once.  The
+        # float-operation order matches the interpreted triple loop in
+        # _rank_reference (held identical by the tests), so results are
+        # bit-for-bit the same, including tie-breaking by enumeration
+        # order.
+        tlb_keys = list(tlb_cost)
+        ic_keys = list(icache_cost)
+        dc_keys = list(dcache_cost)
+        t_area = np.array([tlb_cost[t][0] for t in tlb_keys], dtype=np.float64)
+        t_cpi = np.array([tlb_cost[t][1] for t in tlb_keys], dtype=np.float64)
+        i_area = np.array([icache_cost[c][0] for c in ic_keys], dtype=np.float64)
+        i_cpi = np.array([icache_cost[c][1] for c in ic_keys], dtype=np.float64)
+        d_area = np.array([dcache_cost[c][0] for c in dc_keys], dtype=np.float64)
+        d_cpi = np.array([dcache_cost[c][1] for c in dc_keys], dtype=np.float64)
+
+        n_d = len(dc_keys)
+        budget_left = self.budget_rbes - t_area[:, None] - i_area[None, :]
+        feasible_mask = (budget_left[:, :, None] >= 0) & (
+            d_area[None, None, :] <= budget_left[:, :, None]
+        )
+        flat_idx = np.flatnonzero(feasible_mask.ravel())
+        if flat_idx.size == 0:
+            raise BudgetError(
+                f"no configuration fits within {self.budget_rbes} rbes"
+            )
+        area = (
+            (t_area[:, None] + i_area[None, :])[:, :, None] + d_area
+        ).ravel()[flat_idx]
+        cpi = (
+            ((fixed_cpi + t_cpi)[:, None] + i_cpi)[:, :, None] + d_cpi
+        ).ravel()[flat_idx]
+        # lexsort is stable, so ties on (cpi, area) keep the flat
+        # (tlb-major) enumeration order, exactly like list.sort on the
+        # loop-built list.
+        order = np.lexsort((area, cpi))
+        if limit is not None:
+            order = order[:limit]
+        ranked = flat_idx[order]
+        ti, rem = np.divmod(ranked, len(ic_keys) * n_d)
+        ii, di = np.divmod(rem, n_d)
+        return [
+            Allocation(
+                config=MemSystemConfig(tlb_keys[t], ic_keys[i], dc_keys[d]),
+                area_rbe=float(a),
+                cpi=float(c),
+            )
+            for t, i, d, a, c in zip(
+                ti.tolist(), ii.tolist(), di.tolist(),
+                area[order].tolist(), cpi[order].tolist(),
+            )
+        ]
+
+    def _rank_reference(
+        self,
+        max_cache_assoc: int | None = None,
+        tlbs: list[TlbConfig] | None = None,
+        icaches: list[CacheConfig] | None = None,
+        dcaches: list[CacheConfig] | None = None,
+        limit: int | None = None,
+    ) -> list[Allocation]:
+        """Interpreted twin of :meth:`rank` (the original triple loop).
+
+        Kept as the baseline the differential tests hold :meth:`rank`
+        bit-identical to.
+        """
+        tlbs = tlbs if tlbs is not None else enumerate_tlb_configs()
+        icaches = icaches if icaches is not None else enumerate_cache_configs()
+        dcaches = dcaches if dcaches is not None else enumerate_cache_configs()
         tlb_cost = {t: (t.area_rbe(), self.cpi_model.tlb_cpi(self.curves, t)) for t in tlbs}
         icache_cost = {
             c: (c.area_rbe(), self.cpi_model.icache_cpi(self.curves, c))

@@ -7,9 +7,22 @@ miss table split into user/kernel misses.  One synthetic trace per
 (workload, OS) feeds single-pass stack simulations; results are cached
 on disk so reruns (tests, benchmarks, the allocator) are cheap.
 
-Set ``REPRO_SCALE`` to scale trace lengths (1.0 default; larger values
-tighten estimates at the cost of runtime) and ``REPRO_CACHE_DIR`` to
-move the cache (default ``.repro-cache`` under the working directory).
+Measurement decomposes into independent units — one per (workload, OS,
+structure, line size) plus the TLB table and the timing pass — which
+can fan out over a process pool.  Performance knobs:
+
+* ``REPRO_SCALE`` scales trace lengths (default 1.0; larger values
+  tighten estimates at the cost of runtime).
+* ``REPRO_JOBS`` sets the worker-process count.  Explicit ``jobs``
+  arguments (and the runner's ``--jobs`` flag) take precedence over
+  the environment variable; the default is 1 (serial, in-process).
+* ``REPRO_CACHE_DIR`` moves the measurement cache (default
+  ``.repro-cache`` under the working directory).
+
+Cache writes go to a unique temporary file and are published with an
+atomic ``os.replace``, so concurrent workers and interrupted runs
+never corrupt the cache; corrupt or stale-format entries are evicted
+and remeasured instead of crashing.
 """
 
 from __future__ import annotations
@@ -17,6 +30,8 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -43,7 +58,7 @@ from repro.units import PAGE_SHIFT, VPN_BITS
 
 DEFAULT_REFERENCES = 700_000
 DEFAULT_WARMUP = 0.4
-CACHE_FORMAT_VERSION = 4
+CACHE_FORMAT_VERSION = 5
 
 
 def scale() -> float:
@@ -54,6 +69,15 @@ def scale() -> float:
 def cache_dir() -> Path:
     """Directory for measurement caching (created on demand)."""
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument, then REPRO_JOBS, then 1."""
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
 
 
 @dataclass
@@ -109,25 +133,63 @@ def _cache_key(**kwargs) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:24]
 
 
+def _evict(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
 def _load_cached(key: str):
+    """Load a cache entry, evicting corrupt or stale-format files.
+
+    Entries are ``{"version": CACHE_FORMAT_VERSION, "value": ...}``
+    payloads; anything unreadable (truncated write from a crashed run,
+    a foreign file, an old payload format) is deleted and remeasured.
+    """
     path = cache_dir() / f"{key}.pkl"
     if not path.exists():
         return None
     try:
         with open(path, "rb") as handle:
-            return pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError):
+            payload = pickle.load(handle)
+    except Exception:
+        # Truncated pickles raise UnpicklingError/EOFError; entries
+        # from modules that have since moved raise ImportError or
+        # AttributeError.  All mean the same thing: remeasure.
+        _evict(path)
         return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != CACHE_FORMAT_VERSION
+        or "value" not in payload
+    ):
+        _evict(path)
+        return None
+    return payload["value"]
 
 
 def _store_cached(key: str, value) -> None:
+    """Atomically publish a cache entry (safe under concurrent writers).
+
+    Each writer dumps to its own temporary file and renames it into
+    place, so readers only ever see complete pickles and the last
+    writer wins without corruption.
+    """
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{key}.pkl"
-    tmp = path.with_suffix(".tmp")
-    with open(tmp, "wb") as handle:
-        pickle.dump(value, handle)
-    tmp.replace(path)
+    payload = {"version": CACHE_FORMAT_VERSION, "value": value}
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{key}-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        _evict(Path(tmp_name))
+        raise
 
 
 def _tlb_table(
@@ -145,10 +207,13 @@ def _tlb_table(
     count_from = int((mapped_idx < warm).sum())
     # Consecutive same-page references are guaranteed hits.
     deduped, kernel_d = dedupe_consecutive(ids, kernel)
-    keep = np.empty(len(ids), dtype=bool)
-    keep[0] = True
-    np.not_equal(ids[1:], ids[:-1], out=keep[1:])
-    deduped_from = int(keep[:count_from].sum())
+    if len(ids):
+        keep = np.empty(len(ids), dtype=bool)
+        keep[0] = True
+        np.not_equal(ids[1:], ids[:-1], out=keep[1:])
+        deduped_from = int(keep[:count_from].sum())
+    else:
+        deduped_from = 0
 
     table: dict = {}
     max_assoc = max(assocs)
@@ -175,6 +240,189 @@ def _tlb_table(
     return table
 
 
+# ---------------------------------------------------------------------------
+# Unit-level measurement: one (workload, OS) measurement decomposes
+# into independent units — a cache grid per (structure, line size), the
+# TLB table, and the reference timing pass — that run serially or fan
+# out over a process pool.  Workers memoize the generated trace so each
+# process synthesizes a given (workload, OS) trace at most once.
+
+_worker_traces: dict[tuple, object] = {}
+
+
+def _trace_for(workload: str, os_name: str, references: int, seed: int):
+    key = (workload, os_name, references, seed)
+    trace = _worker_traces.get(key)
+    if trace is None:
+        if len(_worker_traces) >= 2:
+            _worker_traces.clear()
+        trace = generate_trace(workload, os_name, references, seed=seed)
+        _worker_traces[key] = trace
+    return trace
+
+
+def _measure_unit(spec: tuple):
+    """Compute one measurement unit; runs in-process or in a worker."""
+    (unit, workload, os_name, references, seed, warmup_fraction, params) = spec
+    trace = _trace_for(workload, os_name, references, seed)
+    warm = int(len(trace) * warmup_fraction)
+    if unit in ("icache", "dcache"):
+        capacities, line_words, assocs = params
+        kind_code = 0 if unit == "icache" else 1
+        stream = (
+            trace.ifetch_physical() if unit == "icache" else trace.load_physical()
+        )
+        stream_warm = int((np.flatnonzero(trace.kinds == kind_code) < warm).sum())
+        return cache_miss_ratio_grid(
+            stream,
+            list(capacities),
+            [line_words],
+            list(assocs),
+            warmup_fraction=stream_warm / max(len(stream), 1),
+        )
+    if unit == "tlb":
+        tlb_entries, tlb_assocs, tlb_full_max = params
+        return _tlb_table(trace, tlb_entries, tlb_assocs, tlb_full_max, warm)
+    if unit == "timing":
+        kinds = trace.kinds[warm:]
+        instructions = int((kinds == 0).sum())
+        reference_timing = simulate_system(
+            trace, DECSTATION_3100, warmup_fraction=warmup_fraction
+        )
+        return {
+            "instructions": instructions,
+            "loads": int((kinds == 1).sum()),
+            "stores": int((kinds == 2).sum()),
+            "mapped": int(trace.mapped[warm:].sum()),
+            "other_cpi": trace.other_cpi,
+            "wb_stall": reference_timing.cpi_components["write_buffer"],
+            "page_fault_per_instr": trace.page_faults
+            / max(trace.instructions, 1),
+        }
+    raise ValueError(f"unknown measurement unit {unit!r}")
+
+
+@dataclass(frozen=True)
+class _MeasureOpts:
+    capacities: tuple[int, ...]
+    lines: tuple[int, ...]
+    assocs: tuple[int, ...]
+    tlb_entries: tuple[int, ...]
+    tlb_assocs: tuple[int, ...]
+    tlb_full_max: int
+    references: int
+    warmup_fraction: float
+    seed: int
+
+    def cache_key(self, workload: str, os_name: str) -> str:
+        return _cache_key(
+            kind="curves",
+            workload=workload,
+            os_name=os_name,
+            capacities=self.capacities,
+            lines=self.lines,
+            assocs=self.assocs,
+            tlb_entries=self.tlb_entries,
+            tlb_assocs=self.tlb_assocs,
+            tlb_full_max=self.tlb_full_max,
+            references=self.references,
+            warmup=self.warmup_fraction,
+            seed=self.seed,
+        )
+
+    def unit_specs(self, workload: str, os_name: str) -> list[tuple]:
+        common = (
+            workload,
+            os_name,
+            self.references,
+            self.seed,
+            self.warmup_fraction,
+        )
+        specs = [
+            ("icache", *common, (self.capacities, lw, self.assocs))
+            for lw in self.lines
+        ]
+        specs += [
+            ("dcache", *common, (self.capacities, lw, self.assocs))
+            for lw in self.lines
+        ]
+        specs.append(
+            ("tlb", *common, (self.tlb_entries, self.tlb_assocs, self.tlb_full_max))
+        )
+        specs.append(("timing", *common, None))
+        return specs
+
+
+def _assemble_curves(
+    workload: str, os_name: str, specs: list[tuple], outputs: list
+) -> StructureCurves:
+    icache: dict = {}
+    dcache: dict = {}
+    tlb: dict = {}
+    stats: dict = {}
+    for spec, output in zip(specs, outputs):
+        unit = spec[0]
+        if unit == "icache":
+            icache.update(output)
+        elif unit == "dcache":
+            dcache.update(output)
+        elif unit == "tlb":
+            tlb = output
+        else:
+            stats = output
+    instructions = stats["instructions"]
+    return StructureCurves(
+        workload=workload,
+        os_name=os_name,
+        instructions=instructions,
+        loads_per_instr=stats["loads"] / instructions,
+        stores_per_instr=stats["stores"] / instructions,
+        mapped_per_instr=stats["mapped"] / instructions,
+        other_cpi=stats["other_cpi"],
+        wb_stall_per_instr=stats["wb_stall"],
+        page_fault_per_instr=stats["page_fault_per_instr"],
+        icache=icache,
+        dcache=dcache,
+        tlb=tlb,
+    )
+
+
+def _measure_pairs(
+    pairs: list[tuple[str, str]],
+    opts: _MeasureOpts,
+    use_cache: bool,
+    jobs: int,
+) -> list[StructureCurves]:
+    """Measure several (workload, OS) pairs, fanning units over a pool."""
+    results: dict[tuple[str, str], StructureCurves] = {}
+    todo: list[tuple[str, str]] = []
+    for pair in pairs:
+        cached = _load_cached(opts.cache_key(*pair)) if use_cache else None
+        if cached is not None:
+            results[pair] = cached
+        else:
+            todo.append(pair)
+
+    if todo:
+        pair_specs = {pair: opts.unit_specs(*pair) for pair in todo}
+        flat = [spec for specs in pair_specs.values() for spec in specs]
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                flat_outputs = list(pool.map(_measure_unit, flat))
+        else:
+            flat_outputs = [_measure_unit(spec) for spec in flat]
+        cursor = 0
+        for pair in todo:
+            specs = pair_specs[pair]
+            outputs = flat_outputs[cursor : cursor + len(specs)]
+            cursor += len(specs)
+            curves = _assemble_curves(*pair, specs, outputs)
+            if use_cache:
+                _store_cached(opts.cache_key(*pair), curves)
+            results[pair] = curves
+    return [results[pair] for pair in pairs]
+
+
 def measure_workload(
     workload: str,
     os_name: str,
@@ -188,98 +436,73 @@ def measure_workload(
     warmup_fraction: float = DEFAULT_WARMUP,
     seed: int = 1,
     use_cache: bool = True,
+    jobs: int | None = None,
 ) -> StructureCurves:
     """Measure all benefit curves for one (workload, OS) pair.
 
     Results are cached on disk keyed by every parameter, so repeated
     calls (from tests, benches and the allocator) cost one pickle load.
+    ``jobs`` (argument, then REPRO_JOBS, then 1) fans the measurement
+    units out over worker processes.
     """
-    references = int(
-        references if references is not None else DEFAULT_REFERENCES * scale()
-    )
-    key = _cache_key(
-        kind="curves",
-        workload=workload,
-        os_name=os_name,
-        capacities=capacities,
-        lines=lines,
-        assocs=assocs,
-        tlb_entries=tlb_entries,
-        tlb_assocs=tlb_assocs,
+    opts = _MeasureOpts(
+        capacities=tuple(capacities),
+        lines=tuple(lines),
+        assocs=tuple(assocs),
+        tlb_entries=tuple(tlb_entries),
+        tlb_assocs=tuple(tlb_assocs),
         tlb_full_max=tlb_full_max,
-        references=references,
-        warmup=warmup_fraction,
+        references=int(
+            references if references is not None else DEFAULT_REFERENCES * scale()
+        ),
+        warmup_fraction=warmup_fraction,
         seed=seed,
     )
-    if use_cache:
-        cached = _load_cached(key)
-        if cached is not None:
-            return cached
-
-    trace = generate_trace(workload, os_name, references, seed=seed)
-    warm = int(len(trace) * warmup_fraction)
-    kinds = trace.kinds[warm:]
-    instructions = int((kinds == 0).sum())
-    loads = int((kinds == 1).sum())
-    stores = int((kinds == 2).sum())
-    mapped = int(trace.mapped[warm:].sum())
-
-    ifetch_phys = trace.ifetch_physical()
-    ifetch_warm = int((np.flatnonzero(trace.kinds == 0) < warm).sum())
-    icache = cache_miss_ratio_grid(
-        ifetch_phys,
-        list(capacities),
-        list(lines),
-        list(assocs),
-        warmup_fraction=ifetch_warm / max(len(ifetch_phys), 1),
-    )
-
-    load_phys = trace.load_physical()
-    load_warm = int((np.flatnonzero(trace.kinds == 1) < warm).sum())
-    dcache = cache_miss_ratio_grid(
-        load_phys,
-        list(capacities),
-        list(lines),
-        list(assocs),
-        warmup_fraction=load_warm / max(len(load_phys), 1),
-    )
-    # Convert D-cache ratios from per-load basis used downstream: the
-    # grid normalizes by counted references, which here are loads.
-
-    tlb = _tlb_table(trace, tlb_entries, tlb_assocs, tlb_full_max, warm)
-
-    reference_timing = simulate_system(
-        trace, DECSTATION_3100, warmup_fraction=warmup_fraction
-    )
-    curves = StructureCurves(
-        workload=workload,
-        os_name=os_name,
-        instructions=instructions,
-        loads_per_instr=loads / instructions,
-        stores_per_instr=stores / instructions,
-        mapped_per_instr=mapped / instructions,
-        other_cpi=trace.other_cpi,
-        wb_stall_per_instr=reference_timing.cpi_components["write_buffer"],
-        page_fault_per_instr=trace.page_faults / max(trace.instructions, 1),
-        icache=icache,
-        dcache=dcache,
-        tlb=tlb,
-    )
-    if use_cache:
-        _store_cached(key, curves)
-    return curves
+    return _measure_pairs(
+        [(workload, os_name)], opts, use_cache, resolve_jobs(jobs)
+    )[0]
 
 
 def measure_suite(
     os_name: str,
     workloads: tuple[str, ...] | None = None,
-    **kwargs,
+    capacities: tuple[int, ...] = TABLE5_CACHE_CAPACITIES,
+    lines: tuple[int, ...] = TABLE5_CACHE_LINES,
+    assocs: tuple[int, ...] = TABLE5_CACHE_ASSOCS,
+    tlb_entries: tuple[int, ...] = TABLE5_TLB_ENTRIES,
+    tlb_assocs: tuple[int, ...] = TABLE5_TLB_ASSOCS,
+    tlb_full_max: int = TABLE5_TLB_FULL_MAX_ENTRIES,
+    references: int | None = None,
+    warmup_fraction: float = DEFAULT_WARMUP,
+    seed: int = 1,
+    use_cache: bool = True,
+    jobs: int | None = None,
 ) -> list[StructureCurves]:
-    """Measure every workload of the suite under one OS."""
+    """Measure every workload of the suite under one OS.
+
+    With ``jobs > 1`` the units of *all* uncached workloads are pooled
+    into one process-pool submission, so parallelism spans workloads as
+    well as structures.
+    """
     from repro.workloads.registry import workload_names
 
     names = workloads if workloads is not None else tuple(workload_names())
-    return [measure_workload(name, os_name, **kwargs) for name in names]
+    opts = _MeasureOpts(
+        capacities=tuple(capacities),
+        lines=tuple(lines),
+        assocs=tuple(assocs),
+        tlb_entries=tuple(tlb_entries),
+        tlb_assocs=tuple(tlb_assocs),
+        tlb_full_max=tlb_full_max,
+        references=int(
+            references if references is not None else DEFAULT_REFERENCES * scale()
+        ),
+        warmup_fraction=warmup_fraction,
+        seed=seed,
+    )
+    return _measure_pairs(
+        [(name, os_name) for name in names], opts, use_cache, resolve_jobs(jobs)
+    )
 
 
 @dataclass

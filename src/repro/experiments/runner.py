@@ -4,16 +4,19 @@ Usage::
 
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner table6 fig9
-    python -m repro.experiments.runner --all
+    python -m repro.experiments.runner --all --jobs 4
 
 Set ``REPRO_SCALE`` to trade accuracy for runtime (e.g. 0.3 for a
-quick pass, 3.0 for a long, tighter run).
+quick pass, 3.0 for a long, tighter run).  ``--jobs N`` fans the
+measurement units out over N worker processes; it takes precedence
+over the ``REPRO_JOBS`` environment variable (default 1, serial).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
 
@@ -40,7 +43,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--list", action="store_true", help="list experiment names")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for curve measurement "
+        "(overrides REPRO_JOBS; default 1)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        # Experiments read the worker count through resolve_jobs(), so
+        # the flag simply takes the env var's place for this process.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     if args.list:
         for name in EXPERIMENT_NAMES:

@@ -1,0 +1,47 @@
+/* Capped LRU stack-depth kernel.
+ *
+ * One call simulates one (stream, set count) pass: for every reference
+ * it reports the LRU stack depth of the referenced id within its set,
+ * capped at max_assoc (the value max_assoc means "missed at every
+ * associativity up to the cap").  Semantics match the Python reference
+ * loop in repro.memsim.engine exactly: a depth-0 re-reference leaves
+ * the stack untouched, deeper hits move the id to the front, misses
+ * push the id and drop the least recently used entry.
+ *
+ * Compiled on demand by repro.memsim._native via the system C compiler
+ * and loaded through ctypes; the build is optional and every caller
+ * falls back to the NumPy engine when no compiler is available.
+ */
+
+#include <stdint.h>
+
+/* ids: n nonnegative identifiers (time order).
+ * set_mask: n_sets - 1 (n_sets a power of two).
+ * stacks: scratch of n_sets * max_assoc entries, initialised to -1.
+ * out: n int16 depths in [0, max_assoc].
+ */
+void repro_lru_depths(const int64_t *ids, int64_t n, int64_t set_mask,
+                      int32_t max_assoc, int64_t *stacks, int16_t *out)
+{
+    for (int64_t i = 0; i < n; i++) {
+        int64_t id = ids[i];
+        int64_t *stack = stacks + (id & set_mask) * (int64_t)max_assoc;
+        int64_t shifted = stack[0];
+        if (shifted == id) {
+            out[i] = 0;
+            continue;
+        }
+        int32_t depth = max_assoc;
+        stack[0] = id;
+        for (int32_t k = 1; k < max_assoc; k++) {
+            int64_t cur = stack[k];
+            stack[k] = shifted;
+            if (cur == id) {
+                depth = k;
+                break;
+            }
+            shifted = cur;
+        }
+        out[i] = (int16_t)depth;
+    }
+}

@@ -1,0 +1,144 @@
+"""On-demand build and loading of the C stack-depth kernel.
+
+The kernel in ``_native.c`` is a ~30-line C loop; on machines with a C
+compiler it is built once into a per-user cache directory and loaded
+through :mod:`ctypes`, giving the ``native`` engine mode.  Everything
+here is best-effort: any failure (no compiler, read-only filesystem,
+sandboxed exec) simply reports the kernel as unavailable and the NumPy
+engine takes over.  No third-party packages are involved.
+
+Environment knobs:
+
+* ``REPRO_NATIVE=0`` — never build or load the kernel.
+* ``REPRO_NATIVE_DIR`` — where to cache the shared library (default: a
+  per-user directory under the system temp dir).
+* ``CC`` — compiler to use (default: first of ``cc``, ``gcc``,
+  ``clang`` on PATH).
+
+Concurrent builders are safe: each compiles to a unique temporary file
+and publishes it with an atomic :func:`os.replace`.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+_SOURCE_PATH = os.path.join(os.path.dirname(__file__), "_native.c")
+
+_lib: ctypes.CDLL | None = None
+_load_attempted = False
+_load_error: str | None = None
+
+
+def _build_dir() -> str:
+    explicit = os.environ.get("REPRO_NATIVE_DIR")
+    if explicit:
+        return explicit
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-native-{uid}")
+
+
+def _compiler() -> str | None:
+    explicit = os.environ.get("CC")
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("cc", "gcc", "clang"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def _compile(source: str, lib_path: str) -> None:
+    cc = _compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler on PATH (set CC or REPRO_NATIVE=0)")
+    os.makedirs(os.path.dirname(lib_path), exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        suffix=".so", dir=os.path.dirname(lib_path)
+    )
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", tmp_path, source],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(f"{cc} failed: {proc.stderr.strip()[:500]}")
+        os.replace(tmp_path, lib_path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+
+
+def _load() -> ctypes.CDLL | None:
+    global _lib, _load_attempted, _load_error
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    if os.environ.get("REPRO_NATIVE", "1") == "0":
+        _load_error = "disabled by REPRO_NATIVE=0"
+        return None
+    try:
+        with open(_SOURCE_PATH, "rb") as fh:
+            source_bytes = fh.read()
+        digest = hashlib.sha256(source_bytes).hexdigest()[:16]
+        lib_path = os.path.join(_build_dir(), f"repro-lru-{digest}.so")
+        if not os.path.exists(lib_path):
+            _compile(_SOURCE_PATH, lib_path)
+        lib = ctypes.CDLL(lib_path)
+        fn = lib.repro_lru_depths
+        fn.restype = None
+        fn.argtypes = [
+            ctypes.c_void_p,  # ids
+            ctypes.c_int64,  # n
+            ctypes.c_int64,  # set_mask
+            ctypes.c_int32,  # max_assoc
+            ctypes.c_void_p,  # stacks scratch
+            ctypes.c_void_p,  # out
+        ]
+        _lib = lib
+    except Exception as exc:  # pragma: no cover - environment dependent
+        _load_error = str(exc)
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    """True when the C kernel compiled (or was cached) and loaded."""
+    return _load() is not None
+
+
+def load_error() -> str | None:
+    """Why the kernel is unavailable, for diagnostics; None if loaded."""
+    _load()
+    return _load_error
+
+
+def pass_depths(
+    ids: np.ndarray, n_sets: int, max_assoc: int, out: np.ndarray
+) -> None:
+    """Run one (stream, set count) pass through the C kernel."""
+    lib = _load()
+    if lib is None:
+        raise RuntimeError(f"native kernel unavailable: {_load_error}")
+    ids = np.ascontiguousarray(ids, dtype=np.int64)
+    if out.dtype != np.int16 or not out.flags.c_contiguous:
+        raise ValueError("out must be a contiguous int16 array")
+    scratch = np.full(n_sets * max_assoc, -1, dtype=np.int64)
+    lib.repro_lru_depths(
+        ids.ctypes.data,
+        len(ids),
+        n_sets - 1,
+        max_assoc,
+        scratch.ctypes.data,
+        out.ctypes.data,
+    )

@@ -5,6 +5,14 @@ grid of cache or TLB configurations, exploiting the LRU inclusion
 property so each (line size, set count) pair costs a single pass
 (see :mod:`repro.memsim.stackdist`).  They are the workhorses behind
 Figures 7-10 and the Table 6/7 allocation sweep.
+
+The grid batches all of its passes through
+:func:`repro.memsim.engine.multi_group_depths`, grouped by the deepest
+associativity each set count actually needs — the largest set counts
+are only ever direct-mapped or 2-way in Table 5, and those caps have
+closed-form vectorized answers.  The original interpreted sweep
+remains as :func:`cache_miss_ratio_grid_reference` and is held
+bit-identical by the differential test suite.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.memsim.engine import lru_depths, multi_group_depths
 from repro.units import WORD_BYTES, log2i
 
 
@@ -33,24 +42,36 @@ def dedupe_consecutive(
     streams.  Any *flags* arrays are filtered with the same mask.
 
     Returns:
-        ``(deduped_ids, *deduped_flags)``.
+        ``(deduped_ids, *deduped_flags)`` — always a tuple of arrays,
+        including for empty and single-reference streams.
     """
     ids = np.asarray(ids)
     if len(ids) == 0:
-        return (ids, *flags)
+        return (ids, *(np.asarray(f) for f in flags))
     keep = np.empty(len(ids), dtype=bool)
     keep[0] = True
     np.not_equal(ids[1:], ids[:-1], out=keep[1:])
     return (ids[keep], *(np.asarray(f)[keep] for f in flags))
 
 
-def miss_flags_lru(ids: np.ndarray, n_sets: int, assoc: int) -> np.ndarray:
+def miss_flags_lru(
+    ids: np.ndarray, n_sets: int, assoc: int, engine: str | None = None
+) -> np.ndarray:
     """Per-reference miss flags for one LRU set-associative structure.
 
     The set index is ``id & (n_sets - 1)`` and the full id is the tag,
     so callers must arrange ids so their low bits are the indexing bits
     (line ids for caches; ``(asid << VPN_BITS) | vpn`` for TLBs).
     """
+    ids = np.asarray(ids, dtype=np.int64)
+    depths = lru_depths(ids, n_sets, assoc, engine=engine)
+    return depths == assoc
+
+
+def miss_flags_lru_reference(
+    ids: np.ndarray, n_sets: int, assoc: int
+) -> np.ndarray:
+    """Interpreted twin of :func:`miss_flags_lru`."""
     if n_sets < 1 or n_sets & (n_sets - 1):
         raise ValueError("n_sets must be a positive power of two")
     flags = np.zeros(len(ids), dtype=bool)
@@ -78,20 +99,98 @@ def cache_miss_ratio_grid(
     line_words_list: list[int],
     assocs: list[int],
     warmup_fraction: float = 0.0,
+    engine: str | None = None,
 ) -> dict[tuple[int, int, int], float]:
     """Miss ratios for every (capacity, line_words, assoc) combination.
 
-    All requested associativities must not exceed the deepest pass
-    depth, which is ``max(assocs)``.  The leading ``warmup_fraction`` of
-    the stream primes the stacks without being counted (steady-state
-    measurement, as in the paper's long hardware runs).
+    The leading ``warmup_fraction`` of the stream primes the stacks
+    without being counted (steady-state measurement, as in the paper's
+    long hardware runs).
 
     Returns:
         Mapping ``(capacity_bytes, line_words, assoc) -> miss ratio``;
         combinations whose geometry is infeasible (fewer lines than
         ways) are omitted.
     """
-    from repro.memsim.stackdist import set_associative_hit_counts
+    addresses = np.asarray(addresses, dtype=np.int64)
+    total = len(addresses)
+    grid: dict[tuple[int, int, int], float] = {}
+    if total == 0:
+        return grid
+    warm = int(total * warmup_fraction)
+    counted_total = total - warm
+
+    # Per line size: the deduped stream, its warmup boundary, and the
+    # deepest associativity each required set count must resolve.
+    per_line: dict[int, tuple[np.ndarray, int, dict[int, int]]] = {}
+    for line_words in line_words_list:
+        line_bytes = line_words * WORD_BYTES
+        ids = line_ids_for(addresses, line_words)
+        keep = np.empty(total, dtype=bool)
+        keep[0] = True
+        np.not_equal(ids[1:], ids[:-1], out=keep[1:])
+        deduped = ids[keep]
+        # Dropped (consecutive-duplicate) references are guaranteed
+        # hits, so miss counts on the deduped stream are exact; the
+        # warmup boundary maps to the deduped index space.
+        deduped_count_from = int(keep[:warm].sum())
+        depth_needed: dict[int, int] = {}
+        for capacity in capacities:
+            for assoc in assocs:
+                n_sets = capacity // (line_bytes * assoc)
+                if n_sets >= 1:
+                    depth_needed[n_sets] = max(depth_needed.get(n_sets, 0), assoc)
+        per_line[line_words] = (deduped, deduped_count_from, depth_needed)
+
+    # Batch every (line size, set count) pass through the engine, one
+    # call per distinct depth cap so shallow passes stay cheap.
+    by_cap: dict[int, list[tuple[int, list[int]]]] = defaultdict(list)
+    for line_words, (_, _, depth_needed) in per_line.items():
+        counts_by_cap: dict[int, list[int]] = defaultdict(list)
+        for n_sets, cap in depth_needed.items():
+            counts_by_cap[cap].append(n_sets)
+        for cap, set_counts in counts_by_cap.items():
+            by_cap[cap].append((line_words, set_counts))
+    depths: dict[tuple[int, int], np.ndarray] = {}
+    for cap, members in by_cap.items():
+        groups = [(per_line[lw][0], set_counts) for lw, set_counts in members]
+        for (lw, _), result in zip(
+            members, multi_group_depths(groups, cap, engine=engine)
+        ):
+            for n_sets, d in result.items():
+                depths[(lw, n_sets)] = d
+
+    for line_words in line_words_list:
+        line_bytes = line_words * WORD_BYTES
+        deduped, deduped_count_from, depth_needed = per_line[line_words]
+        n_counted_deduped = len(deduped) - deduped_count_from
+        for n_sets, cap in sorted(depth_needed.items()):
+            d = depths[(line_words, n_sets)]
+            hits = np.cumsum(
+                np.bincount(d[deduped_count_from:], minlength=cap + 1)[:cap]
+            )
+            for assoc in assocs:
+                capacity = n_sets * assoc * line_bytes
+                if assoc <= cap and capacity in capacities:
+                    misses = n_counted_deduped - int(hits[assoc - 1])
+                    grid[(capacity, line_words, assoc)] = misses / counted_total
+    return grid
+
+
+def cache_miss_ratio_grid_reference(
+    addresses: np.ndarray,
+    capacities: list[int],
+    line_words_list: list[int],
+    assocs: list[int],
+    warmup_fraction: float = 0.0,
+) -> dict[tuple[int, int, int], float]:
+    """Interpreted twin of :func:`cache_miss_ratio_grid`.
+
+    One seed-algorithm pass per (line size, set count), all at the
+    deepest requested associativity; kept as the baseline for the
+    differential tests and the perf benchmarks.
+    """
+    from repro.memsim.stackdist import set_associative_hit_counts_reference
 
     addresses = np.asarray(addresses, dtype=np.int64)
     total = len(addresses)
@@ -108,12 +207,8 @@ def cache_miss_ratio_grid(
         keep[0] = True
         np.not_equal(ids[1:], ids[:-1], out=keep[1:])
         deduped = ids[keep]
-        # Dropped (consecutive-duplicate) references are guaranteed
-        # hits, so miss counts on the deduped stream are exact; the
-        # warmup boundary maps to the deduped index space.
         deduped_count_from = int(keep[:warm].sum())
         n_counted_deduped = len(deduped) - deduped_count_from
-        # Distinct set counts required by the (capacity, assoc) pairs.
         set_counts = sorted(
             {
                 capacity // (line_bytes * assoc)
@@ -123,7 +218,7 @@ def cache_miss_ratio_grid(
             }
         )
         for n_sets in set_counts:
-            hits = set_associative_hit_counts(
+            hits = set_associative_hit_counts_reference(
                 deduped, n_sets, max_assoc, count_from=deduped_count_from
             )
             for assoc in assocs:

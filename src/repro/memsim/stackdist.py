@@ -12,15 +12,32 @@ simulator in :mod:`repro.memsim.cache`.
 The same idea with a single global stack gives the full miss-ratio
 curve of a fully-associative structure (used for the TLB study of
 Figure 7: one pass yields misses for every TLB size).
+
+The per-reference depths come from :mod:`repro.memsim.engine` (native
+C kernel or vectorized NumPy, selectable via ``REPRO_ENGINE``); each
+public function keeps its original interpreted loop as a
+``*_reference`` twin, which the differential tests hold bit-identical
+to the fast paths.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.memsim.engine import lru_depths
+
+
+def _depth_histogram(depths: np.ndarray, cap: int, count_from: int) -> np.ndarray:
+    """histogram[d] = counted references with stack distance exactly d < cap."""
+    return np.bincount(depths[count_from:], minlength=cap + 1)[:cap]
+
 
 def set_associative_hit_counts(
-    line_ids: np.ndarray, n_sets: int, max_assoc: int, count_from: int = 0
+    line_ids: np.ndarray,
+    n_sets: int,
+    max_assoc: int,
+    count_from: int = 0,
+    engine: str | None = None,
 ) -> np.ndarray:
     """Count LRU hits for every associativity 1..max_assoc in one pass.
 
@@ -29,13 +46,25 @@ def set_associative_hit_counts(
             bits), any integer dtype.
         n_sets: number of sets (power of two).
         max_assoc: deepest associativity of interest.
+        count_from: references before this index warm the stacks but
+            are not counted.
+        engine: optional engine override (see ``REPRO_ENGINE``).
 
     Returns:
         Array ``hits`` of length ``max_assoc`` where ``hits[k-1]`` is
         the number of references that hit in a k-way, ``n_sets``-set
-        LRU cache (capacity = n_sets * k lines).  References before
-        ``count_from`` warm the stacks but are not counted.
+        LRU cache (capacity = n_sets * k lines).
     """
+    line_ids = np.asarray(line_ids, dtype=np.int64)
+    depths = lru_depths(line_ids, n_sets, max_assoc, engine=engine)
+    # hits[k-1] = refs with stack distance < k.
+    return np.cumsum(_depth_histogram(depths, max_assoc, count_from))
+
+
+def set_associative_hit_counts_reference(
+    line_ids: np.ndarray, n_sets: int, max_assoc: int, count_from: int = 0
+) -> np.ndarray:
+    """Interpreted twin of :func:`set_associative_hit_counts`."""
     if n_sets < 1 or n_sets & (n_sets - 1):
         raise ValueError("n_sets must be a positive power of two")
     if max_assoc < 1:
@@ -64,7 +93,10 @@ def set_associative_hit_counts(
 
 
 def fully_associative_miss_curve(
-    ids: np.ndarray, sizes: list[int] | np.ndarray, count_from: int = 0
+    ids: np.ndarray,
+    sizes: list[int] | np.ndarray,
+    count_from: int = 0,
+    engine: str | None = None,
 ) -> np.ndarray:
     """Miss counts of fully-associative LRU structures of several sizes.
 
@@ -80,6 +112,19 @@ def fully_associative_miss_curve(
     Returns:
         Array of miss counts aligned with ``sizes``.
     """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    max_size = int(sizes.max())
+    ids = np.asarray(ids, dtype=np.int64)
+    depths = lru_depths(ids, 1, max_size, engine=engine)
+    counted = max(len(ids) - count_from, 0)
+    cumulative_hits = np.cumsum(_depth_histogram(depths, max_size, count_from))
+    return counted - cumulative_hits[sizes - 1]
+
+
+def fully_associative_miss_curve_reference(
+    ids: np.ndarray, sizes: list[int] | np.ndarray, count_from: int = 0
+) -> np.ndarray:
+    """Interpreted twin of :func:`fully_associative_miss_curve`."""
     sizes = np.asarray(sizes, dtype=np.int64)
     max_size = int(sizes.max())
     # histogram[d] = counted refs with stack distance exactly d
@@ -118,6 +163,7 @@ def set_associative_miss_split(
     max_assoc: int,
     class_flags: np.ndarray,
     count_from: int = 0,
+    engine: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Misses per associativity, split by a per-reference class flag.
 
@@ -136,6 +182,27 @@ def set_associative_miss_split(
         ``(misses, flagged_misses)`` — arrays of length ``max_assoc``
         where index k-1 corresponds to a k-way structure.
     """
+    ids = np.asarray(ids, dtype=np.int64)
+    depths = lru_depths(ids, n_sets, max_assoc, engine=engine)
+    window = depths[count_from:]
+    flags = np.asarray(class_flags, dtype=bool)[count_from:]
+    total = len(window)
+    flagged_total = int(flags.sum())
+    hits = np.cumsum(np.bincount(window, minlength=max_assoc + 1)[:max_assoc])
+    flagged_hits = np.cumsum(
+        np.bincount(window[flags], minlength=max_assoc + 1)[:max_assoc]
+    )
+    return total - hits, flagged_total - flagged_hits
+
+
+def set_associative_miss_split_reference(
+    ids: np.ndarray,
+    n_sets: int,
+    max_assoc: int,
+    class_flags: np.ndarray,
+    count_from: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interpreted twin of :func:`set_associative_miss_split`."""
     if n_sets < 1 or n_sets & (n_sets - 1):
         raise ValueError("n_sets must be a positive power of two")
     hits_by_depth = [0] * max_assoc
@@ -176,12 +243,38 @@ def fully_associative_miss_split(
     sizes: list[int] | np.ndarray,
     class_flags: np.ndarray,
     count_from: int = 0,
+    engine: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Fully-associative miss curve split by a per-reference class flag.
 
     Single-stack analogue of :func:`set_associative_miss_split`; returns
     ``(misses, flagged_misses)`` aligned with ``sizes``.
     """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    max_size = int(sizes.max())
+    ids = np.asarray(ids, dtype=np.int64)
+    depths = lru_depths(ids, 1, max_size, engine=engine)
+    window = depths[count_from:]
+    flags = np.asarray(class_flags, dtype=bool)[count_from:]
+    total = len(window)
+    flagged_total = int(flags.sum())
+    cumulative = np.cumsum(np.bincount(window, minlength=max_size + 1)[:max_size])
+    flagged_cumulative = np.cumsum(
+        np.bincount(window[flags], minlength=max_size + 1)[:max_size]
+    )
+    return (
+        total - cumulative[sizes - 1],
+        flagged_total - flagged_cumulative[sizes - 1],
+    )
+
+
+def fully_associative_miss_split_reference(
+    ids: np.ndarray,
+    sizes: list[int] | np.ndarray,
+    class_flags: np.ndarray,
+    count_from: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interpreted twin of :func:`fully_associative_miss_split`."""
     sizes = np.asarray(sizes, dtype=np.int64)
     max_size = int(sizes.max())
     histogram = [0] * max_size

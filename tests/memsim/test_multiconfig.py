@@ -39,6 +39,16 @@ class TestDedupe:
         (out,) = dedupe_consecutive(np.array([], dtype=np.int64))
         assert len(out) == 0
 
+    def test_empty_with_flags_returns_arrays(self):
+        out, flags = dedupe_consecutive(np.array([], dtype=np.int64), [])
+        assert isinstance(out, np.ndarray) and len(out) == 0
+        assert isinstance(flags, np.ndarray) and len(flags) == 0
+
+    def test_single_reference(self):
+        out, flags = dedupe_consecutive(np.array([7]), np.array([True]))
+        assert out.tolist() == [7]
+        assert flags.tolist() == [True]
+
     @settings(max_examples=30, deadline=None)
     @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200))
     def test_dedupe_preserves_miss_counts(self, raw):
