@@ -1,0 +1,145 @@
+"""Benchmark: query-service latency over a built curve store.
+
+Separating characterization from queries only pays off if queries are
+actually interactive.  This bench builds a reduced-scale store once
+(the expensive step every query then skips), and times:
+
+* **cold** — open the store, load + integrity-check the curves, price
+  the space, answer one point query: the first-request cost of a
+  fresh process.  Held under 100 ms at reduced scale.
+* **warm point** — random-budget point queries against a warm engine
+  (priced space reused, LRU missed on purpose).
+* **cached** — the same query repeated (LRU hit).
+
+p50/p95 latencies land in ``BENCH_service.json`` at the repo root.
+Runs as pytest (``pytest benchmarks/bench_service.py -q -s``) or
+standalone (``PYTHONPATH=src python benchmarks/bench_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.allocator import DEFAULT_BUDGET_RBES, Allocator
+from repro.service.engine import QueryEngine
+from repro.store import CurveStore
+
+OS_NAME = "mach"
+COLD_BUDGET_MS = 100.0
+WARM_QUERIES = 200
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _quantiles_ms(samples: list[float]) -> dict:
+    arr = np.asarray(samples) * 1e3
+    return {
+        "p50_ms": round(float(np.percentile(arr, 50)), 3),
+        "p95_ms": round(float(np.percentile(arr, 95)), 3),
+        "max_ms": round(float(arr.max()), 3),
+        "samples": len(samples),
+    }
+
+
+def build_store(root: Path) -> CurveStore:
+    """Characterize the suite once (measurement-cache assisted)."""
+    store = CurveStore(root)
+    if store.find_current(OS_NAME) is None:
+        store.build_for_os(OS_NAME)
+    return store
+
+
+def bench_cold(root: Path, reps: int = 3) -> tuple[dict, list]:
+    """Fresh store handle + engine per rep: load, price, one query."""
+    best = float("inf")
+    top = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        engine = QueryEngine(CurveStore(root))
+        top = engine.point(OS_NAME, DEFAULT_BUDGET_RBES, limit=10)
+        best = min(best, time.perf_counter() - t0)
+    return {"best_ms": round(best * 1e3, 3), "reps": reps}, top
+
+
+def bench_warm(root: Path) -> tuple[dict, dict]:
+    engine = QueryEngine(CurveStore(root))
+    priced = engine.priced_space(OS_NAME)
+    rng = np.random.default_rng(7)
+    budgets = rng.uniform(
+        priced.min_area() * 1.05, float(priced.area_grid.max()), WARM_QUERIES
+    )
+    warm = []
+    for budget in budgets:
+        t0 = time.perf_counter()
+        engine.query(
+            {"type": "point", "os": OS_NAME, "budget": float(budget),
+             "limit": 10}
+        )
+        warm.append(time.perf_counter() - t0)
+    cached = []
+    request = {"type": "point", "os": OS_NAME,
+               "budget": float(DEFAULT_BUDGET_RBES), "limit": 10}
+    engine.query(request)
+    for _ in range(WARM_QUERIES):
+        t0 = time.perf_counter()
+        engine.query(request)
+        cached.append(time.perf_counter() - t0)
+    return _quantiles_ms(warm), _quantiles_ms(cached)
+
+
+def run_bench(root: Path | None = None) -> dict:
+    if root is None:
+        root = Path(tempfile.mkdtemp(prefix="repro-store-bench-")) / "store"
+    store = build_store(root)
+    cold, served_top = bench_cold(root)
+    warm, cached = bench_warm(root)
+
+    # The service must agree with the brute-force path bit-for-bit.
+    curves = store.load(store.find_current(OS_NAME))
+    direct = Allocator(curves, budget_rbes=DEFAULT_BUDGET_RBES).rank(limit=10)
+    identical = served_top == direct
+
+    payload = {
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "os_name": OS_NAME,
+        "store_root": str(root),
+        "cold_load_plus_point_query": cold,
+        "warm_point_query": warm,
+        "cached_point_query": cached,
+        "identical_to_bruteforce": identical,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_service_latency(show):
+    payload = run_bench()
+    show(
+        "Service query latency",
+        json.dumps(
+            {k: payload[k] for k in (
+                "cold_load_plus_point_query",
+                "warm_point_query",
+                "cached_point_query",
+            )},
+            indent=2,
+        ),
+    )
+    assert payload["identical_to_bruteforce"]
+    assert payload["cold_load_plus_point_query"]["best_ms"] < COLD_BUDGET_MS
+    assert payload["warm_point_query"]["p95_ms"] < COLD_BUDGET_MS
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUTPUT}")

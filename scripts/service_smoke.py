@@ -1,0 +1,133 @@
+"""End-to-end smoke of the allocation query service (CI job).
+
+Exercises the whole subsystem the way a user would:
+
+1. builds a curve store through the real CLI (``python -m
+   repro.service build``) at whatever REPRO_SCALE is set;
+2. runs a batch of CLI queries (point, batch sweep, pareto) and
+   checks their shapes;
+3. performs one HTTP round-trip against a live server;
+4. asserts the service's top-ranked allocation is identical — exact
+   floats — to the direct ``Allocator.rank`` path over the same
+   curves.
+
+Usage::
+
+    REPRO_SCALE=0.1 PYTHONPATH=src python scripts/service_smoke.py \
+        [--store DIR] [--os mach] [--jobs 2]
+
+Exits non-zero with a message on the first discrepancy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import threading
+import urllib.request
+
+from repro.core.allocator import DEFAULT_BUDGET_RBES, Allocator
+from repro.service.engine import QueryEngine
+from repro.service.http import make_server
+from repro.store import CurveStore
+
+
+def run_cli(*args: str) -> dict:
+    """Run one ``python -m repro.service`` command, parsing its JSON."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.service", *args],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"CLI {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stdout}\n{result.stderr}"
+        )
+    return json.loads(result.stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--store", default=".repro-store-smoke")
+    parser.add_argument("--os", default="mach", dest="os_name")
+    parser.add_argument("--jobs", default=None)
+    args = parser.parse_args(argv)
+    store_args = ["--store", args.store]
+
+    print(f"[1/4] building store at {args.store} ...", flush=True)
+    build_args = ["build", "--os", args.os_name, *store_args]
+    if args.jobs is not None:
+        build_args += ["--jobs", str(args.jobs)]
+    built = run_cli(*build_args)
+    assert built["ok"] and built["built"], f"build failed: {built}"
+
+    print("[2/4] CLI query batch ...", flush=True)
+    point = run_cli(
+        "query", *store_args, "--request",
+        json.dumps({"type": "point", "os": args.os_name,
+                    "budget": DEFAULT_BUDGET_RBES, "limit": 10}),
+    )
+    assert point["result"]["count"] == 10, point
+    sweep = run_cli(
+        "query", *store_args, "--request",
+        json.dumps({"type": "batch", "os": args.os_name,
+                    "budgets": [100_000, 250_000, 500_000]}),
+    )
+    assert sweep["result"]["count"] == 3, sweep
+    assert all(r["feasible"] for r in sweep["result"]["results"]), sweep
+    pareto = run_cli(
+        "query", *store_args, "--request",
+        json.dumps({"type": "pareto", "os": args.os_name,
+                    "max_budget": DEFAULT_BUDGET_RBES}),
+    )
+    frontier = pareto["result"]["frontier"]
+    assert frontier, "empty pareto frontier"
+    cpis = [p["cpi"] for p in frontier]
+    assert cpis == sorted(cpis), "pareto frontier not CPI-sorted"
+    info = run_cli("info", *store_args)
+    assert info["exists"] and len(info["entries"]) == 1, info
+
+    print("[3/4] HTTP round-trip ...", flush=True)
+    server = make_server(QueryEngine(CurveStore(args.store)), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/query",
+            data=json.dumps({"type": "point", "os": args.os_name,
+                             "budget": DEFAULT_BUDGET_RBES,
+                             "limit": 10}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            http_payload = json.loads(response.read())
+    finally:
+        server.shutdown()
+        server.server_close()
+    assert http_payload["ok"], http_payload
+    if http_payload["result"] != point["result"]:
+        raise SystemExit("HTTP and CLI answers differ for the same query")
+
+    print("[4/4] differential check vs direct Allocator path ...", flush=True)
+    store = CurveStore(args.store)
+    curves = store.load(store.find_current(args.os_name))
+    direct = Allocator(curves, budget_rbes=DEFAULT_BUDGET_RBES).rank(limit=10)
+    served = point["result"]["allocations"]
+    for rank, (got, want) in enumerate(zip(served, direct), start=1):
+        if (got["area_rbe"], got["cpi"]) != (want.area_rbe, want.cpi):
+            raise SystemExit(
+                f"rank {rank} differs: service ({got['area_rbe']}, "
+                f"{got['cpi']}) vs allocator ({want.area_rbe}, {want.cpi})"
+            )
+        if got["tlb"] != want.config.tlb.label():
+            raise SystemExit(f"rank {rank} config differs: {got} vs {want}")
+    print("service smoke OK: CLI, HTTP and direct paths agree")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,11 +3,19 @@
 Enumerate the Table 5 configuration space, price every TLB + I-cache +
 D-cache combination with the MQF model, keep those under the area
 budget, score each with composed CPI, and rank.
+
+Pricing is independent of the budget, so it is factored into
+:class:`PricedSpace` — per-structure area and CPI arrays plus the
+precomputed cross-product grids — and :func:`rank_priced` answers any
+budget against a priced space without re-pricing.  The query service
+(``repro.service``) keeps priced spaces warm to answer budget sweeps;
+:meth:`Allocator.rank` is the same two steps composed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -40,6 +48,97 @@ class Allocation:
         }
 
 
+@dataclass(frozen=True)
+class PricedSpace:
+    """A configuration space priced once, ready for any budget.
+
+    Holds per-structure area/CPI arrays in enumeration order and the
+    raveled (tlb, icache, dcache) cross-product grids.  The grids are
+    computed with the exact float-operation order of the original
+    triple loop, so any subset indexed out of them is bit-identical to
+    pricing that subset directly.
+    """
+
+    tlb_keys: tuple[TlbConfig, ...]
+    icache_keys: tuple[CacheConfig, ...]
+    dcache_keys: tuple[CacheConfig, ...]
+    t_area: np.ndarray
+    i_area: np.ndarray
+    d_area: np.ndarray
+    fixed_cpi: float
+    area_grid: np.ndarray
+    cpi_grid: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of (tlb, icache, dcache) combinations in the grid."""
+        return self.area_grid.size
+
+    def min_area(self) -> float:
+        """Area of the cheapest combination (the smallest satisfiable
+        budget)."""
+        return float(self.area_grid.min())
+
+    @cached_property
+    def sorted_order(self) -> np.ndarray:
+        """Flat grid indices in ascending (cpi, area) stable order.
+
+        Computed once per priced space; filtering this order by a
+        budget's feasibility mask yields the same ranking as sorting
+        the feasible subset (a stable sort of a subset preserves the
+        subset's relative order in the full stable sort), so repeated
+        budget queries skip the per-query lexsort entirely.
+        """
+        return np.lexsort((self.area_grid, self.cpi_grid))
+
+
+def rank_priced(
+    priced: PricedSpace, budget_rbes: float, limit: int | None = None
+) -> list[Allocation]:
+    """Rank feasible allocations of a priced space under one budget.
+
+    Bit-identical to :meth:`Allocator._rank_reference`: the feasibility
+    mask replays the reference loop's ``budget_left`` arithmetic, and
+    the stable lexsort keeps ties on (cpi, area) in flat enumeration
+    order, exactly like ``list.sort`` on the loop-built list.
+
+    Raises:
+        BudgetError: if no combination fits the budget.
+    """
+    t_area, i_area, d_area = priced.t_area, priced.i_area, priced.d_area
+    budget_left = budget_rbes - t_area[:, None] - i_area[None, :]
+    feasible_mask = (budget_left[:, :, None] >= 0) & (
+        d_area[None, None, :] <= budget_left[:, :, None]
+    )
+    # Filter the once-per-space sorted order by feasibility instead of
+    # lexsorting the feasible subset per budget: same ranking (stable
+    # sort), no per-query sort.
+    order_all = priced.sorted_order
+    ranked = order_all[feasible_mask.ravel()[order_all]]
+    if ranked.size == 0:
+        raise BudgetError(f"no configuration fits within {budget_rbes} rbes")
+    if limit is not None:
+        ranked = ranked[:limit]
+    area = priced.area_grid[ranked]
+    cpi = priced.cpi_grid[ranked]
+    n_d = len(priced.dcache_keys)
+    ti, rem = np.divmod(ranked, len(priced.icache_keys) * n_d)
+    ii, di = np.divmod(rem, n_d)
+    return [
+        Allocation(
+            config=MemSystemConfig(
+                priced.tlb_keys[t], priced.icache_keys[i], priced.dcache_keys[d]
+            ),
+            area_rbe=float(a),
+            cpi=float(c),
+        )
+        for t, i, d, a, c in zip(
+            ti.tolist(), ii.tolist(), di.tolist(),
+            area.tolist(), cpi.tolist(),
+        )
+    ]
+
+
 class Allocator:
     """Cost/benefit allocator over the Table 5 space.
 
@@ -59,30 +158,25 @@ class Allocator:
         self.cpi_model = cpi_model if cpi_model is not None else CpiModel()
         self.budget_rbes = budget_rbes
 
-    def rank(
+    def price(
         self,
         max_cache_assoc: int | None = None,
         tlbs: list[TlbConfig] | None = None,
         icaches: list[CacheConfig] | None = None,
         dcaches: list[CacheConfig] | None = None,
-        limit: int | None = None,
         max_access_time_ns: float | None = None,
-    ) -> list[Allocation]:
-        """Rank feasible allocations by total CPI (best first).
+    ) -> PricedSpace:
+        """Price the configuration space once, independent of budget.
 
         Args:
             max_cache_assoc: cap on cache associativity (2 reproduces
                 Table 7's access-time restriction; None gives Table 6).
             tlbs / icaches / dcaches: override the Table 5 points.
-            limit: truncate the ranking after this many entries.
             max_access_time_ns: optional cycle-time constraint applied
                 with the Wada-style access-time extension — the
                 paper's named future work: structures slower than this
                 bound are excluded instead of approximating the bound
                 with an associativity cap.
-
-        Raises:
-            BudgetError: if no configuration fits the budget.
         """
         tlbs = tlbs if tlbs is not None else enumerate_tlb_configs()
         icaches = icaches if icaches is not None else enumerate_cache_configs()
@@ -126,13 +220,12 @@ class Allocator:
         }
         fixed_cpi = 1.0 + self.curves.other_cpi + self.curves.wb_stall_per_instr
 
-        # Vectorized scoring: per-structure areas and CPI contributions
-        # broadcast over the (tlb, icache, dcache) cross product, then
-        # one stable lexsort ranks every feasible point at once.  The
+        # Vectorized pricing: per-structure areas and CPI contributions
+        # broadcast over the (tlb, icache, dcache) cross product.  The
         # float-operation order matches the interpreted triple loop in
         # _rank_reference (held identical by the tests), so results are
         # bit-for-bit the same, including tie-breaking by enumeration
-        # order.
+        # order once rank_priced's stable lexsort runs.
         tlb_keys = list(tlb_cost)
         ic_keys = list(icache_cost)
         dc_keys = list(dcache_cost)
@@ -143,42 +236,50 @@ class Allocator:
         d_area = np.array([dcache_cost[c][0] for c in dc_keys], dtype=np.float64)
         d_cpi = np.array([dcache_cost[c][1] for c in dc_keys], dtype=np.float64)
 
-        n_d = len(dc_keys)
-        budget_left = self.budget_rbes - t_area[:, None] - i_area[None, :]
-        feasible_mask = (budget_left[:, :, None] >= 0) & (
-            d_area[None, None, :] <= budget_left[:, :, None]
-        )
-        flat_idx = np.flatnonzero(feasible_mask.ravel())
-        if flat_idx.size == 0:
-            raise BudgetError(
-                f"no configuration fits within {self.budget_rbes} rbes"
-            )
-        area = (
+        area_grid = (
             (t_area[:, None] + i_area[None, :])[:, :, None] + d_area
-        ).ravel()[flat_idx]
-        cpi = (
+        ).ravel()
+        cpi_grid = (
             ((fixed_cpi + t_cpi)[:, None] + i_cpi)[:, :, None] + d_cpi
-        ).ravel()[flat_idx]
-        # lexsort is stable, so ties on (cpi, area) keep the flat
-        # (tlb-major) enumeration order, exactly like list.sort on the
-        # loop-built list.
-        order = np.lexsort((area, cpi))
-        if limit is not None:
-            order = order[:limit]
-        ranked = flat_idx[order]
-        ti, rem = np.divmod(ranked, len(ic_keys) * n_d)
-        ii, di = np.divmod(rem, n_d)
-        return [
-            Allocation(
-                config=MemSystemConfig(tlb_keys[t], ic_keys[i], dc_keys[d]),
-                area_rbe=float(a),
-                cpi=float(c),
-            )
-            for t, i, d, a, c in zip(
-                ti.tolist(), ii.tolist(), di.tolist(),
-                area[order].tolist(), cpi[order].tolist(),
-            )
-        ]
+        ).ravel()
+        return PricedSpace(
+            tlb_keys=tuple(tlb_keys),
+            icache_keys=tuple(ic_keys),
+            dcache_keys=tuple(dc_keys),
+            t_area=t_area,
+            i_area=i_area,
+            d_area=d_area,
+            fixed_cpi=fixed_cpi,
+            area_grid=area_grid,
+            cpi_grid=cpi_grid,
+        )
+
+    def rank(
+        self,
+        max_cache_assoc: int | None = None,
+        tlbs: list[TlbConfig] | None = None,
+        icaches: list[CacheConfig] | None = None,
+        dcaches: list[CacheConfig] | None = None,
+        limit: int | None = None,
+        max_access_time_ns: float | None = None,
+    ) -> list[Allocation]:
+        """Rank feasible allocations by total CPI (best first).
+
+        Accepts the same space arguments as :meth:`price`; ``limit``
+        truncates the ranking.  Equivalent to pricing once and calling
+        :func:`rank_priced` with this allocator's budget.
+
+        Raises:
+            BudgetError: if no configuration fits the budget.
+        """
+        priced = self.price(
+            max_cache_assoc=max_cache_assoc,
+            tlbs=tlbs,
+            icaches=icaches,
+            dcaches=dcaches,
+            max_access_time_ns=max_access_time_ns,
+        )
+        return rank_priced(priced, self.budget_rbes, limit=limit)
 
     def _rank_reference(
         self,

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE
 from repro.core.configs import CacheConfig, TlbConfig
+from repro.errors import ConfigError
 from repro.core.space import (
     TABLE5_CACHE_ASSOCS,
     TABLE5_CACHE_CAPACITIES,
@@ -61,9 +62,24 @@ DEFAULT_WARMUP = 0.4
 CACHE_FORMAT_VERSION = 5
 
 
+def _env_number(name: str, default: str, parse):
+    """Parse a numeric environment variable, naming it on failure."""
+    raw = os.environ.get(name, default)
+    try:
+        return parse(raw)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"{name} must be {'an integer' if parse is int else 'a number'}, "
+            f"got {raw!r}"
+        ) from None
+
+
 def scale() -> float:
     """The REPRO_SCALE multiplier for trace lengths."""
-    return float(os.environ.get("REPRO_SCALE", "1.0"))
+    value = _env_number("REPRO_SCALE", "1.0", float)
+    if value <= 0:
+        raise ConfigError(f"REPRO_SCALE must be > 0, got {value!r}")
+    return value
 
 
 def cache_dir() -> Path:
@@ -74,7 +90,9 @@ def cache_dir() -> Path:
 def resolve_jobs(jobs: int | None = None) -> int:
     """Worker count: explicit argument, then REPRO_JOBS, then 1."""
     if jobs is None:
-        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        jobs = _env_number("REPRO_JOBS", "1", int)
+        if jobs < 1:
+            raise ConfigError(f"REPRO_JOBS must be >= 1, got {jobs}")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return jobs

@@ -18,3 +18,24 @@ class TraceError(ReproError):
 
 class BudgetError(ReproError):
     """An allocation request cannot be satisfied within the area budget."""
+
+
+class ConfigError(ReproError):
+    """An environment/configuration variable has an invalid value
+    (e.g. a non-integer ``REPRO_JOBS``); the message names the
+    variable and the offending value."""
+
+
+class StoreError(ReproError):
+    """A curve-store artifact is missing, corrupt, or fails its
+    integrity check."""
+
+
+class StaleStoreError(StoreError):
+    """A curve-store artifact was written with an incompatible schema
+    version; the message says how to rebuild it."""
+
+
+class RequestError(ReproError):
+    """A malformed query was submitted to the allocation service; the
+    message names the offending field."""

@@ -10,6 +10,11 @@ Set ``REPRO_SCALE`` to trade accuracy for runtime (e.g. 0.3 for a
 quick pass, 3.0 for a long, tighter run).  ``--jobs N`` fans the
 measurement units out over N worker processes; it takes precedence
 over the ``REPRO_JOBS`` environment variable (default 1, serial).
+
+Allocation experiments (table6/table7) answer from the curve store
+when one exists — build it once with ``python -m repro.service build``
+— and fall back to direct measurement otherwise.  ``--store DIR``
+points them at a non-default store directory.
 """
 
 from __future__ import annotations
@@ -51,7 +56,19 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for curve measurement "
         "(overrides REPRO_JOBS; default 1)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="curve-store directory for the service path "
+        "(overrides REPRO_STORE_DIR; default .repro-store)",
+    )
     args = parser.parse_args(argv)
+
+    if args.store is not None:
+        # Experiments reach the store through CurveStore.open(), which
+        # reads the env var; the flag takes its place for this process.
+        os.environ["REPRO_STORE_DIR"] = args.store
 
     if args.jobs is not None:
         if args.jobs < 1:

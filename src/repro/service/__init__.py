@@ -1,0 +1,11 @@
+"""Allocation query service: budget/Pareto queries over stored curves."""
+
+from repro.service.engine import QueryEngine, maybe_engine, pareto_frontier
+from repro.service.requests import validate_request
+
+__all__ = [
+    "QueryEngine",
+    "maybe_engine",
+    "pareto_frontier",
+    "validate_request",
+]

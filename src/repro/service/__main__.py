@@ -1,0 +1,163 @@
+"""Command-line front end: ``python -m repro.service``.
+
+JSON in, JSON out — suitable for scripting::
+
+    # Characterize once (expensive; honours REPRO_SCALE / --jobs):
+    python -m repro.service build --os mach --store .repro-store --jobs 4
+
+    # Query forever after (cheap, no re-simulation):
+    echo '{"type": "point", "os": "mach", "budget": 250000, "limit": 10}' \
+        | python -m repro.service query --store .repro-store
+
+    python -m repro.service query --request \
+        '{"type": "pareto", "os": "mach", "max_budget": 400000}'
+
+    # Or serve the same queries over HTTP:
+    python -m repro.service serve --store .repro-store --port 8023
+
+Failures print a structured JSON error object to stderr and exit
+non-zero; exit code 2 marks a bad request, 3 a store problem, 4 an
+unsatisfiable budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.errors import (
+    BudgetError,
+    ConfigError,
+    ReproError,
+    RequestError,
+    StoreError,
+)
+from repro.service.engine import QueryEngine
+from repro.service.http import serve
+from repro.store import CurveStore
+
+
+def _emit_error(code: str, message: str, exit_code: int) -> int:
+    json.dump({"ok": False, "error": {"code": code, "message": message}},
+              sys.stderr)
+    sys.stderr.write("\n")
+    return exit_code
+
+
+def cmd_build(args) -> int:
+    store = CurveStore.open(args.store)
+    manifests = []
+    for os_name in args.os:
+        print(f"measuring suite under {os_name} ...", file=sys.stderr)
+        manifests.append(store.build_for_os(os_name, jobs=args.jobs))
+    json.dump({"ok": True, "built": manifests}, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+def cmd_info(args) -> int:
+    store = CurveStore.open(args.store)
+    json.dump(
+        {
+            "ok": True,
+            "store": str(store.root),
+            "exists": store.exists(),
+            "entries": store.entries(),
+        },
+        sys.stdout,
+        indent=2,
+    )
+    sys.stdout.write("\n")
+    return 0
+
+
+def cmd_query(args) -> int:
+    if args.request is not None:
+        raw = args.request
+    else:
+        raw = sys.stdin.read()
+    try:
+        request = json.loads(raw)
+    except ValueError as exc:
+        return _emit_error("invalid_json", f"request is not JSON: {exc}", 2)
+    engine = QueryEngine(CurveStore.open(args.store))
+    result = engine.query(request)
+    json.dump({"ok": True, "result": result}, sys.stdout,
+              indent=None if args.compact else 2)
+    sys.stdout.write("\n")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    engine = QueryEngine(CurveStore.open(args.store))
+    serve(engine, host=args.host, port=args.port)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Allocation query service over a measured curve store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser(
+        "build", help="measure a suite and publish it to the store"
+    )
+    build.add_argument(
+        "--os", action="append", required=True,
+        help="OS model to characterize (repeatable: --os mach --os ultrix)",
+    )
+    build.add_argument("--store", default=None, help="store directory")
+    build.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for measurement (overrides REPRO_JOBS)",
+    )
+    build.set_defaults(func=cmd_build)
+
+    info = sub.add_parser("info", help="list the store's published entries")
+    info.add_argument("--store", default=None, help="store directory")
+    info.set_defaults(func=cmd_info)
+
+    query = sub.add_parser(
+        "query", help="answer one JSON request (stdin or --request)"
+    )
+    query.add_argument("--store", default=None, help="store directory")
+    query.add_argument(
+        "--request", default=None, help="request JSON (default: read stdin)"
+    )
+    query.add_argument(
+        "--compact", action="store_true", help="single-line JSON output"
+    )
+    query.set_defaults(func=cmd_query)
+
+    srv = sub.add_parser("serve", help="serve queries over HTTP")
+    srv.add_argument("--store", default=None, help="store directory")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8023)
+    srv.set_defaults(func=cmd_serve)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (head, jq -c ...) closed early: not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+    except RequestError as exc:
+        return _emit_error("invalid_request", str(exc), 2)
+    except StoreError as exc:
+        return _emit_error("store_unavailable", str(exc), 3)
+    except BudgetError as exc:
+        return _emit_error("budget_unsatisfiable", str(exc), 4)
+    except ConfigError as exc:
+        return _emit_error("invalid_config", str(exc), 2)
+    except ReproError as exc:
+        return _emit_error("error", str(exc), 1)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

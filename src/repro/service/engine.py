@@ -1,0 +1,293 @@
+"""Budget/Pareto query engine over a loaded curve store.
+
+Separates the paper's expensive characterization (measuring curves)
+from its cheap decision procedure (ranking under a budget).  The
+engine loads :class:`~repro.core.measure.BenefitCurves` from a
+:class:`~repro.store.CurveStore` once per OS, prices the configuration
+space once per (OS, restriction) via :meth:`Allocator.price`, and then
+answers arbitrary budget queries with :func:`rank_priced` — the same
+vectorized kernel :meth:`Allocator.rank` uses, so every answer is
+bit-identical to the brute-force path (the differential tests sweep
+random budgets to hold this).
+
+Three query shapes:
+
+* **point** — the ranked allocations under one budget;
+* **batch** — a sweep over budgets x OS mixes against warm priced
+  spaces (no re-pricing, no re-simulation);
+* **pareto** — the (area, CPI) frontier: allocations no other feasible
+  point beats on both axes, with ties resolved exactly as the
+  brute-force ranking resolves them.
+
+Responses to the dict-level :meth:`QueryEngine.query` API are memoized
+in an LRU keyed on the *normalized* request, so repeated or
+re-spelled queries cost a dictionary hit.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+
+from repro.core.allocator import (
+    DEFAULT_BUDGET_RBES,
+    Allocation,
+    Allocator,
+    PricedSpace,
+    rank_priced,
+)
+from repro.core.cpi import CpiModel
+from repro.core.measure import BenefitCurves
+from repro.errors import BudgetError, StoreError
+from repro.service.requests import validate_request
+from repro.store import CurveStore
+
+DEFAULT_RESULT_CACHE = 128
+
+
+def allocation_entry(rank: int, allocation: Allocation) -> dict:
+    """One JSON-ready result row: the paper's table columns plus the
+    exact (unrounded) area/CPI so clients can verify bit-identity."""
+    return {
+        "rank": rank,
+        **allocation.row(),
+        "area_rbe": allocation.area_rbe,
+        "cpi": allocation.cpi,
+    }
+
+
+def pareto_frontier(ranked: list[Allocation]) -> list[Allocation]:
+    """The non-dominated (area, CPI) subset of a CPI-ranked list.
+
+    ``ranked`` must be sorted the way :func:`rank_priced` sorts —
+    ascending (cpi, area) with ties in enumeration order.  Scanning in
+    that order, a point joins the frontier iff its area is strictly
+    below every earlier (better-or-equal CPI) point's area; among
+    exact (cpi, area) ties the brute-force rank's first occurrence is
+    the one kept.
+    """
+    frontier: list[Allocation] = []
+    best_area = float("inf")
+    for allocation in ranked:
+        if allocation.area_rbe < best_area:
+            frontier.append(allocation)
+            best_area = allocation.area_rbe
+    return frontier
+
+
+class QueryEngine:
+    """Answers allocation queries from a store, without re-simulation.
+
+    Args:
+        store: the curve store to load from (default store if None).
+        cpi_model: penalty model (paper defaults).
+        result_cache_size: LRU capacity for normalized-request results.
+    """
+
+    def __init__(
+        self,
+        store: CurveStore | None = None,
+        cpi_model: CpiModel | None = None,
+        result_cache_size: int = DEFAULT_RESULT_CACHE,
+    ):
+        self.store = store if store is not None else CurveStore.open()
+        self.cpi_model = cpi_model if cpi_model is not None else CpiModel()
+        self._curves: dict[str, BenefitCurves] = {}
+        self._priced: dict[tuple, PricedSpace] = {}
+        self._results: OrderedDict[str, dict] = OrderedDict()
+        self._result_cache_size = result_cache_size
+        self.stats = {"hits": 0, "misses": 0}
+
+    @classmethod
+    def from_curves(
+        cls, curves: BenefitCurves, cpi_model: CpiModel | None = None
+    ) -> "QueryEngine":
+        """An engine over in-memory curves (no store on disk) — used by
+        tests and by experiments falling back to direct measurement."""
+        engine = cls.__new__(cls)
+        engine.store = None
+        engine.cpi_model = cpi_model if cpi_model is not None else CpiModel()
+        engine._curves = {curves.os_name: curves}
+        engine._priced = {}
+        engine._results = OrderedDict()
+        engine._result_cache_size = DEFAULT_RESULT_CACHE
+        engine.stats = {"hits": 0, "misses": 0}
+        return engine
+
+    # -- curve / pricing caches ---------------------------------------
+
+    def curves_for(self, os_name: str) -> BenefitCurves:
+        """Curves for one OS, loaded from the store at most once."""
+        curves = self._curves.get(os_name)
+        if curves is None:
+            if self.store is None:
+                raise StoreError(f"no curves loaded for OS {os_name!r}")
+            key = self.store.find_current(os_name)
+            if key is None:
+                raise StoreError(
+                    f"store {self.store.root} has no entry for OS "
+                    f"{os_name!r} at the current scale/engine; build one "
+                    f"with `python -m repro.service build --os {os_name}`"
+                )
+            curves = self.store.load(key)
+            self._curves[os_name] = curves
+        return curves
+
+    def priced_space(
+        self,
+        os_name: str,
+        max_cache_assoc: int | None = None,
+        max_access_time_ns: float | None = None,
+    ) -> PricedSpace:
+        """The priced configuration space for one (OS, restriction)."""
+        key = (os_name, max_cache_assoc, max_access_time_ns)
+        priced = self._priced.get(key)
+        if priced is None:
+            allocator = Allocator(self.curves_for(os_name), self.cpi_model)
+            priced = allocator.price(
+                max_cache_assoc=max_cache_assoc,
+                max_access_time_ns=max_access_time_ns,
+            )
+            self._priced[key] = priced
+        return priced
+
+    # -- python-level query API ---------------------------------------
+
+    def point(
+        self,
+        os_name: str,
+        budget: float = DEFAULT_BUDGET_RBES,
+        limit: int | None = None,
+        max_cache_assoc: int | None = None,
+        max_access_time_ns: float | None = None,
+    ) -> list[Allocation]:
+        """Ranked allocations under one budget (best first)."""
+        priced = self.priced_space(os_name, max_cache_assoc, max_access_time_ns)
+        return rank_priced(priced, budget, limit=limit)
+
+    def batch(
+        self,
+        os_names: list[str],
+        budgets: list[float],
+        limit: int | None = 1,
+        max_cache_assoc: int | None = None,
+        max_access_time_ns: float | None = None,
+    ) -> list[tuple[str, float, list[Allocation]]]:
+        """A budget x OS sweep against warm priced spaces.
+
+        Infeasible (os, budget) points yield an empty allocation list
+        rather than failing the whole sweep.
+        """
+        out = []
+        for os_name in os_names:
+            priced = self.priced_space(
+                os_name, max_cache_assoc, max_access_time_ns
+            )
+            for budget in budgets:
+                try:
+                    ranked = rank_priced(priced, budget, limit=limit)
+                except BudgetError:
+                    ranked = []
+                out.append((os_name, budget, ranked))
+        return out
+
+    def pareto(
+        self,
+        os_name: str,
+        max_budget: float | None = None,
+        max_cache_assoc: int | None = None,
+        max_access_time_ns: float | None = None,
+    ) -> list[Allocation]:
+        """The area-vs-CPI Pareto frontier of the (budget-capped) space."""
+        priced = self.priced_space(os_name, max_cache_assoc, max_access_time_ns)
+        budget = max_budget if max_budget is not None else float("inf")
+        return pareto_frontier(rank_priced(priced, budget))
+
+    # -- dict-level API (CLI / HTTP) ----------------------------------
+
+    def query(self, request) -> dict:
+        """Validate, answer, and memoize one JSON-shaped request.
+
+        Raises:
+            RequestError: malformed request.
+            StoreError: the store lacks curves for the requested OS.
+            BudgetError: a point query's budget fits nothing.
+        """
+        normalized = validate_request(request)
+        cache_key = json.dumps(normalized, sort_keys=True)
+        cached = self._results.get(cache_key)
+        if cached is not None:
+            self._results.move_to_end(cache_key)
+            self.stats["hits"] += 1
+            return cached
+        self.stats["misses"] += 1
+        response = self._answer(normalized)
+        self._results[cache_key] = response
+        if len(self._results) > self._result_cache_size:
+            self._results.popitem(last=False)
+        return response
+
+    def _answer(self, req: dict) -> dict:
+        kwargs = dict(
+            max_cache_assoc=req["max_cache_assoc"],
+            max_access_time_ns=req["max_access_time_ns"],
+        )
+        if req["type"] == "point":
+            ranked = self.point(
+                req["os"], req["budget"], limit=req["limit"], **kwargs
+            )
+            return {
+                "type": "point",
+                "os": req["os"],
+                "budget": req["budget"],
+                "count": len(ranked),
+                "allocations": [
+                    allocation_entry(i, a) for i, a in enumerate(ranked, 1)
+                ],
+            }
+        if req["type"] == "batch":
+            results = self.batch(
+                req["os_names"], req["budgets"], limit=req["limit"], **kwargs
+            )
+            return {
+                "type": "batch",
+                "count": len(results),
+                "results": [
+                    {
+                        "os": os_name,
+                        "budget": budget,
+                        "feasible": bool(ranked),
+                        "allocations": [
+                            allocation_entry(i, a)
+                            for i, a in enumerate(ranked, 1)
+                        ],
+                    }
+                    for os_name, budget, ranked in results
+                ],
+            }
+        frontier = self.pareto(req["os"], req["max_budget"], **kwargs)
+        return {
+            "type": "pareto",
+            "os": req["os"],
+            "max_budget": req["max_budget"],
+            "count": len(frontier),
+            "frontier": [
+                allocation_entry(i, a) for i, a in enumerate(frontier, 1)
+            ],
+        }
+
+
+def maybe_engine(
+    os_name: str, store: CurveStore | None = None
+) -> QueryEngine | None:
+    """An engine backed by the (default) store, if it can serve this OS.
+
+    Experiments call this to prefer the service path: when the store
+    has a curve set matching the current scale/engine the returned
+    engine answers without re-simulation; otherwise None sends the
+    caller down the direct measurement path.
+    """
+    store = store if store is not None else CurveStore.open()
+    if store.exists() and store.find_current(os_name) is not None:
+        return QueryEngine(store)
+    return None

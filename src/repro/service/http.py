@@ -1,0 +1,146 @@
+"""Stdlib HTTP front end for the allocation query engine.
+
+A thin ``http.server`` layer — no framework — exposing:
+
+* ``GET /v1/health`` — liveness plus store metadata;
+* ``POST /v1/query`` — one JSON request (see
+  :mod:`repro.service.requests`), answered by the shared
+  :class:`~repro.service.engine.QueryEngine`.
+
+Every response is JSON.  Success wraps the engine's answer as
+``{"ok": true, "result": ...}``; failures return a structured error
+``{"ok": false, "error": {"code", "message"}}`` with a status code
+matched to the failure class (400 malformed, 404 unknown path, 413
+oversized body, 422 unsatisfiable budget, 503 store problems).  The
+server is threading, so a slow batch sweep does not block health
+checks.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import BudgetError, RequestError, StaleStoreError, StoreError
+from repro.service.engine import QueryEngine
+
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_ERROR_STATUS = (
+    (RequestError, 400, "invalid_request"),
+    (BudgetError, 422, "budget_unsatisfiable"),
+    (StaleStoreError, 503, "stale_store"),
+    (StoreError, 503, "store_unavailable"),
+)
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Request handler bound to the server's engine."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        self._send_json(
+            status, {"ok": False, "error": {"code": code, "message": message}}
+        )
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def do_GET(self):
+        if self.path in ("/v1/health", "/health"):
+            engine: QueryEngine = self.server.engine
+            store = engine.store
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "result": {
+                        "status": "serving",
+                        "store": str(store.root) if store is not None else None,
+                        "entries": len(store.entries()) if store is not None else 0,
+                        "cache": dict(engine.stats),
+                    },
+                },
+            )
+        else:
+            self._send_error_json(404, "not_found", f"unknown path {self.path}")
+
+    def do_POST(self):
+        if self.path not in ("/v1/query", "/query"):
+            self._send_error_json(404, "not_found", f"unknown path {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_json(
+                400, "invalid_request", "malformed Content-Length header"
+            )
+            return
+        if length <= 0:
+            self._send_error_json(
+                400, "invalid_request", "request body is required"
+            )
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_error_json(
+                413, "payload_too_large",
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+            )
+            return
+        try:
+            request = json.loads(self.rfile.read(length))
+        except ValueError as exc:
+            self._send_error_json(400, "invalid_json", f"body is not JSON: {exc}")
+            return
+        try:
+            result = self.server.engine.query(request)
+        except Exception as exc:  # mapped to structured errors below
+            for exc_type, status, code in _ERROR_STATUS:
+                if isinstance(exc, exc_type):
+                    self._send_error_json(status, code, str(exc))
+                    return
+            self._send_error_json(500, "internal", f"{type(exc).__name__}: {exc}")
+            return
+        self._send_json(200, {"ok": True, "result": result})
+
+
+def make_server(
+    engine: QueryEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-run server; ``port=0`` binds an ephemeral port."""
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.engine = engine
+    server.verbose = verbose
+    return server
+
+
+def serve(
+    engine: QueryEngine,
+    host: str = "127.0.0.1",
+    port: int = 8023,
+    verbose: bool = True,
+) -> None:
+    """Serve until interrupted (the CLI's ``serve`` subcommand)."""
+    server = make_server(engine, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro.service listening on http://{bound_host}:{bound_port}/v1/query")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

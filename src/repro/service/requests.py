@@ -1,0 +1,140 @@
+"""Request validation and normalization for the allocation service.
+
+Both front ends (the CLI and the HTTP endpoint) accept the same JSON
+request objects and push them through :func:`validate_request`, which
+either raises :class:`~repro.errors.RequestError` naming the offending
+field or returns a *normalized* request: every optional field present
+(``None`` where unset), lists coerced, defaults applied.  Normalized
+requests are canonical, so they double as LRU cache keys — two
+spellings of the same query hit the same cache line.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RequestError
+
+REQUEST_TYPES = ("point", "batch", "pareto")
+
+_FIELDS = {
+    "point": {"type", "os", "budget", "limit", "max_cache_assoc",
+              "max_access_time_ns"},
+    "batch": {"type", "os", "os_names", "budgets", "limit",
+              "max_cache_assoc", "max_access_time_ns"},
+    "pareto": {"type", "os", "max_budget", "max_cache_assoc",
+               "max_access_time_ns"},
+}
+
+MAX_BATCH_POINTS = 10_000
+"""Upper bound on |os_names| x |budgets| for one batch request."""
+
+
+def _require_str(request: dict, field: str) -> str:
+    value = request.get(field)
+    if not isinstance(value, str) or not value:
+        raise RequestError(f"field {field!r} must be a non-empty string")
+    return value
+
+
+def _positive_number(value, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(f"field {field!r} must be a number, got {value!r}")
+    if value <= 0:
+        raise RequestError(f"field {field!r} must be > 0, got {value!r}")
+    return float(value)
+
+
+def _optional_positive_int(request: dict, field: str) -> int | None:
+    value = request.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"field {field!r} must be an integer, got {value!r}")
+    if value < 1:
+        raise RequestError(f"field {field!r} must be >= 1, got {value!r}")
+    return value
+
+
+def _optional_positive_number(request: dict, field: str) -> float | None:
+    value = request.get(field)
+    if value is None:
+        return None
+    return _positive_number(value, field)
+
+
+def validate_request(request) -> dict:
+    """Validate a raw request object into its normalized form.
+
+    Raises:
+        RequestError: on any shape, type, or range violation; the
+            message names the field.
+    """
+    if not isinstance(request, dict):
+        raise RequestError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    req_type = request.get("type", "point")
+    if req_type not in REQUEST_TYPES:
+        raise RequestError(
+            f"field 'type' must be one of {', '.join(REQUEST_TYPES)}; "
+            f"got {req_type!r}"
+        )
+    unknown = set(request) - _FIELDS[req_type]
+    if unknown:
+        raise RequestError(
+            f"unknown field(s) for a {req_type!r} request: "
+            f"{', '.join(sorted(map(str, unknown)))}"
+        )
+
+    common = {
+        "max_cache_assoc": _optional_positive_int(request, "max_cache_assoc"),
+        "max_access_time_ns": _optional_positive_number(
+            request, "max_access_time_ns"
+        ),
+    }
+
+    if req_type == "point":
+        return {
+            "type": "point",
+            "os": _require_str(request, "os"),
+            "budget": _positive_number(request.get("budget"), "budget"),
+            "limit": _optional_positive_int(request, "limit"),
+            **common,
+        }
+
+    if req_type == "batch":
+        if "os_names" in request:
+            os_names = request["os_names"]
+            if not isinstance(os_names, list) or not os_names:
+                raise RequestError("field 'os_names' must be a non-empty list")
+            for value in os_names:
+                if not isinstance(value, str) or not value:
+                    raise RequestError(
+                        "field 'os_names' entries must be non-empty strings, "
+                        f"got {value!r}"
+                    )
+        else:
+            os_names = [_require_str(request, "os")]
+        budgets = request.get("budgets")
+        if not isinstance(budgets, list) or not budgets:
+            raise RequestError("field 'budgets' must be a non-empty list")
+        budgets = [_positive_number(b, "budgets") for b in budgets]
+        if len(os_names) * len(budgets) > MAX_BATCH_POINTS:
+            raise RequestError(
+                f"batch too large: {len(os_names)} x {len(budgets)} points "
+                f"exceeds the {MAX_BATCH_POINTS}-point limit"
+            )
+        limit = _optional_positive_int(request, "limit")
+        return {
+            "type": "batch",
+            "os_names": os_names,
+            "budgets": budgets,
+            "limit": limit if limit is not None else 1,
+            **common,
+        }
+
+    return {
+        "type": "pareto",
+        "os": _require_str(request, "os"),
+        "max_budget": _optional_positive_number(request, "max_budget"),
+        **common,
+    }

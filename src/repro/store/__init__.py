@@ -1,0 +1,17 @@
+"""Versioned, content-addressed store for measured benefit curves."""
+
+from repro.store.curvestore import (
+    MAGIC,
+    SCHEMA_VERSION,
+    CurveStore,
+    StoreKey,
+    default_store_root,
+)
+
+__all__ = [
+    "MAGIC",
+    "SCHEMA_VERSION",
+    "CurveStore",
+    "StoreKey",
+    "default_store_root",
+]

@@ -1,0 +1,367 @@
+"""Versioned, content-addressed artifact store for benefit curves.
+
+The paper's decision procedure separates into an expensive
+characterization phase (measuring :class:`~repro.core.measure.
+StructureCurves` for every workload of a suite) and cheap repeated
+queries (ranking allocations under a budget).  This module persists
+the characterization so queries never re-simulate:
+
+* ``objects/<sha256>.bin`` — the serialized curve payload, addressed
+  by the SHA-256 of its bytes.  Identical measurements deduplicate to
+  one object no matter how many keys point at them.
+* ``keys/<keyhash>.json`` — a small manifest mapping a logical
+  :class:`StoreKey` (suite, OS, scale, engine, seed) to its object,
+  carrying the schema version and the payload's integrity hash.
+
+Payloads are pickled *plain* Python structures (dicts/lists/numbers
+only, no project classes), so loading an old store never fails on
+moved modules — schema mismatches are detected explicitly and refused
+with a rebuild hint (:class:`~repro.errors.StaleStoreError`).  Loads
+memory-map the object file, verify the hash over the mapped buffer,
+and only then deserialize.  All writes publish crash-safely via a
+unique temp file + ``os.replace``, the same protocol as the
+measurement cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.measure import BenefitCurves, StructureCurves, scale
+from repro.errors import StaleStoreError, StoreError
+
+SCHEMA_VERSION = 1
+MAGIC = "repro-curvestore"
+REBUILD_HINT = (
+    "rebuild it with `python -m repro.service build --os <os> --store <dir>` "
+    "(re-measures the suite at the current REPRO_SCALE)"
+)
+
+
+def default_store_root() -> Path:
+    """Store directory: ``REPRO_STORE_DIR`` or ``.repro-store``."""
+    return Path(os.environ.get("REPRO_STORE_DIR", ".repro-store"))
+
+
+def current_engine() -> str:
+    """The stack-distance engine mode curves are measured with."""
+    from repro.memsim.engine import engine_mode
+
+    return engine_mode()
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """Logical identity of one curve set: what was measured and how."""
+
+    os_name: str
+    suite: tuple[str, ...]
+    scale: float
+    engine: str
+    seed: int = 1
+
+    @classmethod
+    def current(
+        cls,
+        os_name: str,
+        suite: tuple[str, ...] | None = None,
+        seed: int = 1,
+    ) -> "StoreKey":
+        """The key the running process would measure under right now."""
+        if suite is None:
+            from repro.workloads.registry import workload_names
+
+            suite = tuple(workload_names())
+        return cls(
+            os_name=os_name,
+            suite=tuple(suite),
+            scale=scale(),
+            engine=current_engine(),
+            seed=seed,
+        )
+
+    def canonical(self) -> dict:
+        """JSON-stable form used for hashing and manifests."""
+        return {
+            "os_name": self.os_name,
+            "suite": list(self.suite),
+            "scale": self.scale,
+            "engine": self.engine,
+            "seed": self.seed,
+        }
+
+    def hash(self) -> str:
+        text = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+    @classmethod
+    def from_canonical(cls, data: dict) -> "StoreKey":
+        return cls(
+            os_name=data["os_name"],
+            suite=tuple(data["suite"]),
+            scale=float(data["scale"]),
+            engine=data["engine"],
+            seed=int(data["seed"]),
+        )
+
+
+def _structure_to_plain(curves: StructureCurves) -> dict:
+    return {
+        "workload": curves.workload,
+        "os_name": curves.os_name,
+        "instructions": curves.instructions,
+        "loads_per_instr": curves.loads_per_instr,
+        "stores_per_instr": curves.stores_per_instr,
+        "mapped_per_instr": curves.mapped_per_instr,
+        "other_cpi": curves.other_cpi,
+        "wb_stall_per_instr": curves.wb_stall_per_instr,
+        "page_fault_per_instr": curves.page_fault_per_instr,
+        "icache": [[*k, v] for k, v in curves.icache.items()],
+        "dcache": [[*k, v] for k, v in curves.dcache.items()],
+        "tlb": [[*k, *v] for k, v in curves.tlb.items()],
+    }
+
+
+def _structure_from_plain(data: dict) -> StructureCurves:
+    return StructureCurves(
+        workload=data["workload"],
+        os_name=data["os_name"],
+        instructions=data["instructions"],
+        loads_per_instr=data["loads_per_instr"],
+        stores_per_instr=data["stores_per_instr"],
+        mapped_per_instr=data["mapped_per_instr"],
+        other_cpi=data["other_cpi"],
+        wb_stall_per_instr=data["wb_stall_per_instr"],
+        page_fault_per_instr=data["page_fault_per_instr"],
+        icache={(c, l, a): v for c, l, a, v in data["icache"]},
+        dcache={(c, l, a): v for c, l, a, v in data["dcache"]},
+        tlb={(e, a): (u, k) for e, a, u, k in data["tlb"]},
+    )
+
+
+def _curves_to_payload(curves: BenefitCurves) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "os_name": curves.os_name,
+        "per_workload": [_structure_to_plain(c) for c in curves.per_workload],
+    }
+
+
+def _curves_from_payload(payload: dict) -> BenefitCurves:
+    return BenefitCurves(
+        os_name=payload["os_name"],
+        per_workload=[_structure_from_plain(d) for d in payload["per_workload"]],
+    )
+
+
+def _publish(path: Path, data: bytes) -> None:
+    """Write bytes crash-safely: temp file in the same dir + rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}-", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class CurveStore:
+    """A directory of versioned, content-addressed curve artifacts."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    @classmethod
+    def open(cls, root: str | Path | None = None) -> "CurveStore":
+        """Open the given store, or the default one (``REPRO_STORE_DIR``)."""
+        return cls(root if root is not None else default_store_root())
+
+    @property
+    def _objects(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def _keys(self) -> Path:
+        return self.root / "keys"
+
+    def _manifest_path(self, key: StoreKey) -> Path:
+        return self._keys / f"{key.hash()}.json"
+
+    def exists(self) -> bool:
+        """True if this store has been built at least once."""
+        return self._keys.is_dir()
+
+    def has(self, key: StoreKey) -> bool:
+        """True if an artifact is published for this exact key."""
+        return self._manifest_path(key).exists()
+
+    # -- build ---------------------------------------------------------
+
+    def build(self, curves: BenefitCurves, key: StoreKey) -> dict:
+        """Serialize and publish one curve set; returns its manifest.
+
+        The payload object lands first, the key manifest second, each
+        atomically — a crash between the two leaves an orphan object,
+        never a manifest pointing at missing or partial data.
+        """
+        blob = pickle.dumps(_curves_to_payload(curves), protocol=4)
+        digest = hashlib.sha256(blob).hexdigest()
+        object_path = self._objects / f"{digest}.bin"
+        if not object_path.exists():
+            _publish(object_path, blob)
+        manifest = {
+            "magic": MAGIC,
+            "schema": SCHEMA_VERSION,
+            "key": key.canonical(),
+            "object_sha256": digest,
+            "payload_bytes": len(blob),
+            "workloads": len(curves.per_workload),
+            "created_unix": round(time.time(), 3),
+        }
+        _publish(
+            self._manifest_path(key),
+            (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(),
+        )
+        return manifest
+
+    def build_for_os(
+        self,
+        os_name: str,
+        suite: tuple[str, ...] | None = None,
+        seed: int = 1,
+        jobs: int | None = None,
+    ) -> dict:
+        """Measure the suite under one OS (cache-assisted) and publish it."""
+        from repro.core.measure import measure_suite
+
+        key = StoreKey.current(os_name, suite=suite, seed=seed)
+        curves = BenefitCurves(
+            os_name=os_name,
+            per_workload=measure_suite(
+                os_name, workloads=key.suite, seed=seed, jobs=jobs
+            ),
+        )
+        return self.build(curves, key)
+
+    # -- load ----------------------------------------------------------
+
+    def manifest(self, key: StoreKey) -> dict:
+        """Read and validate the manifest for a key.
+
+        Raises:
+            StoreError: no artifact for the key, or unreadable manifest.
+            StaleStoreError: schema version mismatch (with rebuild hint).
+        """
+        path = self._manifest_path(key)
+        if not path.exists():
+            raise StoreError(
+                f"no curve artifact for {key.canonical()} in {self.root}; "
+                + REBUILD_HINT
+            )
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StoreError(f"unreadable manifest {path}: {exc}") from exc
+        if not isinstance(manifest, dict) or manifest.get("magic") != MAGIC:
+            raise StoreError(f"{path} is not a curve-store manifest")
+        if manifest.get("schema") != SCHEMA_VERSION:
+            raise StaleStoreError(
+                f"store entry {path.name} has schema "
+                f"{manifest.get('schema')!r} but this build reads "
+                f"{SCHEMA_VERSION}; " + REBUILD_HINT
+            )
+        return manifest
+
+    def load(self, key: StoreKey) -> BenefitCurves:
+        """Load, integrity-check and deserialize one curve set.
+
+        The object file is memory-mapped; the SHA-256 recorded in the
+        manifest is verified over the mapped buffer before a single
+        byte is deserialized.
+        """
+        manifest = self.manifest(key)
+        digest = manifest["object_sha256"]
+        object_path = self._objects / f"{digest}.bin"
+        if not object_path.exists():
+            raise StoreError(
+                f"manifest {key.hash()} points at missing object {digest}; "
+                + REBUILD_HINT
+            )
+        with open(object_path, "rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size == 0:
+                raise StoreError(f"object {digest} is empty; " + REBUILD_HINT)
+            with mmap.mmap(
+                handle.fileno(), 0, access=mmap.ACCESS_READ
+            ) as view:
+                if hashlib.sha256(view).hexdigest() != digest:
+                    raise StoreError(
+                        f"object {digest} failed its integrity check "
+                        f"(content hash differs); " + REBUILD_HINT
+                    )
+                payload = pickle.loads(view)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != SCHEMA_VERSION
+        ):
+            raise StaleStoreError(
+                f"object {digest} carries payload schema "
+                f"{payload.get('schema') if isinstance(payload, dict) else '?'!r}"
+                f" but this build reads {SCHEMA_VERSION}; " + REBUILD_HINT
+            )
+        return _curves_from_payload(payload)
+
+    def find_current(self, os_name: str, seed: int = 1) -> StoreKey | None:
+        """A published key serving ``os_name`` in this process, or None.
+
+        Prefers the exact full-suite key the process would measure
+        right now; otherwise any entry for the same OS measured at the
+        current scale/engine/seed (e.g. a reduced-suite store) — a
+        different scale or engine never matches, so stale stores fall
+        back to remeasurement instead of silently serving wrong curves.
+        """
+        key = StoreKey.current(os_name, seed=seed)
+        if self.has(key):
+            return key
+        for manifest in self.entries():
+            try:
+                candidate = StoreKey.from_canonical(manifest["key"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if (
+                candidate.os_name == os_name
+                and candidate.scale == key.scale
+                and candidate.engine == key.engine
+                and candidate.seed == seed
+            ):
+                return candidate
+        return None
+
+    def entries(self) -> list[dict]:
+        """All readable manifests in the store (stale ones included)."""
+        if not self.exists():
+            return []
+        out = []
+        for path in sorted(self._keys.glob("*.json")):
+            try:
+                manifest = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(manifest, dict) and manifest.get("magic") == MAGIC:
+                out.append(manifest)
+        return out

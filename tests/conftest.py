@@ -41,11 +41,20 @@ def _isolated_measurement_cache(tmp_path_factory):
 
     old = os.environ.get("REPRO_CACHE_DIR")
     os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    # Same isolation for the curve store: experiments prefer the
+    # service path whenever a store exists, so tests must never see a
+    # developer's working store.
+    old_store = os.environ.get("REPRO_STORE_DIR")
+    os.environ["REPRO_STORE_DIR"] = str(tmp_path_factory.mktemp("repro-store"))
     yield
-    if old is None:
-        os.environ.pop("REPRO_CACHE_DIR", None)
-    else:
-        os.environ["REPRO_CACHE_DIR"] = old
+    for key, value in (
+        ("REPRO_CACHE_DIR", old),
+        ("REPRO_STORE_DIR", old_store),
+    ):
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
 
 
 @pytest.fixture

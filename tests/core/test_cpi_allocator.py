@@ -119,3 +119,85 @@ class TestAllocator:
         allocation = Allocator(curves, budget_rbes=120_000).best(**space_kwargs)
         row = allocation.row()
         assert {"tlb", "icache", "dcache", "total_cost_rbe", "total_cpi"} == set(row)
+
+
+def _constant_curves(space_kwargs):
+    """Synthetic curves where every same-line-size config scores the
+    same CPI — a tie-heavy space for order-stability tests."""
+    from repro.core.measure import StructureCurves
+
+    icache = {
+        (c.capacity_bytes, c.line_words, c.assoc): 0.01
+        for c in space_kwargs["icaches"]
+    }
+    dcache = {
+        (c.capacity_bytes, c.line_words, c.assoc): 0.02
+        for c in space_kwargs["dcaches"]
+    }
+    tlb = {(t.entries, t.assoc): (50.0, 10.0) for t in space_kwargs["tlbs"]}
+    return StructureCurves(
+        workload="synthetic",
+        os_name="mach",
+        instructions=10_000,
+        loads_per_instr=0.2,
+        stores_per_instr=0.1,
+        mapped_per_instr=1.1,
+        other_cpi=0.3,
+        wb_stall_per_instr=0.05,
+        page_fault_per_instr=0.0,
+        icache=icache,
+        dcache=dcache,
+        tlb=tlb,
+    )
+
+
+class TestAllocatorEdges:
+    def test_budget_below_cheapest_raises(self, curves, space_kwargs):
+        priced = Allocator(curves).price(**space_kwargs)
+        cheapest = priced.min_area()
+        allocator = Allocator(curves, budget_rbes=cheapest - 1.0)
+        with pytest.raises(BudgetError):
+            allocator.rank(**space_kwargs)
+
+    def test_exact_budget_boundary_is_feasible(self, curves, space_kwargs):
+        """A budget exactly equal to the cheapest configuration's area
+        admits that configuration (<=, not <)."""
+        priced = Allocator(curves).price(**space_kwargs)
+        cheapest = priced.min_area()
+        ranking = Allocator(curves, budget_rbes=cheapest).rank(**space_kwargs)
+        assert len(ranking) >= 1
+        assert all(a.area_rbe <= cheapest for a in ranking)
+        assert any(a.area_rbe == cheapest for a in ranking)
+
+    def test_exact_budget_admits_boundary_config(self, curves, space_kwargs):
+        """Setting the budget to any mid-list configuration's exact
+        area keeps that configuration feasible."""
+        full = Allocator(curves, budget_rbes=float("inf")).rank(**space_kwargs)
+        target = full[len(full) // 2]
+        ranking = Allocator(curves, budget_rbes=target.area_rbe).rank(
+            **space_kwargs
+        )
+        assert target in ranking
+        assert all(a.area_rbe <= target.area_rbe for a in ranking)
+
+    def test_cpi_ties_rank_in_stable_enumeration_order(self, space_kwargs):
+        """With constant miss curves whole bands of configs tie on CPI;
+        the vectorized rank must order them exactly like the reference
+        loop (stable by enumeration order), run after run."""
+        synthetic = _constant_curves(space_kwargs)
+        allocator = Allocator(synthetic, budget_rbes=200_000)
+        first = allocator.rank(**space_kwargs)
+        second = allocator.rank(**space_kwargs)
+        reference = allocator._rank_reference(**space_kwargs)
+        assert first == second
+        assert first == reference
+        # The space really is tie-heavy — otherwise this tests nothing.
+        cpis = [a.cpi for a in first]
+        assert len(set(cpis)) < len(cpis)
+
+    def test_priced_rank_matches_rank(self, curves, space_kwargs):
+        from repro.core.allocator import rank_priced
+
+        allocator = Allocator(curves, budget_rbes=120_000)
+        priced = allocator.price(**space_kwargs)
+        assert rank_priced(priced, 120_000) == allocator.rank(**space_kwargs)

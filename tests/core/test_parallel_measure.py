@@ -18,7 +18,9 @@ from repro.core.measure import (
     measure_suite,
     measure_workload,
     resolve_jobs,
+    scale,
 )
+from repro.errors import ConfigError
 
 SMALL_GRID = dict(
     capacities=(4096, 8192),
@@ -48,6 +50,39 @@ class TestResolveJobs:
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         with pytest.raises(ValueError):
             resolve_jobs(0)
+
+
+class TestEnvParsing:
+    def test_non_integer_jobs_names_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigError, match="REPRO_JOBS"):
+            resolve_jobs()
+
+    def test_float_jobs_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2.5")
+        with pytest.raises(ConfigError, match="REPRO_JOBS"):
+            resolve_jobs()
+
+    def test_nonpositive_env_jobs_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ConfigError, match="REPRO_JOBS"):
+            resolve_jobs()
+
+    def test_non_numeric_scale_names_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "fast")
+        with pytest.raises(ConfigError, match="REPRO_SCALE"):
+            scale()
+
+    def test_nonpositive_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ConfigError, match="REPRO_SCALE"):
+            scale()
+
+    def test_valid_values_still_parse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert resolve_jobs() == 4
+        assert scale() == 0.25
 
 
 class TestCacheRobustness:

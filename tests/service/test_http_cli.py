@@ -1,0 +1,218 @@
+"""The service front ends: HTTP endpoint and the JSON CLI."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.allocator import DEFAULT_BUDGET_RBES, Allocator
+from repro.core.measure import BenefitCurves, measure_workload
+from repro.service.__main__ import main as cli_main
+from repro.service.engine import QueryEngine
+from repro.service.http import make_server
+from repro.store import CurveStore, StoreKey
+
+TEST_REFERENCES = 60_000
+
+
+@pytest.fixture(scope="module")
+def curves():
+    single = measure_workload("ousterhout", "mach", references=TEST_REFERENCES)
+    return BenefitCurves(os_name="mach", per_workload=[single])
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, curves):
+    store = CurveStore(tmp_path_factory.mktemp("svc-store") / "store")
+    store.build(curves, StoreKey.current("mach", suite=("ousterhout",)))
+    return store
+
+
+@pytest.fixture(scope="module")
+def server(store):
+    server = make_server(QueryEngine(store), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _post(server, path, payload, raw: bytes | None = None):
+    host, port = server.server_address[:2]
+    body = raw if raw is not None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(server, path):
+    host, port = server.server_address[:2]
+    try:
+        with urllib.request.urlopen(
+            f"http://{host}:{port}{path}", timeout=10
+        ) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHttp:
+    def test_health(self, server):
+        status, payload = _get(server, "/v1/health")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["result"]["status"] == "serving"
+        assert payload["result"]["entries"] == 1
+
+    def test_point_round_trip_matches_allocator(self, server, curves):
+        status, payload = _post(
+            server,
+            "/v1/query",
+            {"type": "point", "os": "mach", "budget": DEFAULT_BUDGET_RBES,
+             "limit": 5},
+        )
+        assert status == 200 and payload["ok"] is True
+        direct = Allocator(curves, budget_rbes=DEFAULT_BUDGET_RBES).rank(limit=5)
+        served = payload["result"]["allocations"]
+        assert [(a["area_rbe"], a["cpi"]) for a in served] == [
+            (a.area_rbe, a.cpi) for a in direct
+        ]
+        assert served[0]["tlb"] == direct[0].config.tlb.label()
+
+    def test_pareto_round_trip(self, server):
+        status, payload = _post(
+            server,
+            "/v1/query",
+            {"type": "pareto", "os": "mach", "max_budget": DEFAULT_BUDGET_RBES},
+        )
+        assert status == 200
+        frontier = payload["result"]["frontier"]
+        assert frontier
+        cpis = [p["cpi"] for p in frontier]
+        assert cpis == sorted(cpis)
+
+    def test_invalid_json_is_400(self, server):
+        status, payload = _post(server, "/v1/query", None, raw=b"{nope")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_json"
+
+    def test_invalid_request_is_400(self, server):
+        status, payload = _post(server, "/v1/query", {"type": "point"})
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
+        assert "os" in payload["error"]["message"]
+
+    def test_unsatisfiable_budget_is_422(self, server):
+        status, payload = _post(
+            server, "/v1/query", {"type": "point", "os": "mach", "budget": 1}
+        )
+        assert status == 422
+        assert payload["error"]["code"] == "budget_unsatisfiable"
+
+    def test_unserved_os_is_503(self, server):
+        status, payload = _post(
+            server, "/v1/query",
+            {"type": "point", "os": "ultrix", "budget": 250_000},
+        )
+        assert status == 503
+        assert payload["error"]["code"] == "store_unavailable"
+
+    def test_unknown_path_is_404(self, server):
+        status, payload = _get(server, "/v2/everything")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_empty_body_is_400(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/query", data=b"", method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                status = response.status
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+        assert status == 400
+
+
+class TestCli:
+    def test_query_request_flag(self, store, curves, capsys):
+        request = json.dumps(
+            {"type": "point", "os": "mach", "budget": DEFAULT_BUDGET_RBES,
+             "limit": 3}
+        )
+        code = cli_main(
+            ["query", "--store", str(store.root), "--request", request]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        direct = Allocator(curves, budget_rbes=DEFAULT_BUDGET_RBES).rank(limit=3)
+        assert [a["cpi"] for a in payload["result"]["allocations"]] == [
+            a.cpi for a in direct
+        ]
+
+    def test_query_stdin(self, store, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO('{"type": "point", "os": "mach", "budget": 250000, '
+                        '"limit": 1}'),
+        )
+        assert cli_main(["query", "--store", str(store.root)]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_bad_json_exits_2(self, store, capsys):
+        code = cli_main(
+            ["query", "--store", str(store.root), "--request", "{nope"]
+        )
+        assert code == 2
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"]["code"] == "invalid_json"
+
+    def test_bad_request_exits_2(self, store, capsys):
+        code = cli_main(
+            ["query", "--store", str(store.root), "--request",
+             '{"type": "point", "os": "mach"}']
+        )
+        assert code == 2
+        assert json.loads(capsys.readouterr().err)["error"]["code"] == (
+            "invalid_request"
+        )
+
+    def test_missing_store_exits_3(self, tmp_path, capsys):
+        code = cli_main(
+            ["query", "--store", str(tmp_path / "void"), "--request",
+             '{"type": "point", "os": "mach", "budget": 250000}']
+        )
+        assert code == 3
+        assert json.loads(capsys.readouterr().err)["error"]["code"] == (
+            "store_unavailable"
+        )
+
+    def test_impossible_budget_exits_4(self, store, capsys):
+        code = cli_main(
+            ["query", "--store", str(store.root), "--request",
+             '{"type": "point", "os": "mach", "budget": 2}']
+        )
+        assert code == 4
+        assert json.loads(capsys.readouterr().err)["error"]["code"] == (
+            "budget_unsatisfiable"
+        )
+
+    def test_info(self, store, capsys):
+        assert cli_main(["info", "--store", str(store.root)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exists"] is True
+        assert len(payload["entries"]) == 1

@@ -1,0 +1,143 @@
+"""Tests for the versioned, content-addressed curve store."""
+
+import json
+
+import pytest
+
+from repro.core.measure import BenefitCurves, measure_workload
+from repro.errors import StaleStoreError, StoreError
+from repro.store import SCHEMA_VERSION, CurveStore, StoreKey
+from repro.store.curvestore import REBUILD_HINT
+
+SMALL_GRID = dict(
+    capacities=(2048, 4096),
+    lines=(4,),
+    assocs=(1, 2),
+    tlb_entries=(64,),
+    tlb_assocs=(1, 2),
+    tlb_full_max=64,
+    references=50_000,
+)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    single = measure_workload("ousterhout", "mach", **SMALL_GRID)
+    return BenefitCurves(os_name="mach", per_workload=[single])
+
+
+@pytest.fixture
+def key():
+    return StoreKey.current("mach", suite=("ousterhout",))
+
+
+class TestRoundTrip:
+    def test_build_then_load_is_identical(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        manifest = store.build(curves, key)
+        assert manifest["schema"] == SCHEMA_VERSION
+        loaded = store.load(key)
+        assert loaded == curves
+
+    def test_has_and_exists(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        assert not store.exists()
+        assert not store.has(key)
+        store.build(curves, key)
+        assert store.exists()
+        assert store.has(key)
+
+    def test_content_addressing_dedupes_objects(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        other_key = StoreKey.current("mach", suite=("ousterhout",), seed=2)
+        m1 = store.build(curves, key)
+        m2 = store.build(curves, other_key)
+        assert m1["object_sha256"] == m2["object_sha256"]
+        assert len(list((tmp_path / "store" / "objects").glob("*.bin"))) == 1
+        assert len(list((tmp_path / "store" / "keys").glob("*.json"))) == 2
+
+    def test_no_temp_files_left_behind(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        store.build(curves, key)
+        strays = [
+            p for p in (tmp_path / "store").rglob("*") if p.suffix == ".tmp"
+        ]
+        assert strays == []
+
+    def test_entries_lists_manifests(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        assert store.entries() == []
+        store.build(curves, key)
+        entries = store.entries()
+        assert len(entries) == 1
+        assert entries[0]["key"]["os_name"] == "mach"
+
+
+class TestValidation:
+    def test_missing_entry_names_rebuild(self, tmp_path, key):
+        store = CurveStore(tmp_path / "store")
+        with pytest.raises(StoreError, match="rebuild"):
+            store.load(key)
+
+    def test_stale_schema_refused_with_hint(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        store.build(curves, key)
+        path = store._manifest_path(key)
+        manifest = json.loads(path.read_text())
+        manifest["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(StaleStoreError, match="rebuild"):
+            store.load(key)
+
+    def test_corrupt_object_fails_integrity(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        manifest = store.build(curves, key)
+        obj = tmp_path / "store" / "objects" / f"{manifest['object_sha256']}.bin"
+        data = bytearray(obj.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        obj.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="integrity"):
+            store.load(key)
+
+    def test_foreign_manifest_refused(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        store.build(curves, key)
+        store._manifest_path(key).write_text('{"not": "a manifest"}')
+        with pytest.raises(StoreError, match="manifest"):
+            store.load(key)
+
+    def test_missing_object_detected(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        manifest = store.build(curves, key)
+        (tmp_path / "store" / "objects" / f"{manifest['object_sha256']}.bin").unlink()
+        with pytest.raises(StoreError, match="missing object"):
+            store.load(key)
+
+    def test_rebuild_hint_mentions_cli(self):
+        assert "python -m repro.service build" in REBUILD_HINT
+
+
+class TestFindCurrent:
+    def test_exact_key_preferred(self, tmp_path, curves):
+        store = CurveStore(tmp_path / "store")
+        key = StoreKey.current("mach")
+        store.build(curves, key)
+        assert store.find_current("mach") == key
+
+    def test_reduced_suite_fallback(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        store.build(curves, key)
+        found = store.find_current("mach")
+        assert found == key
+        assert store.load(found) == curves
+
+    def test_other_os_not_served(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        store.build(curves, key)
+        assert store.find_current("ultrix") is None
+
+    def test_scale_mismatch_not_served(self, tmp_path, curves, key, monkeypatch):
+        store = CurveStore(tmp_path / "store")
+        store.build(curves, key)
+        monkeypatch.setenv("REPRO_SCALE", "7.5")
+        assert store.find_current("mach") is None
