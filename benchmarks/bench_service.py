@@ -10,6 +10,9 @@ actually interactive.  This bench builds a reduced-scale store once
 * **warm point** — random-budget point queries against a warm engine
   (priced space reused, LRU missed on purpose).
 * **cached** — the same query repeated (LRU hit).
+* **threaded** — the same warm mix fired from 8 threads at once
+  against one shared engine, the shape the HTTP server produces; the
+  locked cache must not lose throughput or answers under contention.
 
 p50/p95 latencies land in ``BENCH_service.json`` at the repo root.
 Runs as pytest (``pytest benchmarks/bench_service.py -q -s``) or
@@ -21,6 +24,7 @@ from __future__ import annotations
 import json
 import platform
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -33,6 +37,8 @@ from repro.store import CurveStore
 OS_NAME = "mach"
 COLD_BUDGET_MS = 100.0
 WARM_QUERIES = 200
+BENCH_THREADS = 8
+QUERIES_PER_THREAD = 50
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
 
@@ -92,12 +98,68 @@ def bench_warm(root: Path) -> tuple[dict, dict]:
     return _quantiles_ms(warm), _quantiles_ms(cached)
 
 
+def bench_threaded(root: Path) -> dict:
+    """One shared warm engine, hammered from BENCH_THREADS threads.
+
+    Reports aggregate throughput plus per-query latency quantiles; the
+    stats invariant (hits + misses == queries issued) doubles as a
+    correctness probe on the locked counters.
+    """
+    engine = QueryEngine(CurveStore(root), result_cache_size=32)
+    priced = engine.priced_space(OS_NAME)  # pay pricing up front
+    low, high = priced.min_area() * 1.05, float(priced.area_grid.max())
+    barrier = threading.Barrier(BENCH_THREADS)
+    samples: list[list[float]] = [[] for _ in range(BENCH_THREADS)]
+
+    def worker(tid: int) -> None:
+        rng = np.random.default_rng(100 + tid)
+        # A small shared budget pool so threads collide on cache keys.
+        budgets = rng.choice(
+            np.linspace(low, high, 16), size=QUERIES_PER_THREAD
+        )
+        barrier.wait()
+        for budget in budgets:
+            t0 = time.perf_counter()
+            engine.query(
+                {"type": "point", "os": OS_NAME, "budget": float(budget),
+                 "limit": 10}
+            )
+            samples[tid].append(time.perf_counter() - t0)
+
+    pool = [
+        threading.Thread(target=worker, args=(tid,))
+        for tid in range(BENCH_THREADS)
+    ]
+    t0 = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    wall_s = time.perf_counter() - t0
+
+    total = BENCH_THREADS * QUERIES_PER_THREAD
+    stats = engine.stats
+    merged = [s for per_thread in samples for s in per_thread]
+    result = _quantiles_ms(merged)
+    result.update(
+        threads=BENCH_THREADS,
+        queries=total,
+        wall_s=round(wall_s, 4),
+        queries_per_s=round(total / wall_s, 1),
+        cache_hits=stats["hits"],
+        cache_misses=stats["misses"],
+        stats_consistent=(stats["hits"] + stats["misses"] == total),
+    )
+    return result
+
+
 def run_bench(root: Path | None = None) -> dict:
     if root is None:
         root = Path(tempfile.mkdtemp(prefix="repro-store-bench-")) / "store"
     store = build_store(root)
     cold, served_top = bench_cold(root)
     warm, cached = bench_warm(root)
+    threaded = bench_threaded(root)
 
     # The service must agree with the brute-force path bit-for-bit.
     curves = store.load(store.find_current(OS_NAME))
@@ -115,6 +177,7 @@ def run_bench(root: Path | None = None) -> dict:
         "cold_load_plus_point_query": cold,
         "warm_point_query": warm,
         "cached_point_query": cached,
+        "threaded_point_query": threaded,
         "identical_to_bruteforce": identical,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
@@ -130,6 +193,7 @@ def test_service_latency(show):
                 "cold_load_plus_point_query",
                 "warm_point_query",
                 "cached_point_query",
+                "threaded_point_query",
             )},
             indent=2,
         ),
@@ -137,6 +201,7 @@ def test_service_latency(show):
     assert payload["identical_to_bruteforce"]
     assert payload["cold_load_plus_point_query"]["best_ms"] < COLD_BUDGET_MS
     assert payload["warm_point_query"]["p95_ms"] < COLD_BUDGET_MS
+    assert payload["threaded_point_query"]["stats_consistent"]
 
 
 if __name__ == "__main__":

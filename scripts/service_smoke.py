@@ -9,14 +9,20 @@ Exercises the whole subsystem the way a user would:
 3. performs one HTTP round-trip against a live server;
 4. asserts the service's top-ranked allocation is identical — exact
    floats — to the direct ``Allocator.rank`` path over the same
-   curves.
+   curves;
+5. re-serves the store with fault injection armed (corrupted store
+   reads, injected latency, dropped connections) and hammers it
+   through the retrying client — every request must either succeed
+   with the same bit-exact answer or fail with a typed 503, and the
+   server's metrics must show no 500-class response.
 
 Usage::
 
     REPRO_SCALE=0.1 PYTHONPATH=src python scripts/service_smoke.py \
-        [--store DIR] [--os mach] [--jobs 2]
+        [--store DIR] [--os mach] [--jobs 2] [--faults SPEC]
 
-Exits non-zero with a message on the first discrepancy.
+Pass ``--faults none`` to skip the chaos phase. Exits non-zero with a
+message on the first discrepancy.
 """
 
 from __future__ import annotations
@@ -29,9 +35,19 @@ import threading
 import urllib.request
 
 from repro.core.allocator import DEFAULT_BUDGET_RBES, Allocator
+from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.engine import QueryEngine
-from repro.service.http import make_server
+from repro.service.faults import parse_faults, set_injector
+from repro.service.http import make_server, shutdown_gracefully
 from repro.store import CurveStore
+
+# Trip limits keep the chaos bounded so the retrying client always
+# gets through eventually; the seed makes CI runs reproducible.
+DEFAULT_FAULT_SPEC = (
+    "corrupt_store=0.5,corrupt_store_limit=4,"
+    "latency_ms=10,latency_prob=0.3,"
+    "drop_conn=0.25,drop_conn_limit=6,seed=13"
+)
 
 
 def run_cli(*args: str) -> dict:
@@ -49,22 +65,89 @@ def run_cli(*args: str) -> dict:
     return json.loads(result.stdout)
 
 
+def chaos_phase(store_path: str, os_name: str, spec: str,
+                want_rows: list[tuple]) -> None:
+    """Serve the store with faults armed; hammer it via the retrying
+    client and require structured degradation only."""
+    injector = parse_faults(spec)
+    previous = set_injector(injector)  # arms the store-read seam
+    engine = QueryEngine(CurveStore(store_path))
+    server = make_server(engine, port=0, faults=injector)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        client = ServiceClient(
+            f"http://{host}:{port}", retries=6, backoff_s=0.02
+        )
+        ok, degraded = 0, 0
+        for i in range(40):
+            request = {"type": "point", "os": os_name,
+                       "budget": DEFAULT_BUDGET_RBES, "limit": 10}
+            try:
+                result = client.query(request)
+            except ServiceClientError as exc:
+                # Retries exhausted against a typed 503 is acceptable
+                # degradation; anything else fails the smoke.
+                if exc.status not in (None, 503):
+                    raise SystemExit(
+                        f"chaos query {i} failed non-degraded: {exc}"
+                    )
+                degraded += 1
+                continue
+            got = [(a["area_rbe"], a["cpi"], a["tlb"]) for a in
+                   result["allocations"]]
+            if got != want_rows:
+                raise SystemExit(
+                    f"chaos query {i} returned a wrong answer: "
+                    f"{got[:2]} != {want_rows[:2]}"
+                )
+            ok += 1
+        health = client.health()
+        metrics = client.metrics()
+        responses = metrics["counters"]["http_responses"]["by_label"]
+        fives = [k for k in responses if k.startswith("5") and k != "503"]
+        if fives:
+            raise SystemExit(
+                f"chaos produced 500-class responses: "
+                f"{ {k: responses[k] for k in fives} }"
+            )
+        trips = metrics["faults"]
+        print(
+            f"    chaos: {ok} ok, {degraded} degraded-503, "
+            f"faults tripped {trips}, health={health['status']}",
+            flush=True,
+        )
+        if ok == 0:
+            raise SystemExit("chaos phase never succeeded a query")
+        if sum(trips.values()) == 0:
+            raise SystemExit("fault injector never tripped — spec inert?")
+    finally:
+        set_injector(previous)
+        shutdown_gracefully(server)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--store", default=".repro-store-smoke")
     parser.add_argument("--os", default="mach", dest="os_name")
     parser.add_argument("--jobs", default=None)
+    parser.add_argument(
+        "--faults", default=DEFAULT_FAULT_SPEC, metavar="SPEC",
+        help="fault spec for the chaos phase, or 'none' to skip "
+             f"(default: {DEFAULT_FAULT_SPEC})",
+    )
     args = parser.parse_args(argv)
     store_args = ["--store", args.store]
 
-    print(f"[1/4] building store at {args.store} ...", flush=True)
+    print(f"[1/5] building store at {args.store} ...", flush=True)
     build_args = ["build", "--os", args.os_name, *store_args]
     if args.jobs is not None:
         build_args += ["--jobs", str(args.jobs)]
     built = run_cli(*build_args)
     assert built["ok"] and built["built"], f"build failed: {built}"
 
-    print("[2/4] CLI query batch ...", flush=True)
+    print("[2/5] CLI query batch ...", flush=True)
     point = run_cli(
         "query", *store_args, "--request",
         json.dumps({"type": "point", "os": args.os_name,
@@ -90,7 +173,7 @@ def main(argv: list[str] | None = None) -> int:
     info = run_cli("info", *store_args)
     assert info["exists"] and len(info["entries"]) == 1, info
 
-    print("[3/4] HTTP round-trip ...", flush=True)
+    print("[3/5] HTTP round-trip ...", flush=True)
     server = make_server(QueryEngine(CurveStore(args.store)), port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -112,7 +195,7 @@ def main(argv: list[str] | None = None) -> int:
     if http_payload["result"] != point["result"]:
         raise SystemExit("HTTP and CLI answers differ for the same query")
 
-    print("[4/4] differential check vs direct Allocator path ...", flush=True)
+    print("[4/5] differential check vs direct Allocator path ...", flush=True)
     store = CurveStore(args.store)
     curves = store.load(store.find_current(args.os_name))
     direct = Allocator(curves, budget_rbes=DEFAULT_BUDGET_RBES).rank(limit=10)
@@ -125,7 +208,14 @@ def main(argv: list[str] | None = None) -> int:
             )
         if got["tlb"] != want.config.tlb.label():
             raise SystemExit(f"rank {rank} config differs: {got} vs {want}")
-    print("service smoke OK: CLI, HTTP and direct paths agree")
+
+    if args.faults != "none":
+        print(f"[5/5] chaos phase with faults: {args.faults} ...", flush=True)
+        want_rows = [(a["area_rbe"], a["cpi"], a["tlb"]) for a in served]
+        chaos_phase(args.store, args.os_name, args.faults, want_rows)
+    else:
+        print("[5/5] chaos phase skipped (--faults none)", flush=True)
+    print("service smoke OK: CLI, HTTP, direct and chaos paths agree")
     return 0
 
 

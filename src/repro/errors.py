@@ -36,6 +36,12 @@ class StaleStoreError(StoreError):
     version; the message says how to rebuild it."""
 
 
+class StoreIntegrityError(StoreError):
+    """A curve-store object failed its SHA-256 integrity check or was
+    read truncated/empty — possibly a transient torn read racing a
+    publish, so loads retry these before giving up."""
+
+
 class RequestError(ReproError):
     """A malformed query was submitted to the allocation service; the
     message names the offending field."""

@@ -1,0 +1,30 @@
+"""Observability primitives: metrics, span tracing, structured logs.
+
+Stdlib-only instrumentation shared by the query service — a
+:class:`MetricsRegistry` of counters/histograms/gauges rendered by
+``GET /v1/metrics``, a thread-local-parented span :class:`Tracer`, and
+a :class:`JsonLogger` emitting one JSON object per line.
+"""
+
+from repro.obs.jsonlog import JsonLogger, NullLogger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, Tracer, get_tracer, set_tracer, trace_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLogger",
+    "MetricsRegistry",
+    "NullLogger",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "trace_span",
+]

@@ -1,0 +1,51 @@
+"""Structured JSON logging: one self-describing object per line.
+
+The HTTP front end logs every request as a single JSON line —
+``{"ts", "event", "request_id", "method", "path", "status", "dur_ms",
+...}`` — so logs grep and pipe into ``jq`` without a parser, and every
+line carries the request ID that the server also returns in the
+``X-Request-Id`` response header.  Writes take a lock around one
+``write`` call so concurrent handler threads never interleave bytes
+mid-line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+
+class JsonLogger:
+    """Serialize events as JSON lines to a stream (default stderr)."""
+
+    def __init__(self, stream=None):
+        self.stream = stream
+        self._lock = threading.Lock()
+
+    def log(self, event: str, **fields) -> dict:
+        """Emit one event; returns the record (tests assert on it)."""
+        record = {"ts": round(time.time(), 6), "event": event}
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        stream = self.stream if self.stream is not None else sys.stderr
+        with self._lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # a closed log stream must never fail a request
+        return record
+
+
+class NullLogger(JsonLogger):
+    """Swallows events; the default when request logging is off."""
+
+    def __init__(self):
+        super().__init__(stream=None)
+
+    def log(self, event: str, **fields) -> dict:
+        return {}

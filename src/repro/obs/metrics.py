@@ -1,0 +1,200 @@
+"""Thread-safe, stdlib-only metrics primitives for the service.
+
+Three instrument types, all safe to update from ``ThreadingHTTPServer``
+handler threads:
+
+* :class:`Counter` — a monotonically increasing integer, optionally
+  split by a single label value (``counter.inc(label="200")``);
+* :class:`Histogram` — fixed log-spaced buckets over milliseconds with
+  exact count/sum/min/max and percentile estimates read off the bucket
+  boundaries (no per-sample storage, so observation is O(#buckets)
+  and memory is constant under unbounded traffic);
+* :class:`Gauge` — a current value with a high-water mark (in-flight
+  requests).
+
+A :class:`MetricsRegistry` names and owns instruments and renders one
+consistent :meth:`~MetricsRegistry.snapshot` under a single lock, so a
+``/v1/metrics`` scrape never observes a counter torn against its
+histogram.  Everything here is plain Python — no prometheus client,
+no third-party deps — matching the repo's stdlib-only service stack.
+"""
+
+from __future__ import annotations
+
+import threading
+
+# Log-spaced latency bucket upper bounds, in milliseconds.  Spans the
+# service's observed range: ~5 us LRU hits through multi-second faulty
+# batch sweeps.  The last bucket is open-ended (+inf).
+DEFAULT_BUCKET_BOUNDS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class Counter:
+    """A monotonic counter, optionally split by one label value."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._total = 0
+        self._by_label: dict[str, int] = {}
+
+    def inc(self, n: int = 1, label: str | None = None) -> None:
+        with self._lock:
+            self._total += n
+            if label is not None:
+                self._by_label[label] = self._by_label.get(label, 0) + n
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return self._total
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            if self._by_label:
+                return {"total": self._total, "by_label": dict(self._by_label)}
+            return {"total": self._total}
+
+
+class Gauge:
+    """A current value plus its high-water mark."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+        self._high = 0
+
+    def add(self, n: int = 1) -> int:
+        with self._lock:
+            self._value += n
+            if self._value > self._high:
+                self._high = self._value
+            return self._value
+
+    def sub(self, n: int = 1) -> int:
+        return self.add(-n)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"current": self._value, "high_water": self._high}
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (milliseconds).
+
+    ``observe`` files a sample into the first bucket whose upper bound
+    contains it; percentiles are read back as the upper bound of the
+    bucket where the target rank falls — an upper-bound estimate with
+    resolution equal to the bucket spacing, which is what a capacity
+    dashboard needs and all a constant-memory instrument can promise.
+    """
+
+    def __init__(self, bounds_ms: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS_MS):
+        if list(bounds_ms) != sorted(bounds_ms) or not bounds_ms:
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self._lock = threading.Lock()
+        self.bounds = tuple(float(b) for b in bounds_ms)
+        self._counts = [0] * (len(self.bounds) + 1)  # last = +inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+
+    def observe(self, value_ms: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value_ms <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value_ms
+            if value_ms < self._min:
+                self._min = value_ms
+            if value_ms > self._max:
+                self._max = value_ms
+
+    def _percentile_locked(self, q: float) -> float | None:
+        if self._count == 0:
+            return None
+        rank = q * self._count
+        seen = 0
+        for i, count in enumerate(self._counts):
+            seen += count
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self._max
+        return self._max
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            out = {
+                "count": self._count,
+                "sum_ms": round(self._sum, 3),
+                "min_ms": round(self._min, 4) if self._count else None,
+                "max_ms": round(self._max, 3) if self._count else None,
+                "p50_ms": self._percentile_locked(0.50),
+                "p95_ms": self._percentile_locked(0.95),
+                "p99_ms": self._percentile_locked(0.99),
+                "buckets": {
+                    f"le_{bound:g}": self._counts[i]
+                    for i, bound in enumerate(self.bounds)
+                },
+            }
+            out["buckets"]["le_inf"] = self._counts[-1]
+            return out
+
+
+class MetricsRegistry:
+    """Named instruments plus one consistent snapshot.
+
+    Instruments are created lazily on first use, so call sites never
+    pre-register: ``registry.counter("http_requests").inc()``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        bounds_ms: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS_MS,
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(bounds_ms)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def snapshot(self) -> dict:
+        """All instruments rendered to plain JSON-ready dicts."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+            gauges = dict(self._gauges)
+        return {
+            "counters": {k: v.snapshot() for k, v in sorted(counters.items())},
+            "histograms": {
+                k: v.snapshot() for k, v in sorted(histograms.items())
+            },
+            "gauges": {k: v.snapshot() for k, v in sorted(gauges.items())},
+        }

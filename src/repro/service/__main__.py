@@ -12,8 +12,11 @@ JSON in, JSON out — suitable for scripting::
     python -m repro.service query --request \
         '{"type": "pareto", "os": "mach", "max_budget": 400000}'
 
-    # Or serve the same queries over HTTP:
-    python -m repro.service serve --store .repro-store --port 8023
+    # Or serve the same queries over HTTP (JSON request logs on
+    # stderr; socket timeouts, overload shedding and fault injection
+    # are tunable):
+    python -m repro.service serve --store .repro-store --port 8023 \
+        --timeout 30 --max-inflight 64 [--faults SPEC] [--quiet]
 
 Failures print a structured JSON error object to stderr and exit
 non-zero; exit code 2 marks a bad request, 3 a store problem, 4 an
@@ -35,7 +38,12 @@ from repro.errors import (
     StoreError,
 )
 from repro.service.engine import QueryEngine
-from repro.service.http import serve
+from repro.service.faults import parse_faults, set_injector
+from repro.service.http import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_REQUEST_TIMEOUT_S,
+    serve,
+)
 from repro.store import CurveStore
 
 
@@ -91,8 +99,20 @@ def cmd_query(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    faults = None
+    if args.faults:
+        faults = parse_faults(args.faults)
+        set_injector(faults)  # store-load seams read the process injector
     engine = QueryEngine(CurveStore.open(args.store))
-    serve(engine, host=args.host, port=args.port)
+    serve(
+        engine,
+        host=args.host,
+        port=args.port,
+        verbose=not args.quiet,
+        request_timeout=args.timeout,
+        max_inflight=args.max_inflight,
+        faults=faults,
+    )
     return 0
 
 
@@ -137,6 +157,24 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--store", default=None, help="store directory")
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=8023)
+    srv.add_argument(
+        "--timeout", type=float, default=DEFAULT_REQUEST_TIMEOUT_S,
+        help="per-connection socket timeout in seconds (default 30)",
+    )
+    srv.add_argument(
+        "--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT,
+        help="concurrent query bound; excess requests get 429 (default 64)",
+    )
+    srv.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec, e.g. "
+             "'corrupt_store=0.3,latency_ms=20,drop_conn=0.1,seed=7' "
+             "(overrides REPRO_FAULTS)",
+    )
+    srv.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request JSON log lines on stderr",
+    )
     srv.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,158 @@
+"""A small stdlib client for the query service, with retries.
+
+The service sheds load (429) and surfaces transient store trouble
+(503, e.g. an integrity failure racing a publish) as *retryable*
+structured errors, and fault injection can drop a connection outright.
+:class:`ServiceClient` wraps one endpoint and retries exactly those
+failures with exponential backoff, so callers — the smoke script, the
+fault-injection tests, operators' scripts — see either a good answer
+or a definitive error:
+
+* retried: HTTP 503 and 429, dropped/reset connections, truncated
+  reads, connect refusals (the server may still be binding);
+* not retried: 400/404/411/413/422 (the request itself is wrong) and
+  HTTP 500 (a bug — hiding it behind a retry would mask the signal).
+
+Raises :class:`ServiceClientError` carrying the last status and
+structured error code once attempts are exhausted.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ReproError
+
+DEFAULT_RETRIES = 4
+DEFAULT_BACKOFF_S = 0.05
+RETRYABLE_STATUS = (429, 503)
+
+
+class ServiceClientError(ReproError):
+    """A request failed definitively (or retries ran out).
+
+    Attributes:
+        status: last HTTP status code, or None for connection failures.
+        code: the structured error code from the response body, if any.
+        attempts: how many attempts were made.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        code: str | None = None,
+        attempts: int = 1,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.attempts = attempts
+
+
+def _decode(raw: bytes) -> dict:
+    try:
+        payload = json.loads(raw)
+    except ValueError:
+        payload = {}
+    return payload if isinstance(payload, dict) else {}
+
+
+class ServiceClient:
+    """Client for one service base URL (``http://host:port``)."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retries: int = DEFAULT_RETRIES,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.attempts_made = 0
+        self.retries_used = 0
+
+    # -- transport ----------------------------------------------------
+
+    def _once(self, path: str, body: bytes | None) -> tuple[int, dict]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, _decode(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, _decode(exc.read())
+
+    def _request(self, path: str, body: bytes | None) -> dict:
+        last: tuple[int | None, str | None, str] = (None, None, "no attempt")
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            self.attempts_made += 1
+            if attempt:
+                self.retries_used += 1
+                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            try:
+                status, payload = self._once(path, body)
+            except (
+                ConnectionError,
+                http.client.RemoteDisconnected,
+                http.client.IncompleteRead,
+                TimeoutError,
+            ) as exc:
+                last = (None, None, f"connection failed: {exc}")
+                continue
+            except urllib.error.URLError as exc:
+                reason = exc.reason
+                if isinstance(reason, (ConnectionError, TimeoutError)):
+                    last = (None, None, f"connection failed: {reason}")
+                    continue
+                raise
+            if status in RETRYABLE_STATUS:
+                error = payload.get("error", {})
+                last = (
+                    status,
+                    error.get("code"),
+                    error.get("message", f"HTTP {status}"),
+                )
+                continue
+            if payload.get("ok"):
+                return payload
+            error = payload.get("error", {})
+            raise ServiceClientError(
+                f"HTTP {status}: {error.get('message', 'unstructured error')}",
+                status=status,
+                code=error.get("code"),
+                attempts=attempt + 1,
+            )
+        status, code, message = last
+        raise ServiceClientError(
+            f"retries exhausted after {attempts} attempts; last: {message}",
+            status=status,
+            code=code,
+            attempts=attempts,
+        )
+
+    # -- endpoints ----------------------------------------------------
+
+    def query(self, request: dict) -> dict:
+        """POST one query; returns the engine's result dict."""
+        payload = self._request(
+            "/v1/query", json.dumps(request).encode()
+        )
+        return payload["result"]
+
+    def health(self) -> dict:
+        return self._request("/v1/health", None)["result"]
+
+    def metrics(self) -> dict:
+        return self._request("/v1/metrics", None)["result"]

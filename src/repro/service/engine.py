@@ -22,11 +22,22 @@ Three query shapes:
 Responses to the dict-level :meth:`QueryEngine.query` API are memoized
 in an LRU keyed on the *normalized* request, so repeated or
 re-spelled queries cost a dictionary hit.
+
+The engine is shared by every ``ThreadingHTTPServer`` handler thread,
+so all of its caches are concurrency-safe: one lock guards the LRU
+``OrderedDict``, the curve/priced-space dicts, and the stats counters,
+and every cache fills through a *single-flight* get-or-compute — when
+32 threads miss on the same key at once, exactly one computes (counted
+as the miss) while the rest block on an event and reuse its result
+(counted as hits, and separately as ``coalesced``).  ``stats`` is a
+property returning a snapshot taken under the lock, so readers never
+see hits and misses torn against each other.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from collections import OrderedDict
 
 from repro.core.allocator import (
@@ -39,6 +50,7 @@ from repro.core.allocator import (
 from repro.core.cpi import CpiModel
 from repro.core.measure import BenefitCurves
 from repro.errors import BudgetError, StoreError
+from repro.obs.tracing import trace_span
 from repro.service.requests import validate_request
 from repro.store import CurveStore
 
@@ -75,6 +87,17 @@ def pareto_frontier(ranked: list[Allocation]) -> list[Allocation]:
     return frontier
 
 
+class _InFlight:
+    """One in-progress computation other threads can wait on."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
 class QueryEngine:
     """Answers allocation queries from a store, without re-simulation.
 
@@ -92,11 +115,16 @@ class QueryEngine:
     ):
         self.store = store if store is not None else CurveStore.open()
         self.cpi_model = cpi_model if cpi_model is not None else CpiModel()
+        self._init_runtime_state(result_cache_size)
+
+    def _init_runtime_state(self, result_cache_size: int) -> None:
         self._curves: dict[str, BenefitCurves] = {}
         self._priced: dict[tuple, PricedSpace] = {}
         self._results: OrderedDict[str, dict] = OrderedDict()
         self._result_cache_size = result_cache_size
-        self.stats = {"hits": 0, "misses": 0}
+        self._stats = {"hits": 0, "misses": 0, "coalesced": 0}
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, _InFlight] = {}
 
     @classmethod
     def from_curves(
@@ -107,19 +135,66 @@ class QueryEngine:
         engine = cls.__new__(cls)
         engine.store = None
         engine.cpi_model = cpi_model if cpi_model is not None else CpiModel()
+        engine._init_runtime_state(DEFAULT_RESULT_CACHE)
         engine._curves = {curves.os_name: curves}
-        engine._priced = {}
-        engine._results = OrderedDict()
-        engine._result_cache_size = DEFAULT_RESULT_CACHE
-        engine.stats = {"hits": 0, "misses": 0}
         return engine
+
+    @property
+    def stats(self) -> dict:
+        """A consistent snapshot of the cache counters.
+
+        ``hits + misses`` equals the number of ``query()`` calls that
+        reached a decision; ``coalesced`` (a subset of ``hits``) counts
+        threads that piggybacked on another thread's in-flight compute.
+        """
+        with self._lock:
+            return dict(self._stats)
+
+    # -- single-flight get-or-compute ---------------------------------
+
+    def _single_flight(self, kind: str, key, compute):
+        """Get-or-compute ``(kind, key)`` with duplicate suppression.
+
+        The first thread to miss computes outside the lock; concurrent
+        callers of the same key wait on its event and share the result
+        (or its exception).  Failed computations are never cached, so
+        a transient store error does not poison the cache.
+        """
+        flight_key = (kind, key)
+        with self._lock:
+            cache = self._curves if kind == "curves" else self._priced
+            value = cache.get(key)
+            if value is not None:
+                return value
+            flight = self._inflight.get(flight_key)
+            owner = flight is None
+            if owner:
+                flight = self._inflight[flight_key] = _InFlight()
+        if not owner:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result
+        try:
+            value = compute()
+            with self._lock:
+                cache[key] = value
+            flight.result = value
+            return value
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(flight_key, None)
+            flight.event.set()
 
     # -- curve / pricing caches ---------------------------------------
 
     def curves_for(self, os_name: str) -> BenefitCurves:
         """Curves for one OS, loaded from the store at most once."""
-        curves = self._curves.get(os_name)
-        if curves is None:
+
+        def _load() -> BenefitCurves:
             if self.store is None:
                 raise StoreError(f"no curves loaded for OS {os_name!r}")
             key = self.store.find_current(os_name)
@@ -129,9 +204,9 @@ class QueryEngine:
                     f"{os_name!r} at the current scale/engine; build one "
                     f"with `python -m repro.service build --os {os_name}`"
                 )
-            curves = self.store.load(key)
-            self._curves[os_name] = curves
-        return curves
+            return self.store.load(key)
+
+        return self._single_flight("curves", os_name, _load)
 
     def priced_space(
         self,
@@ -141,15 +216,16 @@ class QueryEngine:
     ) -> PricedSpace:
         """The priced configuration space for one (OS, restriction)."""
         key = (os_name, max_cache_assoc, max_access_time_ns)
-        priced = self._priced.get(key)
-        if priced is None:
+
+        def _price() -> PricedSpace:
             allocator = Allocator(self.curves_for(os_name), self.cpi_model)
-            priced = allocator.price(
-                max_cache_assoc=max_cache_assoc,
-                max_access_time_ns=max_access_time_ns,
-            )
-            self._priced[key] = priced
-        return priced
+            with trace_span("engine.price", os=os_name):
+                return allocator.price(
+                    max_cache_assoc=max_cache_assoc,
+                    max_access_time_ns=max_access_time_ns,
+                )
+
+        return self._single_flight("priced", key, _price)
 
     # -- python-level query API ---------------------------------------
 
@@ -163,7 +239,8 @@ class QueryEngine:
     ) -> list[Allocation]:
         """Ranked allocations under one budget (best first)."""
         priced = self.priced_space(os_name, max_cache_assoc, max_access_time_ns)
-        return rank_priced(priced, budget, limit=limit)
+        with trace_span("engine.rank_priced", os=os_name, budget=budget):
+            return rank_priced(priced, budget, limit=limit)
 
     def batch(
         self,
@@ -183,12 +260,15 @@ class QueryEngine:
             priced = self.priced_space(
                 os_name, max_cache_assoc, max_access_time_ns
             )
-            for budget in budgets:
-                try:
-                    ranked = rank_priced(priced, budget, limit=limit)
-                except BudgetError:
-                    ranked = []
-                out.append((os_name, budget, ranked))
+            with trace_span(
+                "engine.rank_priced", os=os_name, budgets=len(budgets)
+            ):
+                for budget in budgets:
+                    try:
+                        ranked = rank_priced(priced, budget, limit=limit)
+                    except BudgetError:
+                        ranked = []
+                    out.append((os_name, budget, ranked))
         return out
 
     def pareto(
@@ -201,12 +281,21 @@ class QueryEngine:
         """The area-vs-CPI Pareto frontier of the (budget-capped) space."""
         priced = self.priced_space(os_name, max_cache_assoc, max_access_time_ns)
         budget = max_budget if max_budget is not None else float("inf")
-        return pareto_frontier(rank_priced(priced, budget))
+        with trace_span("engine.rank_priced", os=os_name, pareto=True):
+            ranked = rank_priced(priced, budget)
+        return pareto_frontier(ranked)
+
+    def entry_count(self) -> int:
+        """Published store entries (cached; see CurveStore.entry_count)."""
+        return self.store.entry_count() if self.store is not None else 0
 
     # -- dict-level API (CLI / HTTP) ----------------------------------
 
     def query(self, request) -> dict:
         """Validate, answer, and memoize one JSON-shaped request.
+
+        Thread-safe and single-flight: concurrent identical requests
+        compute once and share the response object.
 
         Raises:
             RequestError: malformed request.
@@ -215,17 +304,42 @@ class QueryEngine:
         """
         normalized = validate_request(request)
         cache_key = json.dumps(normalized, sort_keys=True)
-        cached = self._results.get(cache_key)
-        if cached is not None:
-            self._results.move_to_end(cache_key)
-            self.stats["hits"] += 1
-            return cached
-        self.stats["misses"] += 1
-        response = self._answer(normalized)
-        self._results[cache_key] = response
-        if len(self._results) > self._result_cache_size:
-            self._results.popitem(last=False)
-        return response
+        flight_key = ("result", cache_key)
+        with self._lock:
+            cached = self._results.get(cache_key)
+            if cached is not None:
+                self._results.move_to_end(cache_key)
+                self._stats["hits"] += 1
+                return cached
+            flight = self._inflight.get(flight_key)
+            owner = flight is None
+            if owner:
+                flight = self._inflight[flight_key] = _InFlight()
+                self._stats["misses"] += 1
+        if not owner:
+            flight.event.wait()
+            with self._lock:
+                self._stats["hits"] += 1
+                self._stats["coalesced"] += 1
+            if flight.error is not None:
+                raise flight.error
+            return flight.result
+        try:
+            with trace_span("engine.query", type=normalized["type"]):
+                response = self._answer(normalized)
+            with self._lock:
+                self._results[cache_key] = response
+                while len(self._results) > self._result_cache_size:
+                    self._results.popitem(last=False)
+            flight.result = response
+            return response
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(flight_key, None)
+            flight.event.set()
 
     def _answer(self, req: dict) -> dict:
         kwargs = dict(

@@ -1,0 +1,204 @@
+"""Fault injection for the query service — chaos you can schedule.
+
+The service's degradation paths (integrity-check 503s, store-load
+retries, the client's retry-on-503 loop, connection-drop recovery)
+only stay honest if they can be exercised on demand.  This module
+injects three fault classes at well-defined seams:
+
+* ``corrupt_store`` — flip a byte of the object payload on a store
+  read, so the SHA-256 check fails exactly as it would for real
+  on-disk corruption (:meth:`CurveStore.load` retries, then surfaces
+  :class:`~repro.errors.StoreIntegrityError` → HTTP 503);
+* ``latency`` — sleep ``latency_ms`` before handling a request, to
+  make timeout and overload behavior observable;
+* ``drop_conn`` — close the client socket before writing a response,
+  exercising client-side retry.
+
+Faults are configured with a compact spec, via the ``REPRO_FAULTS``
+environment variable or ``--faults`` on the CLI::
+
+    REPRO_FAULTS="corrupt_store=0.3,latency_ms=20,latency_prob=0.5,drop_conn=0.1,seed=7"
+
+Each fault takes a probability in [0, 1] and an optional trip budget
+(``corrupt_store_limit=2`` trips at most twice, then disarms) so tests
+can script "fail once, then recover".  Draws come from one seeded
+``random.Random`` under a lock: a given spec misbehaves the same way
+every run.  With no spec, every check is a single attribute test —
+the production path pays nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.errors import ConfigError
+
+ENV_VAR = "REPRO_FAULTS"
+FAULT_NAMES = ("corrupt_store", "latency", "drop_conn")
+
+
+class FaultRule:
+    """One fault's arming state: probability plus optional trip budget."""
+
+    def __init__(self, probability: float, limit: int | None = None):
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigError(
+                f"fault probability must be in [0, 1], got {probability!r}"
+            )
+        self.probability = probability
+        self.limit = limit
+        self.trips = 0
+
+    def draw(self, rng) -> bool:
+        if self.probability <= 0.0:
+            return False
+        if self.limit is not None and self.trips >= self.limit:
+            return False
+        if rng.random() < self.probability:
+            self.trips += 1
+            return True
+        return False
+
+
+class FaultInjector:
+    """Deterministic, thread-safe fault source for the service seams."""
+
+    def __init__(
+        self,
+        corrupt_store: float = 0.0,
+        corrupt_store_limit: int | None = None,
+        latency_ms: float = 0.0,
+        latency_prob: float | None = None,
+        drop_conn: float = 0.0,
+        drop_conn_limit: int | None = None,
+        seed: int = 1,
+    ):
+        import random
+
+        if latency_ms < 0:
+            raise ConfigError(f"latency_ms must be >= 0, got {latency_ms!r}")
+        if latency_prob is None:
+            latency_prob = 1.0 if latency_ms > 0 else 0.0
+        self.latency_ms = latency_ms
+        self._rules = {
+            "corrupt_store": FaultRule(corrupt_store, corrupt_store_limit),
+            "latency": FaultRule(latency_prob if latency_ms > 0 else 0.0),
+            "drop_conn": FaultRule(drop_conn, drop_conn_limit),
+        }
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    @property
+    def active(self) -> bool:
+        """True if any fault can still trip (the fast disarmed check)."""
+        return any(
+            rule.probability > 0.0
+            and (rule.limit is None or rule.trips < rule.limit)
+            for rule in self._rules.values()
+        )
+
+    def trip(self, name: str) -> bool:
+        """Draw the named fault; True means the caller should misbehave."""
+        rule = self._rules[name]
+        if rule.probability <= 0.0:
+            return False
+        with self._lock:
+            return rule.draw(self._rng)
+
+    def trip_counts(self) -> dict[str, int]:
+        with self._lock:
+            return {name: rule.trips for name, rule in self._rules.items()}
+
+    # -- seam helpers --------------------------------------------------
+
+    def corrupt_read(self, data: bytes) -> bytes:
+        """Flip one byte of ``data`` if ``corrupt_store`` trips."""
+        if not self.trip("corrupt_store") or not data:
+            return data
+        corrupted = bytearray(data)
+        with self._lock:
+            index = self._rng.randrange(len(corrupted))
+        corrupted[index] ^= 0xFF
+        return bytes(corrupted)
+
+    def maybe_latency(self) -> float:
+        """Sleep the configured latency if ``latency`` trips; returns
+        the injected delay in ms (0.0 when nothing tripped)."""
+        import time
+
+        if self.latency_ms > 0 and self.trip("latency"):
+            time.sleep(self.latency_ms / 1e3)
+            return self.latency_ms
+        return 0.0
+
+
+DISABLED = FaultInjector()
+"""The always-off injector; ``get_injector`` returns it by default."""
+
+_FLOAT_KEYS = ("corrupt_store", "latency_ms", "latency_prob", "drop_conn")
+_INT_KEYS = ("corrupt_store_limit", "drop_conn_limit", "seed")
+
+
+def parse_faults(spec: str) -> FaultInjector:
+    """Build an injector from a ``k=v,k=v`` spec string.
+
+    Raises:
+        ConfigError: unknown key, malformed number, or out-of-range
+            probability — the message names the offender.
+    """
+    kwargs: dict = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep:
+            raise ConfigError(
+                f"fault spec entry {part!r} is not of the form key=value"
+            )
+        try:
+            if key in _FLOAT_KEYS:
+                kwargs[key] = float(value)
+            elif key in _INT_KEYS:
+                kwargs[key] = int(value)
+            else:
+                raise ConfigError(
+                    f"unknown fault spec key {key!r}; known keys: "
+                    f"{', '.join(_FLOAT_KEYS + _INT_KEYS)}"
+                )
+        except ValueError as exc:
+            raise ConfigError(
+                f"fault spec {key}={value!r} is not a valid number"
+            ) from exc
+    return FaultInjector(**kwargs)
+
+
+_injector: FaultInjector | None = None
+_injector_lock = threading.Lock()
+
+
+def get_injector() -> FaultInjector:
+    """The process-wide injector.
+
+    First access reads ``REPRO_FAULTS`` (empty/missing → disabled);
+    later env changes are ignored — use :func:`set_injector` (tests,
+    the ``--faults`` CLI flag) to swap at runtime.
+    """
+    global _injector
+    if _injector is None:
+        with _injector_lock:
+            if _injector is None:
+                spec = os.environ.get(ENV_VAR, "")
+                _injector = parse_faults(spec) if spec else DISABLED
+    return _injector
+
+
+def set_injector(injector: FaultInjector | None) -> FaultInjector | None:
+    """Install an injector (None → re-read env on next access);
+    returns the previous one so tests can restore it."""
+    global _injector
+    with _injector_lock:
+        previous, _injector = _injector, injector
+    return previous

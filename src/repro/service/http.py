@@ -2,64 +2,209 @@
 
 A thin ``http.server`` layer — no framework — exposing:
 
-* ``GET /v1/health`` — liveness plus store metadata;
+* ``GET /v1/health`` — liveness plus store metadata (entry count is
+  cached against the store directory's mtime, not re-listed per probe);
+* ``GET /v1/metrics`` — request counts, latency histograms, cache
+  hit-rate, responses by status code, fault-injection trip counts;
 * ``POST /v1/query`` — one JSON request (see
   :mod:`repro.service.requests`), answered by the shared
   :class:`~repro.service.engine.QueryEngine`.
 
-Every response is JSON.  Success wraps the engine's answer as
-``{"ok": true, "result": ...}``; failures return a structured error
-``{"ok": false, "error": {"code", "message"}}`` with a status code
-matched to the failure class (400 malformed, 404 unknown path, 413
-oversized body, 422 unsatisfiable budget, 503 store problems).  The
-server is threading, so a slow batch sweep does not block health
-checks.
+Every response is JSON and carries an ``X-Request-Id`` header (echoed
+from the client's, or generated).  Success wraps the engine's answer
+as ``{"ok": true, "result": ...}``; failures return a structured error
+``{"ok": false, "error": {"code", "message"}, "request_id": ...}``
+with a status code matched to the failure class (400 malformed, 404
+unknown path, 411 chunked body, 413 oversized body, 422 unsatisfiable
+budget, 429 overload, 503 store problems) — an unexpected exception
+still produces a structured 500, never a bare traceback page.
+
+Built for concurrency: the server is threading, per-connection sockets
+carry a read/write timeout so a stalled client can't pin a handler
+thread forever, query concurrency is bounded by a semaphore (excess
+load is shed with 429 + ``Retry-After`` instead of queueing without
+bound), and :func:`drain` gives shutdown a grace period for in-flight
+queries.  Each request emits one structured JSON log line when
+logging is on, and the shared :class:`~repro.obs.MetricsRegistry`
+feeds ``/v1/metrics``.
 """
 
 from __future__ import annotations
 
 import json
+import socket
+import sys
+import threading
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import BudgetError, RequestError, StaleStoreError, StoreError
+from repro.errors import (
+    BudgetError,
+    RequestError,
+    StaleStoreError,
+    StoreError,
+    StoreIntegrityError,
+)
+from repro.obs import JsonLogger, MetricsRegistry, NullLogger, trace_span
 from repro.service.engine import QueryEngine
+from repro.service.faults import FaultInjector, get_injector
 
 MAX_BODY_BYTES = 4 * 1024 * 1024
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+DEFAULT_MAX_INFLIGHT = 64
+DEFAULT_DRAIN_S = 5.0
+RETRY_AFTER_S = 1
 
+# Ordered most-specific first: subclasses must precede their bases.
 _ERROR_STATUS = (
     (RequestError, 400, "invalid_request"),
     (BudgetError, 422, "budget_unsatisfiable"),
     (StaleStoreError, 503, "stale_store"),
+    (StoreIntegrityError, 503, "store_corrupt"),
     (StoreError, 503, "store_unavailable"),
 )
+
+_KNOWN_ROUTES = {
+    "/v1/health": "health",
+    "/health": "health",
+    "/v1/metrics": "metrics",
+    "/metrics": "metrics",
+    "/v1/query": "query",
+    "/query": "query",
+}
+
+
+class _DropConnection(Exception):
+    """Raised when fault injection wants the socket closed unanswered."""
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
     """Request handler bound to the server's engine."""
 
-    server_version = "repro-service/1"
+    server_version = "repro-service/2"
     protocol_version = "HTTP/1.1"
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def setup(self):
+        # StreamRequestHandler applies self.timeout to the connection
+        # socket, bounding every read/write on this client.
+        self.timeout = self.server.request_timeout
+        self.request_id = "-"
+        super().setup()
+
+    # -- response plumbing --------------------------------------------
+
+    def _send_json(self, status: int, payload: dict, close: bool = False) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self.request_id)
+        if status == 429:
+            self.send_header("Retry-After", str(RETRY_AFTER_S))
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, code: str, message: str) -> None:
+    def _send_error_json(
+        self, status: int, code: str, message: str, close: bool = False
+    ) -> None:
         self._send_json(
-            status, {"ok": False, "error": {"code": code, "message": message}}
+            status,
+            {
+                "ok": False,
+                "error": {"code": code, "message": message},
+                "request_id": self.request_id,
+            },
+            close=close,
         )
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if getattr(self.server, "verbose", False):
-            super().log_message(format, *args)
+        # Stdlib-internal notices (timeouts, protocol errors) join the
+        # structured log rather than printing bare lines.
+        self.server.obs_logger.log(
+            "http_server", message=format % args, request_id=self.request_id
+        )
+
+    def log_request(self, code="-", size="-"):
+        # _handle emits one structured line per request; the stdlib's
+        # per-response line would duplicate it.
+        pass
+
+    # -- dispatch with logging / metrics / faults ---------------------
 
     def do_GET(self):
+        self._handle(self._do_get)
+
+    def do_POST(self):
+        self._handle(self._do_post)
+
+    def _handle(self, method) -> None:
+        started = time.perf_counter()
+        self.request_id = (
+            self.headers.get("X-Request-Id") or uuid.uuid4().hex[:12]
+        )
+        route = _KNOWN_ROUTES.get(self.path, "other")
+        server = self.server
+        status: int | str = 500
+        try:
+            injector: FaultInjector = server.faults
+            if injector.active:
+                injected_ms = injector.maybe_latency()
+                if injected_ms:
+                    server.metrics.counter("faults_injected_latency").inc()
+                if self.command == "POST" and injector.trip("drop_conn"):
+                    raise _DropConnection
+            with trace_span(
+                "http.request",
+                method=self.command,
+                path=self.path,
+                request_id=self.request_id,
+            ):
+                status = method()
+        except _DropConnection:
+            # Close without a response: exercises client-side retry.
+            status = "dropped"
+            self.close_connection = True
+            server.metrics.counter("faults_dropped_connections").inc()
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            status = "client_gone"
+            self.close_connection = True
+        except Exception as exc:  # last-ditch: structured, never a traceback
+            status = 500
+            try:
+                self._send_error_json(
+                    500, "internal", f"{type(exc).__name__}: {exc}", close=True
+                )
+            except OSError:
+                self.close_connection = True
+        dur_ms = (time.perf_counter() - started) * 1e3
+        server.metrics.counter("http_requests").inc(
+            label=f"{self.command} {route}"
+        )
+        server.metrics.counter("http_responses").inc(label=str(status))
+        server.metrics.histogram("http_latency_ms").observe(dur_ms)
+        server.obs_logger.log(
+            "request",
+            request_id=self.request_id,
+            method=self.command,
+            path=self.path,
+            status=status,
+            dur_ms=round(dur_ms, 3),
+            remote=self.client_address[0],
+        )
+
+    # -- GET: health and metrics --------------------------------------
+
+    def _do_get(self) -> int:
+        engine: QueryEngine = self.server.engine
         if self.path in ("/v1/health", "/health"):
-            engine: QueryEngine = self.server.engine
             store = engine.store
             self._send_json(
                 200,
@@ -68,51 +213,121 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     "result": {
                         "status": "serving",
                         "store": str(store.root) if store is not None else None,
-                        "entries": len(store.entries()) if store is not None else 0,
-                        "cache": dict(engine.stats),
+                        "entries": engine.entry_count(),
+                        "cache": engine.stats,
+                        "inflight": self.server.metrics.gauge(
+                            "http_inflight"
+                        ).snapshot(),
                     },
                 },
             )
-        else:
-            self._send_error_json(404, "not_found", f"unknown path {self.path}")
+            return 200
+        if self.path in ("/v1/metrics", "/metrics"):
+            stats = engine.stats
+            lookups = stats["hits"] + stats["misses"]
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "result": {
+                        "uptime_s": round(
+                            time.monotonic() - self.server.started_monotonic, 3
+                        ),
+                        "engine_cache": {
+                            **stats,
+                            "hit_rate": (
+                                round(stats["hits"] / lookups, 4)
+                                if lookups else None
+                            ),
+                        },
+                        "faults": self.server.faults.trip_counts(),
+                        **self.server.metrics.snapshot(),
+                    },
+                },
+            )
+            return 200
+        self._send_error_json(404, "not_found", f"unknown path {self.path}")
+        return 404
 
-    def do_POST(self):
+    # -- POST: the query endpoint -------------------------------------
+
+    def _do_post(self) -> int:
         if self.path not in ("/v1/query", "/query"):
             self._send_error_json(404, "not_found", f"unknown path {self.path}")
-            return
+            return 404
+        server = self.server
+        if not server.inflight_sem.acquire(blocking=False):
+            server.metrics.counter("http_overload_rejections").inc()
+            self._send_error_json(
+                429, "overloaded",
+                f"server is at its {server.max_inflight}-request "
+                f"concurrency limit; retry after {RETRY_AFTER_S}s",
+            )
+            return 429
+        server.metrics.gauge("http_inflight").add(1)
+        try:
+            return self._answer_query()
+        finally:
+            server.metrics.gauge("http_inflight").sub(1)
+            server.inflight_sem.release()
+
+    def _answer_query(self) -> int:
+        transfer_encoding = self.headers.get("Transfer-Encoding", "")
+        if "chunked" in transfer_encoding.lower():
+            # We never read chunked bodies; draining one we can't parse
+            # would desync keep-alive, so refuse and close cleanly.
+            self._send_error_json(
+                411, "length_required",
+                "chunked transfer encoding is not supported; "
+                "send Content-Length",
+                close=True,
+            )
+            return 411
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
             self._send_error_json(
                 400, "invalid_request", "malformed Content-Length header"
             )
-            return
+            return 400
         if length <= 0:
             self._send_error_json(
                 400, "invalid_request", "request body is required"
             )
-            return
+            return 400
         if length > MAX_BODY_BYTES:
+            # The unread body would poison the next keep-alive request
+            # on this connection, so close instead of draining 4 MiB+.
             self._send_error_json(
                 413, "payload_too_large",
                 f"request body exceeds {MAX_BODY_BYTES} bytes",
+                close=True,
             )
-            return
+            return 413
+        body = self.rfile.read(length)
+        if len(body) < length:
+            self._send_error_json(
+                400, "invalid_request",
+                f"body truncated: got {len(body)} of {length} bytes",
+                close=True,
+            )
+            return 400
         try:
-            request = json.loads(self.rfile.read(length))
+            request = json.loads(body)
         except ValueError as exc:
             self._send_error_json(400, "invalid_json", f"body is not JSON: {exc}")
-            return
+            return 400
         try:
             result = self.server.engine.query(request)
         except Exception as exc:  # mapped to structured errors below
             for exc_type, status, code in _ERROR_STATUS:
                 if isinstance(exc, exc_type):
                     self._send_error_json(status, code, str(exc))
-                    return
+                    return status
             self._send_error_json(500, "internal", f"{type(exc).__name__}: {exc}")
-            return
+            return 500
         self._send_json(200, {"ok": True, "result": result})
+        return 200
 
 
 def make_server(
@@ -120,12 +335,68 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT_S,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    log_stream=None,
+    faults: FaultInjector | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ThreadingHTTPServer:
-    """A ready-to-run server; ``port=0`` binds an ephemeral port."""
+    """A ready-to-run server; ``port=0`` binds an ephemeral port.
+
+    Args:
+        request_timeout: per-connection socket timeout in seconds — a
+            stalled client gets disconnected, not a parked thread.
+        max_inflight: concurrent ``/v1/query`` bound; excess gets 429.
+        log_stream: stream for JSON request logs (None + verbose →
+            stderr; None + quiet → no logs).
+        faults: fault injector (default: the process one, usually off).
+        metrics: share a registry across servers (default: fresh).
+    """
     server = ThreadingHTTPServer((host, port), ServiceHandler)
     server.engine = engine
     server.verbose = verbose
+    server.request_timeout = request_timeout
+    server.max_inflight = max_inflight
+    server.inflight_sem = threading.BoundedSemaphore(max_inflight)
+    server.metrics = metrics if metrics is not None else MetricsRegistry()
+    server.faults = faults if faults is not None else get_injector()
+    server.started_monotonic = time.monotonic()
+    if log_stream is not None:
+        server.obs_logger = JsonLogger(log_stream)
+    elif verbose:
+        server.obs_logger = JsonLogger(sys.stderr)
+    else:
+        server.obs_logger = NullLogger()
     return server
+
+
+def drain(server: ThreadingHTTPServer, deadline_s: float = DEFAULT_DRAIN_S) -> bool:
+    """Graceful shutdown: wait for in-flight queries, then close.
+
+    The caller must already have stopped the accept loop (``serve_forever``
+    returned or ``server.shutdown()`` was called from another thread).
+    Returns True if the server drained fully inside the deadline.
+    """
+    deadline = time.monotonic() + deadline_s
+    gauge = server.metrics.gauge("http_inflight")
+    drained = False
+    while time.monotonic() < deadline:
+        if gauge.snapshot()["current"] == 0:
+            drained = True
+            break
+        time.sleep(0.01)
+    server.server_close()
+    server.obs_logger.log("shutdown", drained=drained)
+    return drained
+
+
+def shutdown_gracefully(
+    server: ThreadingHTTPServer, deadline_s: float = DEFAULT_DRAIN_S
+) -> bool:
+    """Stop accepting, drain in-flight queries, close.  Call from a
+    thread other than the one running ``serve_forever``."""
+    server.shutdown()
+    return drain(server, deadline_s)
 
 
 def serve(
@@ -133,9 +404,20 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8023,
     verbose: bool = True,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT_S,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    faults: FaultInjector | None = None,
 ) -> None:
     """Serve until interrupted (the CLI's ``serve`` subcommand)."""
-    server = make_server(engine, host, port, verbose=verbose)
+    server = make_server(
+        engine,
+        host,
+        port,
+        verbose=verbose,
+        request_timeout=request_timeout,
+        max_inflight=max_inflight,
+        faults=faults,
+    )
     bound_host, bound_port = server.server_address[:2]
     print(f"repro.service listening on http://{bound_host}:{bound_port}/v1/query")
     try:
@@ -143,4 +425,4 @@ def serve(
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
+        drain(server)

@@ -17,12 +17,14 @@ REQUEST_TYPES = ("point", "batch", "pareto")
 
 _FIELDS = {
     "point": {"type", "os", "budget", "limit", "max_cache_assoc",
-              "max_access_time_ns"},
+              "max_access_time_ns", "request_id"},
     "batch": {"type", "os", "os_names", "budgets", "limit",
-              "max_cache_assoc", "max_access_time_ns"},
+              "max_cache_assoc", "max_access_time_ns", "request_id"},
     "pareto": {"type", "os", "max_budget", "max_cache_assoc",
-               "max_access_time_ns"},
+               "max_access_time_ns", "request_id"},
 }
+
+MAX_REQUEST_ID_CHARS = 128
 
 MAX_BATCH_POINTS = 10_000
 """Upper bound on |os_names| x |budgets| for one batch request."""
@@ -84,6 +86,18 @@ def validate_request(request) -> dict:
             f"unknown field(s) for a {req_type!r} request: "
             f"{', '.join(sorted(map(str, unknown)))}"
         )
+
+    # A client correlation tag: validated, logged by the HTTP layer,
+    # but *excluded* from the normalized form so two clients asking the
+    # same question with different tags share one cache line.
+    request_id = request.get("request_id")
+    if request_id is not None:
+        if not isinstance(request_id, str) or not request_id:
+            raise RequestError("field 'request_id' must be a non-empty string")
+        if len(request_id) > MAX_REQUEST_ID_CHARS:
+            raise RequestError(
+                f"field 'request_id' exceeds {MAX_REQUEST_ID_CHARS} characters"
+            )
 
     common = {
         "max_cache_assoc": _optional_positive_int(request, "max_cache_assoc"),

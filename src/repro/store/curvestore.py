@@ -36,7 +36,13 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.measure import BenefitCurves, StructureCurves, scale
-from repro.errors import StaleStoreError, StoreError
+from repro.errors import (
+    ConfigError,
+    StaleStoreError,
+    StoreError,
+    StoreIntegrityError,
+)
+from repro.obs.tracing import trace_span
 
 SCHEMA_VERSION = 1
 MAGIC = "repro-curvestore"
@@ -44,6 +50,28 @@ REBUILD_HINT = (
     "rebuild it with `python -m repro.service build --os <os> --store <dir>` "
     "(re-measures the suite at the current REPRO_SCALE)"
 )
+DEFAULT_LOAD_RETRIES = 2
+RETRY_BACKOFF_S = 0.02
+
+
+def load_retries() -> int:
+    """Integrity-failure retry budget: ``REPRO_STORE_RETRIES`` or 2.
+
+    A SHA-256 mismatch can be a transient torn read racing a publish,
+    so loads re-read before surfacing the failure; 0 disables retries.
+    """
+    raw = os.environ.get("REPRO_STORE_RETRIES", "")
+    if not raw:
+        return DEFAULT_LOAD_RETRIES
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"REPRO_STORE_RETRIES must be an integer, got {raw!r}"
+        ) from exc
+    if value < 0:
+        raise ConfigError(f"REPRO_STORE_RETRIES must be >= 0, got {value}")
+    return value
 
 
 def default_store_root() -> Path:
@@ -185,6 +213,8 @@ class CurveStore:
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+        # (keys-dir mtime_ns, entry count) — see entry_count().
+        self._entry_cache: tuple[int, int] | None = None
 
     @classmethod
     def open(cls, root: str | Path | None = None) -> "CurveStore":
@@ -237,6 +267,7 @@ class CurveStore:
             self._manifest_path(key),
             (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(),
         )
+        self._entry_cache = None
         return manifest
 
     def build_for_os(
@@ -287,13 +318,35 @@ class CurveStore:
             )
         return manifest
 
-    def load(self, key: StoreKey) -> BenefitCurves:
+    def load(
+        self, key: StoreKey, retries: int | None = None
+    ) -> BenefitCurves:
         """Load, integrity-check and deserialize one curve set.
 
         The object file is memory-mapped; the SHA-256 recorded in the
         manifest is verified over the mapped buffer before a single
-        byte is deserialized.
+        byte is deserialized.  Integrity failures (hash mismatch,
+        truncated/empty object) are retried ``retries`` times with a
+        short backoff — they can be transient torn reads racing a
+        publish — then surface as
+        :class:`~repro.errors.StoreIntegrityError`.
         """
+        if retries is None:
+            retries = load_retries()
+        attempt = 0
+        while True:
+            try:
+                with trace_span(
+                    "store.load", os=key.os_name, attempt=attempt
+                ):
+                    return self._load_once(key)
+            except StoreIntegrityError:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                time.sleep(RETRY_BACKOFF_S * attempt)
+
+    def _load_once(self, key: StoreKey) -> BenefitCurves:
         manifest = self.manifest(key)
         digest = manifest["object_sha256"]
         object_path = self._objects / f"{digest}.bin"
@@ -302,19 +355,29 @@ class CurveStore:
                 f"manifest {key.hash()} points at missing object {digest}; "
                 + REBUILD_HINT
             )
+        # Imported here: repro.service imports this module at package
+        # init, so a top-level import would be circular.
+        from repro.service.faults import get_injector
+
+        injector = get_injector()
         with open(object_path, "rb") as handle:
             size = os.fstat(handle.fileno()).st_size
             if size == 0:
-                raise StoreError(f"object {digest} is empty; " + REBUILD_HINT)
+                raise StoreIntegrityError(
+                    f"object {digest} is empty; " + REBUILD_HINT
+                )
             with mmap.mmap(
                 handle.fileno(), 0, access=mmap.ACCESS_READ
             ) as view:
-                if hashlib.sha256(view).hexdigest() != digest:
-                    raise StoreError(
+                buffer = view
+                if injector.active:
+                    buffer = injector.corrupt_read(bytes(view))
+                if hashlib.sha256(buffer).hexdigest() != digest:
+                    raise StoreIntegrityError(
                         f"object {digest} failed its integrity check "
                         f"(content hash differs); " + REBUILD_HINT
                     )
-                payload = pickle.loads(view)
+                payload = pickle.loads(buffer)
         if (
             not isinstance(payload, dict)
             or payload.get("schema") != SCHEMA_VERSION
@@ -351,6 +414,26 @@ class CurveStore:
             ):
                 return candidate
         return None
+
+    def entry_count(self) -> int:
+        """How many manifests the store holds, without re-listing.
+
+        ``entries()`` reads and parses every manifest — too heavy for
+        a per-probe health check.  The count is cached against the
+        keys directory's mtime (one ``stat`` per probe) and dropped
+        eagerly when this handle publishes, so in-process builds and
+        out-of-process publishes both invalidate it.
+        """
+        try:
+            mtime_ns = os.stat(self._keys).st_mtime_ns
+        except OSError:
+            return 0
+        cached = self._entry_cache
+        if cached is not None and cached[0] == mtime_ns:
+            return cached[1]
+        count = len(self.entries())
+        self._entry_cache = (mtime_ns, count)
+        return count
 
     def entries(self) -> list[dict]:
         """All readable manifests in the store (stale ones included)."""

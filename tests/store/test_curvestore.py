@@ -5,9 +5,9 @@ import json
 import pytest
 
 from repro.core.measure import BenefitCurves, measure_workload
-from repro.errors import StaleStoreError, StoreError
+from repro.errors import ConfigError, StaleStoreError, StoreError, StoreIntegrityError
 from repro.store import SCHEMA_VERSION, CurveStore, StoreKey
-from repro.store.curvestore import REBUILD_HINT
+from repro.store.curvestore import REBUILD_HINT, load_retries
 
 SMALL_GRID = dict(
     capacities=(2048, 4096),
@@ -96,8 +96,28 @@ class TestValidation:
         data = bytearray(obj.read_bytes())
         data[len(data) // 2] ^= 0xFF
         obj.write_bytes(bytes(data))
-        with pytest.raises(StoreError, match="integrity"):
+        with pytest.raises(StoreIntegrityError, match="integrity"):
             store.load(key)
+
+    def test_empty_object_is_integrity_error(self, tmp_path, curves, key):
+        store = CurveStore(tmp_path / "store")
+        manifest = store.build(curves, key)
+        obj = tmp_path / "store" / "objects" / f"{manifest['object_sha256']}.bin"
+        obj.write_bytes(b"")
+        with pytest.raises(StoreIntegrityError, match="empty"):
+            store.load(key, retries=0)
+
+    def test_load_retries_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "5")
+        assert load_retries() == 5
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "many")
+        with pytest.raises(ConfigError, match="REPRO_STORE_RETRIES"):
+            load_retries()
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "-1")
+        with pytest.raises(ConfigError, match=">= 0"):
+            load_retries()
+        monkeypatch.delenv("REPRO_STORE_RETRIES")
+        assert load_retries() == 2
 
     def test_foreign_manifest_refused(self, tmp_path, curves, key):
         store = CurveStore(tmp_path / "store")
@@ -115,6 +135,49 @@ class TestValidation:
 
     def test_rebuild_hint_mentions_cli(self):
         assert "python -m repro.service build" in REBUILD_HINT
+
+
+class TestEntryCount:
+    def test_matches_entries_and_updates_on_publish(
+        self, tmp_path, curves, key
+    ):
+        store = CurveStore(tmp_path / "store")
+        assert store.entry_count() == 0
+        store.build(curves, key)
+        assert store.entry_count() == 1
+        other_key = StoreKey.current("mach", suite=("ousterhout",), seed=2)
+        store.build(curves, other_key)  # publish invalidates the cache
+        assert store.entry_count() == 2
+        assert store.entry_count() == len(store.entries())
+
+    def test_cached_between_probes(self, tmp_path, curves, key, monkeypatch):
+        store = CurveStore(tmp_path / "store")
+        store.build(curves, key)
+        assert store.entry_count() == 1
+        # A second probe must not re-list the store.
+        calls = {"entries": 0}
+        real_entries = store.entries
+
+        def counting_entries():
+            calls["entries"] += 1
+            return real_entries()
+
+        monkeypatch.setattr(store, "entries", counting_entries)
+        for _ in range(5):
+            assert store.entry_count() == 1
+        assert calls["entries"] == 0
+
+    def test_out_of_process_publish_detected(self, tmp_path, curves, key):
+        """A second handle publishing under the same root must show up
+        (the mtime check) without this handle ever publishing."""
+        root = tmp_path / "store"
+        reader = CurveStore(root)
+        writer = CurveStore(root)
+        writer.build(curves, key)
+        assert reader.entry_count() == 1
+        other_key = StoreKey.current("mach", suite=("ousterhout",), seed=2)
+        writer.build(curves, other_key)
+        assert reader.entry_count() == 2
 
 
 class TestFindCurrent:
