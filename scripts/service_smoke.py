@@ -14,7 +14,12 @@ Exercises the whole subsystem the way a user would:
    reads, injected latency, dropped connections) and hammers it
    through the retrying client — every request must either succeed
    with the same bit-exact answer or fail with a typed 503, and the
-   server's metrics must show no 500-class response.
+   server's metrics must show no 500-class response;
+6. brings up a 2-worker pre-fork fleet with the same faults armed and
+   requires (a) a batch sweep bit-identical to the same budgets asked
+   point-by-point — whichever worker answers — (b) a working
+   ``If-None-Match`` → 304 revalidation, and (c) zero 500-class
+   responses in the fleet-aggregated metrics.
 
 Usage::
 
@@ -32,6 +37,7 @@ import json
 import subprocess
 import sys
 import threading
+import urllib.error
 import urllib.request
 
 from repro.core.allocator import DEFAULT_BUDGET_RBES, Allocator
@@ -39,6 +45,7 @@ from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.engine import QueryEngine
 from repro.service.faults import parse_faults, set_injector
 from repro.service.http import make_server, shutdown_gracefully
+from repro.service.workers import PreforkServer
 from repro.store import CurveStore
 
 # Trip limits keep the chaos bounded so the retrying client always
@@ -127,6 +134,91 @@ def chaos_phase(store_path: str, os_name: str, spec: str,
         shutdown_gracefully(server)
 
 
+def prefork_phase(store_path: str, os_name: str, spec: str) -> None:
+    """A faulted 2-worker fleet: batch must equal point-by-point
+    answers bit-exactly regardless of worker routing, revalidation
+    must 304, and the fleet metrics must show no 500-class response."""
+
+    def engine_factory() -> QueryEngine:
+        if spec != "none":
+            set_injector(parse_faults(spec))  # per-worker chaos
+        return QueryEngine(CurveStore(store_path))
+
+    pool = PreforkServer(engine_factory, workers=2, verbose=False)
+    pool.start()
+    try:
+        base = f"http://{pool.host}:{pool.port}"
+        client = ServiceClient(base, retries=8, backoff_s=0.02)
+        budgets = [120_000.0, 180_000.0, 250_000.0, 380_000.0, 520_000.0]
+
+        batch = client.query(
+            {"type": "batch", "os_names": [os_name], "budgets": budgets,
+             "limit": 1}
+        )
+        for row in batch["results"]:
+            point = client.query(
+                {"type": "point", "os": os_name, "budget": row["budget"],
+                 "limit": 1}
+            )
+            if point["allocations"] != row["allocations"]:
+                raise SystemExit(
+                    f"prefork batch/point mismatch at budget "
+                    f"{row['budget']}: {row['allocations']} != "
+                    f"{point['allocations']}"
+                )
+
+        # Conditional revalidation: any worker must honour the ETag the
+        # fleet handed out (identical stores => identical validators).
+        request_body = json.dumps(
+            {"type": "point", "os": os_name, "budget": DEFAULT_BUDGET_RBES,
+             "limit": 10}
+        ).encode()
+        etag = None
+        revalidated = False
+        for _ in range(12):
+            headers = {"Content-Type": "application/json"}
+            if etag is not None:
+                headers["If-None-Match"] = etag
+            request = urllib.request.Request(
+                base + "/v1/query", data=request_body, headers=headers
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    etag = response.headers.get("ETag") or etag
+            except urllib.error.HTTPError as exc:
+                if exc.code == 304:
+                    revalidated = True
+                elif exc.code != 503:
+                    raise SystemExit(
+                        f"prefork revalidation got HTTP {exc.code}"
+                    )
+            except (OSError, urllib.error.URLError):
+                continue  # injected drop; the loop retries
+        if not revalidated:
+            raise SystemExit("prefork fleet never answered 304 to a "
+                             "matching If-None-Match")
+
+        metrics = client.metrics()
+        if sorted(metrics["workers"]) != ["w0", "w1"]:
+            raise SystemExit(
+                f"fleet metrics missing workers: {metrics['workers']}"
+            )
+        responses = metrics["counters"]["http_responses"]["by_label"]
+        fives = [k for k in responses if k.startswith("5") and k != "503"]
+        if fives:
+            raise SystemExit(
+                f"prefork fleet produced 500-class responses: "
+                f"{ {k: responses[k] for k in fives} }"
+            )
+        print(
+            f"    prefork: batch == point over {len(budgets)} budgets, "
+            f"304 revalidation ok, responses={responses}",
+            flush=True,
+        )
+    finally:
+        pool.stop()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--store", default=".repro-store-smoke")
@@ -140,14 +232,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     store_args = ["--store", args.store]
 
-    print(f"[1/5] building store at {args.store} ...", flush=True)
+    print(f"[1/6] building store at {args.store} ...", flush=True)
     build_args = ["build", "--os", args.os_name, *store_args]
     if args.jobs is not None:
         build_args += ["--jobs", str(args.jobs)]
     built = run_cli(*build_args)
     assert built["ok"] and built["built"], f"build failed: {built}"
 
-    print("[2/5] CLI query batch ...", flush=True)
+    print("[2/6] CLI query batch ...", flush=True)
     point = run_cli(
         "query", *store_args, "--request",
         json.dumps({"type": "point", "os": args.os_name,
@@ -173,7 +265,7 @@ def main(argv: list[str] | None = None) -> int:
     info = run_cli("info", *store_args)
     assert info["exists"] and len(info["entries"]) == 1, info
 
-    print("[3/5] HTTP round-trip ...", flush=True)
+    print("[3/6] HTTP round-trip ...", flush=True)
     server = make_server(QueryEngine(CurveStore(args.store)), port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -195,7 +287,7 @@ def main(argv: list[str] | None = None) -> int:
     if http_payload["result"] != point["result"]:
         raise SystemExit("HTTP and CLI answers differ for the same query")
 
-    print("[4/5] differential check vs direct Allocator path ...", flush=True)
+    print("[4/6] differential check vs direct Allocator path ...", flush=True)
     store = CurveStore(args.store)
     curves = store.load(store.find_current(args.os_name))
     direct = Allocator(curves, budget_rbes=DEFAULT_BUDGET_RBES).rank(limit=10)
@@ -210,12 +302,17 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit(f"rank {rank} config differs: {got} vs {want}")
 
     if args.faults != "none":
-        print(f"[5/5] chaos phase with faults: {args.faults} ...", flush=True)
+        print(f"[5/6] chaos phase with faults: {args.faults} ...", flush=True)
         want_rows = [(a["area_rbe"], a["cpi"], a["tlb"]) for a in served]
         chaos_phase(args.store, args.os_name, args.faults, want_rows)
     else:
-        print("[5/5] chaos phase skipped (--faults none)", flush=True)
-    print("service smoke OK: CLI, HTTP, direct and chaos paths agree")
+        print("[5/6] chaos phase skipped (--faults none)", flush=True)
+
+    print(f"[6/6] 2-worker pre-fork fleet (faults: {args.faults}) ...",
+          flush=True)
+    prefork_phase(args.store, args.os_name, args.faults)
+    print("service smoke OK: CLI, HTTP, direct, chaos and pre-fork "
+          "paths agree")
     return 0
 
 

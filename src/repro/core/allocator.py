@@ -91,6 +91,11 @@ class PricedSpace:
         """
         return np.lexsort((self.area_grid, self.cpi_grid))
 
+    @cached_property
+    def budget_index(self) -> "BudgetIndex":
+        """The precomputed budget index (built once per priced space)."""
+        return build_budget_index(self)
+
 
 def rank_priced(
     priced: PricedSpace, budget_rbes: float, limit: int | None = None
@@ -119,10 +124,22 @@ def rank_priced(
         raise BudgetError(f"no configuration fits within {budget_rbes} rbes")
     if limit is not None:
         ranked = ranked[:limit]
-    area = priced.area_grid[ranked]
-    cpi = priced.cpi_grid[ranked]
+    return allocations_from_flat(priced, ranked)
+
+
+def allocations_from_flat(
+    priced: PricedSpace, flat: np.ndarray
+) -> list[Allocation]:
+    """Materialize :class:`Allocation` objects for flat grid indices.
+
+    The area/CPI values come straight from the priced grids, so any
+    caller that selects the same indices as the brute-force path gets
+    bit-identical allocations.
+    """
+    area = priced.area_grid[flat]
+    cpi = priced.cpi_grid[flat]
     n_d = len(priced.dcache_keys)
-    ti, rem = np.divmod(ranked, len(priced.icache_keys) * n_d)
+    ti, rem = np.divmod(flat, len(priced.icache_keys) * n_d)
     ii, di = np.divmod(rem, n_d)
     return [
         Allocation(
@@ -137,6 +154,244 @@ def rank_priced(
             area.tolist(), cpi.tolist(),
         )
     ]
+
+
+@dataclass(frozen=True)
+class BudgetIndex:
+    """Precomputed query structure over one :class:`PricedSpace`.
+
+    The paper's allocation answer is a fixed ranking over a priced
+    space, so every budget query is an index lookup in disguise.  This
+    index precomputes, once per priced space:
+
+    * ``thresholds`` — per flat grid entry, the *exact* smallest
+      float64 budget at which :func:`rank_priced`'s feasibility test
+      (``budget_left = (B - t_area) - i_area; budget_left >= 0 and
+      d_area <= budget_left``) holds.  The test is monotone in ``B``
+      (float subtraction is monotone), but its float rounding means
+      the threshold can sit a few ULPs off the entry's ``area_grid``
+      value — so the threshold is found by a bounded ``nextafter``
+      walk and verified against the reference predicate, making
+      ``thresholds[j] <= B`` *bit-identical* to the reference mask for
+      every float budget, including budgets landing exactly on (or one
+      ULP around) an entry's area.
+    * ``thr_by_rank`` — thresholds permuted into ``sorted_order`` (the
+      (cpi, area, enumeration) total order), so a ranked feasible list
+      is one boolean gather instead of a 3-D broadcast mask.
+    * ``thr_sorted`` / ``best_prefix`` — thresholds ascending plus a
+      running minimum of rank position over that order: the best
+      allocation under budget ``B`` is ``searchsorted`` + one lookup,
+      and a batch of M budgets is answered in a single broadcast pass.
+    * ``frontier_ranks`` — the full-space (area, CPI) Pareto frontier
+      as positions into ``sorted_order``, so unconstrained Pareto
+      queries return a cached slice.
+    """
+
+    thresholds: np.ndarray
+    thr_by_rank: np.ndarray
+    thr_sorted: np.ndarray
+    best_prefix: np.ndarray
+    frontier_ranks: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.thresholds.size
+
+
+_THRESHOLD_WALK_LIMIT = 128
+"""ULP-walk bound for threshold search; the rounding error of the
+feasibility arithmetic is a handful of ULPs, so hitting this bound
+means the monotonicity assumption broke and the index must not be
+trusted."""
+
+
+def _feasible_at(
+    budgets: np.ndarray,
+    t_flat: np.ndarray,
+    i_flat: np.ndarray,
+    d_flat: np.ndarray,
+) -> np.ndarray:
+    """Element-wise replay of the reference feasibility predicate."""
+    budget_left = (budgets - t_flat) - i_flat
+    return (budget_left >= 0) & (d_flat <= budget_left)
+
+
+def _feasibility_thresholds(priced: PricedSpace) -> np.ndarray:
+    """Exact per-entry feasibility thresholds (see :class:`BudgetIndex`).
+
+    Starts each entry at its ``area_grid`` value, walks up one ULP at a
+    time until the reference predicate holds, then walks down while the
+    next-lower float still satisfies it — yielding the minimal float
+    budget per entry.  Both walks are vectorized over the unsettled
+    subset and bounded; the predicate's rounding error is a few ULPs,
+    so the bound is never approached on real spaces.
+    """
+    n_i, n_d = len(priced.icache_keys), len(priced.dcache_keys)
+    t_flat = np.repeat(priced.t_area, n_i * n_d)
+    i_flat = np.tile(np.repeat(priced.i_area, n_d), len(priced.tlb_keys))
+    d_flat = np.tile(priced.d_area, len(priced.tlb_keys) * n_i)
+    thresholds = priced.area_grid.astype(np.float64).copy()
+
+    # Walk up until feasible at the candidate budget.
+    pending = np.flatnonzero(
+        ~_feasible_at(thresholds, t_flat, i_flat, d_flat)
+    )
+    for _ in range(_THRESHOLD_WALK_LIMIT):
+        if pending.size == 0:
+            break
+        thresholds[pending] = np.nextafter(thresholds[pending], np.inf)
+        ok = _feasible_at(
+            thresholds[pending], t_flat[pending], i_flat[pending],
+            d_flat[pending],
+        )
+        pending = pending[~ok]
+    else:
+        raise AssertionError(
+            "budget-index threshold search did not converge upward; "
+            "the feasibility predicate is not behaving monotonically"
+        )
+
+    # Walk down while the next-lower float is still feasible.
+    pending = np.arange(thresholds.size)
+    for _ in range(_THRESHOLD_WALK_LIMIT):
+        lower = np.nextafter(thresholds[pending], -np.inf)
+        ok = _feasible_at(
+            lower, t_flat[pending], i_flat[pending], d_flat[pending]
+        )
+        if not ok.any():
+            break
+        thresholds[pending[ok]] = lower[ok]
+        pending = pending[ok]
+    else:
+        raise AssertionError(
+            "budget-index threshold search did not converge downward; "
+            "the feasibility predicate is not behaving monotonically"
+        )
+    return thresholds
+
+
+def _frontier_positions(areas_by_rank: np.ndarray) -> np.ndarray:
+    """Frontier membership over a (cpi, area)-ranked area sequence.
+
+    Exactly :func:`~repro.service.engine.pareto_frontier`'s scan: a
+    rank position joins iff its area is strictly below every earlier
+    area.  Vectorized as a running minimum.
+    """
+    if areas_by_rank.size == 0:
+        return np.empty(0, dtype=np.intp)
+    keep = np.empty(areas_by_rank.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = areas_by_rank[1:] < np.minimum.accumulate(areas_by_rank)[:-1]
+    return np.flatnonzero(keep)
+
+
+def build_budget_index(priced: PricedSpace) -> BudgetIndex:
+    """Build the budget index for a priced space (see :class:`BudgetIndex`)."""
+    thresholds = _feasibility_thresholds(priced)
+    order = priced.sorted_order
+    thr_by_rank = thresholds[order]
+    # Rank position per threshold-sorted entry; the best feasible
+    # allocation under B is the smallest rank among entries whose
+    # threshold is <= B, read off a prefix minimum.
+    thr_argsort = np.argsort(thresholds, kind="stable")
+    thr_sorted = thresholds[thr_argsort]
+    inv_rank = np.empty(order.size, dtype=np.intp)
+    inv_rank[order] = np.arange(order.size)
+    best_prefix = np.minimum.accumulate(inv_rank[thr_argsort])
+    frontier_ranks = _frontier_positions(priced.area_grid[order])
+    return BudgetIndex(
+        thresholds=thresholds,
+        thr_by_rank=thr_by_rank,
+        thr_sorted=thr_sorted,
+        best_prefix=best_prefix,
+        frontier_ranks=frontier_ranks,
+    )
+
+
+def rank_indexed(
+    priced: PricedSpace, budget_rbes: float, limit: int | None = None
+) -> list[Allocation]:
+    """Index-backed twin of :func:`rank_priced` — bit-identical output.
+
+    ``limit=1`` is ``searchsorted`` + one prefix-minimum lookup;
+    other limits gather the feasible prefix of the precomputed rank
+    order.  Neither path re-sorts or builds the 3-D feasibility mask.
+
+    Raises:
+        BudgetError: if no combination fits the budget.
+    """
+    index = priced.budget_index
+    if limit == 1:
+        position = int(
+            np.searchsorted(index.thr_sorted, budget_rbes, side="right")
+        )
+        if position == 0:
+            raise BudgetError(
+                f"no configuration fits within {budget_rbes} rbes"
+            )
+        ranks = index.best_prefix[position - 1 : position]
+    else:
+        ranks = np.flatnonzero(index.thr_by_rank <= budget_rbes)
+        if ranks.size == 0:
+            raise BudgetError(
+                f"no configuration fits within {budget_rbes} rbes"
+            )
+        if limit is not None:
+            ranks = ranks[:limit]
+    return allocations_from_flat(priced, priced.sorted_order[ranks])
+
+
+def batch_best_indexed(
+    priced: PricedSpace, budgets_rbes: np.ndarray | list[float]
+) -> list[list[Allocation]]:
+    """The best allocation per budget, for M budgets in one pass.
+
+    One vectorized ``searchsorted`` + gather answers the whole sweep —
+    no per-budget ranking.  Infeasible budgets yield empty lists, the
+    same degradation :meth:`QueryEngine.batch` applies.
+    """
+    budgets = np.asarray(budgets_rbes, dtype=np.float64)
+    index = priced.budget_index
+    if index.size == 0:
+        return [[] for _ in budgets]
+    positions = np.searchsorted(index.thr_sorted, budgets, side="right")
+    feasible = positions > 0
+    ranks = index.best_prefix[np.maximum(positions - 1, 0)]
+    flat = priced.sorted_order[ranks]
+    best = allocations_from_flat(priced, flat)
+    return [
+        [best[i]] if feasible[i] else [] for i in range(len(budgets))
+    ]
+
+
+def pareto_indexed(
+    priced: PricedSpace, max_budget: float | None = None
+) -> list[Allocation]:
+    """The (area, CPI) Pareto frontier under a budget, off the index.
+
+    Unconstrained queries slice the cached full-space frontier; budget-
+    capped queries re-run the running-minimum scan over the feasible
+    prefix of the rank order (one vectorized pass), because the
+    restricted frontier is *not* always a subset of the full one when
+    a budget lands between two equal-area entries' thresholds.
+
+    Raises:
+        BudgetError: if no combination fits the budget.
+    """
+    index = priced.budget_index
+    if index.size == 0:
+        raise BudgetError("the priced space is empty; nothing is feasible")
+    if max_budget is None or max_budget >= index.thr_sorted[-1]:
+        ranks = index.frontier_ranks
+    else:
+        feasible_ranks = np.flatnonzero(index.thr_by_rank <= max_budget)
+        if feasible_ranks.size == 0:
+            raise BudgetError(
+                f"no configuration fits within {max_budget} rbes"
+            )
+        areas = priced.area_grid[priced.sorted_order[feasible_ranks]]
+        ranks = feasible_ranks[_frontier_positions(areas)]
+    return allocations_from_flat(priced, priced.sorted_order[ranks])
 
 
 class Allocator:

@@ -268,12 +268,18 @@ def _tlb_table(
 _worker_traces: dict[tuple, object] = {}
 
 
+_WORKER_TRACE_CAP = 2
+
+
 def _trace_for(workload: str, os_name: str, references: int, seed: int):
     key = (workload, os_name, references, seed)
     trace = _worker_traces.get(key)
     if trace is None:
-        if len(_worker_traces) >= 2:
-            _worker_traces.clear()
+        # Evict only the oldest entry (dict preserves insertion order):
+        # clearing the whole memo would drop a still-hot sibling trace
+        # and force interleaved units to regenerate it every time.
+        while len(_worker_traces) >= _WORKER_TRACE_CAP:
+            _worker_traces.pop(next(iter(_worker_traces)))
         trace = generate_trace(workload, os_name, references, seed=seed)
         _worker_traces[key] = trace
     return trace

@@ -30,9 +30,25 @@ def trace_references() -> int:
 
 
 @lru_cache(maxsize=16)
+def _cached_trace(
+    workload: str, os_name: str, references: int, seed: int
+) -> ReferenceTrace:
+    return generate_trace(workload, os_name, references, seed=seed)
+
+
 def get_trace(workload: str, os_name: str, seed: int = DEFAULT_SEED) -> ReferenceTrace:
-    """Generate (and memoize in-process) one workload/OS trace."""
-    return generate_trace(workload, os_name, trace_references(), seed=seed)
+    """Generate (and memoize in-process) one workload/OS trace.
+
+    The memo key includes the REPRO_SCALE-derived reference count, so a
+    scale change mid-process (tests flipping REPRO_SCALE, a notebook
+    resizing its runs) regenerates instead of replaying a stale length.
+    """
+    return _cached_trace(workload, os_name, trace_references(), seed)
+
+
+# Existing callers clear the memo through the public name.
+get_trace.cache_clear = _cached_trace.cache_clear
+get_trace.cache_info = _cached_trace.cache_info
 
 
 def suite() -> list[str]:

@@ -10,6 +10,10 @@ Set ``REPRO_SCALE`` to trade accuracy for runtime (e.g. 0.3 for a
 quick pass, 3.0 for a long, tighter run).  ``--jobs N`` fans the
 measurement units out over N worker processes; it takes precedence
 over the ``REPRO_JOBS`` environment variable (default 1, serial).
+When more than one experiment is requested, ``--jobs N`` also runs up
+to N whole experiments concurrently (each serial inside, so the
+process count stays bounded by N); output is captured per experiment
+and printed in request order, byte-identical to a serial run.
 
 Allocation experiments (table6/table7) answer from the curve store
 when one exists — build it once with ``python -m repro.service build``
@@ -20,7 +24,9 @@ points them at a non-default store directory.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import importlib
+import io
 import os
 import sys
 import time
@@ -34,6 +40,48 @@ def run_experiment(name: str) -> None:
     started = time.time()
     module.main()
     print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+
+
+def _run_captured(name: str) -> str:
+    """Run one experiment with its stdout captured (pool worker body).
+
+    Module-level so it pickles for ``ProcessPoolExecutor``; the worker
+    inherits ``REPRO_JOBS=1`` from the parent's env so experiment-level
+    parallelism never nests a measurement pool inside a pool worker.
+    """
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        run_experiment(name)
+    return buffer.getvalue()
+
+
+def run_experiments(names: list[str], jobs: int) -> None:
+    """Run experiments, up to ``jobs`` concurrently, output in order.
+
+    Experiments are independent (separate modules, separate result
+    files), so they parallelize as whole processes; each worker runs
+    its experiment serially (``REPRO_JOBS=1``) so total process count
+    stays at ``jobs``.  Stdout is captured per experiment and replayed
+    in request order, so interleaving never scrambles the tables.
+    """
+    if jobs <= 1 or len(names) <= 1:
+        for name in names:
+            run_experiment(name)
+        return
+    from concurrent.futures import ProcessPoolExecutor
+
+    inner = os.environ.get("REPRO_JOBS")
+    os.environ["REPRO_JOBS"] = "1"  # workers inherit: no nested pools
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            for output in pool.map(_run_captured, names):
+                sys.stdout.write(output)
+                sys.stdout.flush()
+    finally:
+        if inner is None:
+            os.environ.pop("REPRO_JOBS", None)
+        else:
+            os.environ["REPRO_JOBS"] = inner
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -89,8 +137,7 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    for name in names:
-        run_experiment(name)
+    run_experiments(names, args.jobs if args.jobs is not None else 1)
     return 0
 
 

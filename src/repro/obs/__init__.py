@@ -12,6 +12,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_registry_snapshots,
 )
 from repro.obs.tracing import Span, Tracer, get_tracer, set_tracer, trace_span
 
@@ -25,6 +26,7 @@ __all__ = [
     "Span",
     "Tracer",
     "get_tracer",
+    "merge_registry_snapshots",
     "set_tracer",
     "trace_span",
 ]

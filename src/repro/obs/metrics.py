@@ -147,6 +147,90 @@ class Histogram:
             return out
 
 
+def _merge_counter(snapshots: list[dict]) -> dict:
+    total = sum(s.get("total", 0) for s in snapshots)
+    by_label: dict[str, int] = {}
+    for snap in snapshots:
+        for label, count in snap.get("by_label", {}).items():
+            by_label[label] = by_label.get(label, 0) + count
+    return {"total": total, "by_label": by_label} if by_label else {
+        "total": total
+    }
+
+
+def _merge_gauge(snapshots: list[dict]) -> dict:
+    # Currents add (total in-flight across workers); each worker's
+    # high-water is summed too — an upper bound on the fleet's true
+    # simultaneous peak, which per-process sampling cannot recover.
+    return {
+        "current": sum(s.get("current", 0) for s in snapshots),
+        "high_water": sum(s.get("high_water", 0) for s in snapshots),
+    }
+
+
+def _merge_histogram(snapshots: list[dict]) -> dict:
+    buckets: dict[str, int] = {}
+    for snap in snapshots:
+        for key, count in snap.get("buckets", {}).items():
+            buckets[key] = buckets.get(key, 0) + count
+    count = sum(s.get("count", 0) for s in snapshots)
+    mins = [s["min_ms"] for s in snapshots if s.get("min_ms") is not None]
+    maxes = [s["max_ms"] for s in snapshots if s.get("max_ms") is not None]
+    max_ms = max(maxes) if maxes else None
+
+    bounded = sorted(
+        (float(key[3:]), key) for key in buckets if key != "le_inf"
+    )
+
+    def percentile(q: float) -> float | None:
+        if count == 0:
+            return None
+        rank = q * count
+        seen = 0
+        for bound, key in bounded:
+            seen += buckets[key]
+            if seen >= rank:
+                return bound
+        return max_ms
+
+    return {
+        "count": count,
+        "sum_ms": round(sum(s.get("sum_ms", 0.0) for s in snapshots), 3),
+        "min_ms": min(mins) if mins else None,
+        "max_ms": max_ms,
+        "p50_ms": percentile(0.50),
+        "p95_ms": percentile(0.95),
+        "p99_ms": percentile(0.99),
+        "buckets": buckets,
+    }
+
+
+def merge_registry_snapshots(snapshots: list[dict]) -> dict:
+    """Combine per-worker :meth:`MetricsRegistry.snapshot` dicts.
+
+    Counters and histogram buckets sum exactly; merged percentiles are
+    re-read off the summed buckets, so they carry the same bucket-bound
+    resolution as a single registry's.  Used by the pre-fork server to
+    render one fleet-wide ``/v1/metrics`` view from worker snapshots.
+    """
+    merged: dict = {"counters": {}, "histograms": {}, "gauges": {}}
+    mergers = {
+        "counters": _merge_counter,
+        "histograms": _merge_histogram,
+        "gauges": _merge_gauge,
+    }
+    for kind, merge in mergers.items():
+        names = sorted({
+            name for snap in snapshots for name in snap.get(kind, {})
+        })
+        for name in names:
+            merged[kind][name] = merge(
+                [snap[kind][name] for snap in snapshots
+                 if name in snap.get(kind, {})]
+            )
+    return merged
+
+
 class MetricsRegistry:
     """Named instruments plus one consistent snapshot.
 

@@ -16,7 +16,7 @@ JSON in, JSON out — suitable for scripting::
     # stderr; socket timeouts, overload shedding and fault injection
     # are tunable):
     python -m repro.service serve --store .repro-store --port 8023 \
-        --timeout 30 --max-inflight 64 [--faults SPEC] [--quiet]
+        --timeout 30 --max-inflight 64 [--workers N] [--faults SPEC] [--quiet]
 
 Failures print a structured JSON error object to stderr and exit
 non-zero; exit code 2 marks a bad request, 3 a store problem, 4 an
@@ -44,6 +44,7 @@ from repro.service.http import (
     DEFAULT_REQUEST_TIMEOUT_S,
     serve,
 )
+from repro.service.workers import PreforkServer, resolve_workers
 from repro.store import CurveStore
 
 
@@ -103,6 +104,29 @@ def cmd_serve(args) -> int:
     if args.faults:
         faults = parse_faults(args.faults)
         set_injector(faults)  # store-load seams read the process injector
+    workers = resolve_workers(args.workers)
+    if workers > 1:
+        store_path = args.store
+        fault_spec = args.faults
+
+        def engine_factory() -> QueryEngine:
+            # Runs inside each forked worker: mmap handles and engine
+            # locks must be born after fork, never inherited across it.
+            if fault_spec:
+                set_injector(parse_faults(fault_spec))
+            return QueryEngine(CurveStore.open(store_path))
+
+        pool = PreforkServer(
+            engine_factory,
+            host=args.host,
+            port=args.port,
+            workers=workers,
+            request_timeout=args.timeout,
+            max_inflight=args.max_inflight,
+            verbose=not args.quiet,
+        )
+        pool.serve_until_interrupted()
+        return 0
     engine = QueryEngine(CurveStore.open(args.store))
     serve(
         engine,
@@ -170,6 +194,11 @@ def main(argv: list[str] | None = None) -> int:
         help="fault-injection spec, e.g. "
              "'corrupt_store=0.3,latency_ms=20,drop_conn=0.1,seed=7' "
              "(overrides REPRO_FAULTS)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=None,
+        help="pre-fork worker processes sharing the listening address "
+             "(default: REPRO_WORKERS or 1; >1 enables the pre-fork pool)",
     )
     srv.add_argument(
         "--quiet", action="store_true",

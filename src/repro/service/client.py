@@ -15,6 +15,13 @@ or a definitive error:
 
 Raises :class:`ServiceClientError` carrying the last status and
 structured error code once attempts are exhausted.
+
+Queries are also *conditionally* cached: the service tags each query
+response with a strong ``ETag`` over the exact body bytes, and the
+client remembers the last validator per canonical request.  A repeat
+query sends ``If-None-Match``; a ``304 Not Modified`` answer carries
+no body, and the client replays its cached result — zero bytes of
+JSON cross the wire or get re-parsed for a repeated question.
 """
 
 from __future__ import annotations
@@ -24,11 +31,13 @@ import json
 import time
 import urllib.error
 import urllib.request
+from collections import OrderedDict
 
 from repro.errors import ReproError
 
 DEFAULT_RETRIES = 4
 DEFAULT_BACKOFF_S = 0.05
+DEFAULT_ETAG_CACHE_SIZE = 256
 RETRYABLE_STATUS = (429, 503)
 
 
@@ -71,6 +80,7 @@ class ServiceClient:
         timeout: float = 10.0,
         retries: int = DEFAULT_RETRIES,
         backoff_s: float = DEFAULT_BACKOFF_S,
+        etag_cache_size: int = DEFAULT_ETAG_CACHE_SIZE,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
@@ -78,22 +88,37 @@ class ServiceClient:
         self.backoff_s = backoff_s
         self.attempts_made = 0
         self.retries_used = 0
+        self.not_modified_hits = 0
+        # canonical request JSON -> (etag, cached payload)
+        self._etag_cache: OrderedDict[str, tuple[str, dict]] = OrderedDict()
+        self._etag_cache_size = etag_cache_size
 
     # -- transport ----------------------------------------------------
 
-    def _once(self, path: str, body: bytes | None) -> tuple[int, dict]:
+    def _once(
+        self, path: str, body: bytes | None, etag: str | None = None
+    ) -> tuple[int, dict, str | None]:
+        headers = {"Content-Type": "application/json"} if body else {}
+        if etag is not None:
+            headers["If-None-Match"] = etag
         request = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            headers={"Content-Type": "application/json"} if body else {},
+            self.base_url + path, data=body, headers=headers
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return resp.status, _decode(resp.read())
+                return (
+                    resp.status,
+                    _decode(resp.read()),
+                    resp.headers.get("ETag"),
+                )
         except urllib.error.HTTPError as exc:
-            return exc.code, _decode(exc.read())
+            if exc.code == 304:
+                return 304, {}, exc.headers.get("ETag")
+            return exc.code, _decode(exc.read()), None
 
-    def _request(self, path: str, body: bytes | None) -> dict:
+    def _request(
+        self, path: str, body: bytes | None, etag: str | None = None
+    ) -> tuple[dict, int, str | None]:
         last: tuple[int | None, str | None, str] = (None, None, "no attempt")
         attempts = self.retries + 1
         for attempt in range(attempts):
@@ -102,7 +127,7 @@ class ServiceClient:
                 self.retries_used += 1
                 time.sleep(self.backoff_s * (2 ** (attempt - 1)))
             try:
-                status, payload = self._once(path, body)
+                status, payload, resp_etag = self._once(path, body, etag)
             except (
                 ConnectionError,
                 http.client.RemoteDisconnected,
@@ -125,8 +150,10 @@ class ServiceClient:
                     error.get("message", f"HTTP {status}"),
                 )
                 continue
+            if status == 304:
+                return payload, status, resp_etag
             if payload.get("ok"):
-                return payload
+                return payload, status, resp_etag
             error = payload.get("error", {})
             raise ServiceClientError(
                 f"HTTP {status}: {error.get('message', 'unstructured error')}",
@@ -145,14 +172,31 @@ class ServiceClient:
     # -- endpoints ----------------------------------------------------
 
     def query(self, request: dict) -> dict:
-        """POST one query; returns the engine's result dict."""
-        payload = self._request(
-            "/v1/query", json.dumps(request).encode()
+        """POST one query; returns the engine's result dict.
+
+        Repeat queries revalidate with ``If-None-Match``; a 304 reply
+        short-circuits to the locally cached result.
+        """
+        cache_key = json.dumps(request, sort_keys=True)
+        cached = self._etag_cache.get(cache_key)
+        payload, status, etag = self._request(
+            "/v1/query",
+            json.dumps(request).encode(),
+            etag=cached[0] if cached else None,
         )
+        if status == 304 and cached is not None:
+            self.not_modified_hits += 1
+            self._etag_cache.move_to_end(cache_key)
+            return cached[1]["result"]
+        if etag is not None:
+            self._etag_cache[cache_key] = (etag, payload)
+            self._etag_cache.move_to_end(cache_key)
+            while len(self._etag_cache) > self._etag_cache_size:
+                self._etag_cache.popitem(last=False)
         return payload["result"]
 
     def health(self) -> dict:
-        return self._request("/v1/health", None)["result"]
+        return self._request("/v1/health", None)[0]["result"]
 
     def metrics(self) -> dict:
-        return self._request("/v1/metrics", None)["result"]
+        return self._request("/v1/metrics", None)[0]["result"]

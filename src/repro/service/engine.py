@@ -36,6 +36,7 @@ see hits and misses torn against each other.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 from collections import OrderedDict
@@ -45,7 +46,9 @@ from repro.core.allocator import (
     Allocation,
     Allocator,
     PricedSpace,
-    rank_priced,
+    batch_best_indexed,
+    pareto_indexed,
+    rank_indexed,
 )
 from repro.core.cpi import CpiModel
 from repro.core.measure import BenefitCurves
@@ -121,8 +124,12 @@ class QueryEngine:
         self._curves: dict[str, BenefitCurves] = {}
         self._priced: dict[tuple, PricedSpace] = {}
         self._results: OrderedDict[str, dict] = OrderedDict()
+        self._result_bytes: OrderedDict[str, tuple[bytes, str]] = OrderedDict()
         self._result_cache_size = result_cache_size
-        self._stats = {"hits": 0, "misses": 0, "coalesced": 0}
+        self._stats = {
+            "hits": 0, "misses": 0, "coalesced": 0,
+            "byte_hits": 0, "byte_misses": 0,
+        }
         self._lock = threading.Lock()
         self._inflight: dict[tuple, _InFlight] = {}
 
@@ -237,10 +244,16 @@ class QueryEngine:
         max_cache_assoc: int | None = None,
         max_access_time_ns: float | None = None,
     ) -> list[Allocation]:
-        """Ranked allocations under one budget (best first)."""
+        """Ranked allocations under one budget (best first).
+
+        Answered off the priced space's :class:`~repro.core.allocator.
+        BudgetIndex`: a ``limit=1`` query is a binary search plus one
+        lookup, and every answer is bit-identical to
+        :meth:`Allocator.rank` (the differential tests hold this).
+        """
         priced = self.priced_space(os_name, max_cache_assoc, max_access_time_ns)
-        with trace_span("engine.rank_priced", os=os_name, budget=budget):
-            return rank_priced(priced, budget, limit=limit)
+        with trace_span("engine.rank_indexed", os=os_name, budget=budget):
+            return rank_indexed(priced, budget, limit=limit)
 
     def batch(
         self,
@@ -252,8 +265,11 @@ class QueryEngine:
     ) -> list[tuple[str, float, list[Allocation]]]:
         """A budget x OS sweep against warm priced spaces.
 
-        Infeasible (os, budget) points yield an empty allocation list
-        rather than failing the whole sweep.
+        The default ``limit=1`` sweep is answered in one vectorized
+        pass per OS (``searchsorted`` over all budgets at once) instead
+        of one ranking per point; deeper limits fall back to per-budget
+        index lookups.  Infeasible (os, budget) points yield an empty
+        allocation list rather than failing the whole sweep.
         """
         out = []
         for os_name in os_names:
@@ -261,14 +277,23 @@ class QueryEngine:
                 os_name, max_cache_assoc, max_access_time_ns
             )
             with trace_span(
-                "engine.rank_priced", os=os_name, budgets=len(budgets)
+                "engine.batch_indexed", os=os_name, budgets=len(budgets)
             ):
-                for budget in budgets:
-                    try:
-                        ranked = rank_priced(priced, budget, limit=limit)
-                    except BudgetError:
-                        ranked = []
-                    out.append((os_name, budget, ranked))
+                if limit == 1:
+                    per_budget = batch_best_indexed(priced, budgets)
+                else:
+                    per_budget = []
+                    for budget in budgets:
+                        try:
+                            per_budget.append(
+                                rank_indexed(priced, budget, limit=limit)
+                            )
+                        except BudgetError:
+                            per_budget.append([])
+            out.extend(
+                (os_name, budget, ranked)
+                for budget, ranked in zip(budgets, per_budget)
+            )
         return out
 
     def pareto(
@@ -278,12 +303,15 @@ class QueryEngine:
         max_cache_assoc: int | None = None,
         max_access_time_ns: float | None = None,
     ) -> list[Allocation]:
-        """The area-vs-CPI Pareto frontier of the (budget-capped) space."""
+        """The area-vs-CPI Pareto frontier of the (budget-capped) space.
+
+        Unconstrained queries return the frontier precomputed on the
+        budget index; budget-capped ones run one vectorized scan over
+        the feasible prefix — no per-query full ranking either way.
+        """
         priced = self.priced_space(os_name, max_cache_assoc, max_access_time_ns)
-        budget = max_budget if max_budget is not None else float("inf")
-        with trace_span("engine.rank_priced", os=os_name, pareto=True):
-            ranked = rank_priced(priced, budget)
-        return pareto_frontier(ranked)
+        with trace_span("engine.pareto_indexed", os=os_name, pareto=True):
+            return pareto_indexed(priced, max_budget)
 
     def entry_count(self) -> int:
         """Published store entries (cached; see CurveStore.entry_count)."""
@@ -340,6 +368,42 @@ class QueryEngine:
             with self._lock:
                 self._inflight.pop(flight_key, None)
             flight.event.set()
+
+    def query_bytes(self, request) -> tuple[bytes, str]:
+        """Answer one request as serialized response bytes plus an ETag.
+
+        The hot path of the HTTP server: the full ``{"ok": true,
+        "result": ...}`` envelope is encoded once per distinct
+        normalized request and cached as bytes, so repeated queries
+        skip both the ranking *and* the JSON re-encoding.  The ETag is
+        a strong validator over the exact body bytes — a client
+        replaying it via ``If-None-Match`` gets a body-less 304.
+
+        Raises:
+            Whatever :meth:`query` raises for the request.
+        """
+        normalized = validate_request(request)
+        cache_key = json.dumps(normalized, sort_keys=True)
+        with self._lock:
+            entry = self._result_bytes.get(cache_key)
+            if entry is not None:
+                self._result_bytes.move_to_end(cache_key)
+                self._stats["byte_hits"] += 1
+                return entry
+        result = self.query(normalized)
+        body = json.dumps({"ok": True, "result": result}).encode()
+        etag = '"' + hashlib.sha256(body).hexdigest()[:20] + '"'
+        with self._lock:
+            if cache_key not in self._result_bytes:
+                self._stats["byte_misses"] += 1
+                self._result_bytes[cache_key] = (body, etag)
+                while len(self._result_bytes) > self._result_cache_size:
+                    self._result_bytes.popitem(last=False)
+            else:
+                # Another thread published the same bytes first; serve
+                # ours (identical content, deterministic encoder).
+                self._stats["byte_hits"] += 1
+        return body, etag
 
     def _answer(self, req: dict) -> dict:
         kwargs = dict(

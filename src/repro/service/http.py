@@ -32,12 +32,14 @@ feeds ``/v1/metrics``.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import sys
 import threading
 import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 
 from repro.errors import (
     BudgetError,
@@ -46,7 +48,13 @@ from repro.errors import (
     StoreError,
     StoreIntegrityError,
 )
-from repro.obs import JsonLogger, MetricsRegistry, NullLogger, trace_span
+from repro.obs import (
+    JsonLogger,
+    MetricsRegistry,
+    NullLogger,
+    merge_registry_snapshots,
+    trace_span,
+)
 from repro.service.engine import QueryEngine
 from repro.service.faults import FaultInjector, get_injector
 
@@ -55,6 +63,7 @@ DEFAULT_REQUEST_TIMEOUT_S = 30.0
 DEFAULT_MAX_INFLIGHT = 64
 DEFAULT_DRAIN_S = 5.0
 RETRY_AFTER_S = 1
+METRICS_EXPORT_INTERVAL_S = 0.25
 
 # Ordered most-specific first: subclasses must precede their bases.
 _ERROR_STATUS = (
@@ -84,6 +93,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-service/2"
     protocol_version = "HTTP/1.1"
+    # Keep-alive POSTs arrive as separate header/body segments; with
+    # Nagle on, each response can stall ~40 ms behind the peer's
+    # delayed ACK, flattening throughput at ~25 req/s per connection.
+    disable_nagle_algorithm = True
 
     def setup(self):
         # StreamRequestHandler applies self.timeout to the connection
@@ -95,11 +108,21 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- response plumbing --------------------------------------------
 
     def _send_json(self, status: int, payload: dict, close: bool = False) -> None:
-        body = json.dumps(payload).encode()
+        self._send_body(status, json.dumps(payload).encode(), close=close)
+
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        close: bool = False,
+        etag: str | None = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Request-Id", self.request_id)
+        if etag is not None:
+            self.send_header("ETag", etag)
         if status == 429:
             self.send_header("Retry-After", str(RETRY_AFTER_S))
         if close:
@@ -107,6 +130,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_not_modified(self, etag: str) -> None:
+        # RFC 9110: 304 carries no body; the validator lets the client
+        # keep serving its cached representation.
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("X-Request-Id", self.request_id)
+        self.end_headers()
 
     def _send_error_json(
         self, status: int, code: str, message: str, close: bool = False
@@ -199,6 +230,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             dur_ms=round(dur_ms, 3),
             remote=self.client_address[0],
         )
+        if server.worker_metrics_dir is not None:
+            export_worker_metrics(server)
 
     # -- GET: health and metrics --------------------------------------
 
@@ -206,45 +239,21 @@ class ServiceHandler(BaseHTTPRequestHandler):
         engine: QueryEngine = self.server.engine
         if self.path in ("/v1/health", "/health"):
             store = engine.store
-            self._send_json(
-                200,
-                {
-                    "ok": True,
-                    "result": {
-                        "status": "serving",
-                        "store": str(store.root) if store is not None else None,
-                        "entries": engine.entry_count(),
-                        "cache": engine.stats,
-                        "inflight": self.server.metrics.gauge(
-                            "http_inflight"
-                        ).snapshot(),
-                    },
-                },
-            )
+            result = {
+                "status": "serving",
+                "store": str(store.root) if store is not None else None,
+                "entries": engine.entry_count(),
+                "cache": engine.stats,
+                "inflight": self.server.metrics.gauge(
+                    "http_inflight"
+                ).snapshot(),
+            }
+            if self.server.worker_metrics_dir is not None:
+                result["worker"] = self.server.worker_label
+            self._send_json(200, {"ok": True, "result": result})
             return 200
         if self.path in ("/v1/metrics", "/metrics"):
-            stats = engine.stats
-            lookups = stats["hits"] + stats["misses"]
-            self._send_json(
-                200,
-                {
-                    "ok": True,
-                    "result": {
-                        "uptime_s": round(
-                            time.monotonic() - self.server.started_monotonic, 3
-                        ),
-                        "engine_cache": {
-                            **stats,
-                            "hit_rate": (
-                                round(stats["hits"] / lookups, 4)
-                                if lookups else None
-                            ),
-                        },
-                        "faults": self.server.faults.trip_counts(),
-                        **self.server.metrics.snapshot(),
-                    },
-                },
-            )
+            self._send_json(200, {"ok": True, "result": _metrics_view(self.server)})
             return 200
         self._send_error_json(404, "not_found", f"unknown path {self.path}")
         return 404
@@ -318,7 +327,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_error_json(400, "invalid_json", f"body is not JSON: {exc}")
             return 400
         try:
-            result = self.server.engine.query(request)
+            body_bytes, etag = self.server.engine.query_bytes(request)
         except Exception as exc:  # mapped to structured errors below
             for exc_type, status, code in _ERROR_STATUS:
                 if isinstance(exc, exc_type):
@@ -326,8 +335,107 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     return status
             self._send_error_json(500, "internal", f"{type(exc).__name__}: {exc}")
             return 500
-        self._send_json(200, {"ok": True, "result": result})
+        if self.headers.get("If-None-Match") == etag:
+            # The client already holds these exact bytes; skip the body.
+            self.server.metrics.counter("http_not_modified").inc()
+            self._send_not_modified(etag)
+            return 304
+        self._send_body(200, body_bytes, etag=etag)
         return 200
+
+
+def _metrics_view(server: ThreadingHTTPServer) -> dict:
+    """The ``/v1/metrics`` payload, fleet-aggregated when pre-forked.
+
+    Single-process servers render their own registry.  A pre-fork
+    worker first force-exports its own snapshot, then merges every
+    sibling's last export from the shared metrics directory, so any
+    worker can answer for the whole fleet (load balancing means the
+    scrape may land anywhere).
+    """
+    engine: QueryEngine = server.engine
+    view: dict = {
+        "uptime_s": round(time.monotonic() - server.started_monotonic, 3),
+    }
+    if server.worker_metrics_dir is None:
+        stats = engine.stats
+        view["engine_cache"] = _with_hit_rate(stats)
+        view["faults"] = server.faults.trip_counts()
+        view.update(server.metrics.snapshot())
+        return view
+
+    export_worker_metrics(server, force=True)
+    snapshots = read_worker_snapshots(server.worker_metrics_dir)
+    engine_cache: dict[str, int] = {}
+    faults: dict[str, int] = {}
+    for snap in snapshots.values():
+        for key, value in snap.get("engine_cache", {}).items():
+            engine_cache[key] = engine_cache.get(key, 0) + value
+        for key, value in snap.get("faults", {}).items():
+            faults[key] = faults.get(key, 0) + value
+    view["worker"] = server.worker_label
+    view["workers"] = sorted(snapshots)
+    view["engine_cache"] = _with_hit_rate(engine_cache)
+    view["faults"] = faults
+    view.update(
+        merge_registry_snapshots(
+            [snap.get("instruments", {}) for snap in snapshots.values()]
+        )
+    )
+    return view
+
+
+def _with_hit_rate(stats: dict) -> dict:
+    lookups = stats.get("hits", 0) + stats.get("misses", 0)
+    return {
+        **stats,
+        "hit_rate": round(stats["hits"] / lookups, 4) if lookups else None,
+    }
+
+
+def _worker_snapshot(server: ThreadingHTTPServer) -> dict:
+    return {
+        "worker": server.worker_label,
+        "pid": os.getpid(),
+        "engine_cache": server.engine.stats,
+        "faults": server.faults.trip_counts(),
+        "instruments": server.metrics.snapshot(),
+    }
+
+
+def export_worker_metrics(server: ThreadingHTTPServer, force: bool = False) -> None:
+    """Write this worker's snapshot to the shared metrics directory.
+
+    Time-gated (``METRICS_EXPORT_INTERVAL_S``) so the per-request
+    epilogue stays cheap under load; the write is atomic (tmp +
+    ``os.replace``) so a sibling aggregating mid-write never reads a
+    torn JSON file.
+    """
+    now = time.monotonic()
+    if not force and now - server.last_metrics_export < METRICS_EXPORT_INTERVAL_S:
+        return
+    server.last_metrics_export = now
+    directory = Path(server.worker_metrics_dir)
+    target = directory / f"worker-{server.worker_label}.json"
+    tmp = directory / f".worker-{server.worker_label}.json.tmp"
+    try:
+        tmp.write_text(json.dumps(_worker_snapshot(server)))
+        os.replace(tmp, target)
+    except OSError:
+        pass  # metrics export must never take down a request
+
+
+def read_worker_snapshots(directory: str | os.PathLike) -> dict[str, dict]:
+    """All workers' last exported snapshots, keyed by worker label."""
+    snapshots: dict[str, dict] = {}
+    for path in sorted(Path(directory).glob("worker-*.json")):
+        try:
+            snap = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue  # sibling died mid-replace or file vanished
+        label = snap.get("worker") or path.stem.removeprefix("worker-")
+        snapshots[str(label)] = snap
+    return snapshots
 
 
 def make_server(
@@ -340,6 +448,9 @@ def make_server(
     log_stream=None,
     faults: FaultInjector | None = None,
     metrics: MetricsRegistry | None = None,
+    sock: socket.socket | None = None,
+    worker_metrics_dir: str | os.PathLike | None = None,
+    worker_label: str | None = None,
 ) -> ThreadingHTTPServer:
     """A ready-to-run server; ``port=0`` binds an ephemeral port.
 
@@ -351,8 +462,24 @@ def make_server(
             stderr; None + quiet → no logs).
         faults: fault injector (default: the process one, usually off).
         metrics: share a registry across servers (default: fresh).
+        sock: an already-bound listening socket to adopt instead of
+            binding ``(host, port)`` — how pre-fork workers share one
+            address (SO_REUSEPORT siblings or an inherited socket).
+        worker_metrics_dir: directory for per-worker metric snapshots;
+            enables fleet aggregation on ``/v1/metrics``.
+        worker_label: this worker's name in exported snapshots.
     """
-    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    if sock is not None:
+        server = ThreadingHTTPServer(
+            sock.getsockname()[:2], ServiceHandler, bind_and_activate=False
+        )
+        server.socket.close()  # discard the unbound one from __init__
+        server.socket = sock
+        server.server_address = sock.getsockname()
+        server.server_port = server.server_address[1]
+        server.server_activate()
+    else:
+        server = ThreadingHTTPServer((host, port), ServiceHandler)
     server.engine = engine
     server.verbose = verbose
     server.request_timeout = request_timeout
@@ -361,6 +488,9 @@ def make_server(
     server.metrics = metrics if metrics is not None else MetricsRegistry()
     server.faults = faults if faults is not None else get_injector()
     server.started_monotonic = time.monotonic()
+    server.worker_metrics_dir = worker_metrics_dir
+    server.worker_label = worker_label or str(os.getpid())
+    server.last_metrics_export = 0.0
     if log_stream is not None:
         server.obs_logger = JsonLogger(log_stream)
     elif verbose:

@@ -1,0 +1,319 @@
+"""Pre-fork worker pool for the query service.
+
+One master process owns the listening address and a fleet of worker
+processes, each running its own :class:`ThreadingHTTPServer` over its
+own mmap-loaded store view.  Two socket-sharing strategies:
+
+* **SO_REUSEPORT** (Linux default): every worker binds its own socket
+  to the same address and the kernel load-balances accepted
+  connections across them — no accept-mutex, no thundering herd.
+* **Inherited socket** (fallback when the platform lacks
+  ``SO_REUSEPORT``): the master binds once and children adopt the
+  listening socket across ``fork``; the kernel wakes one accepter per
+  connection.
+
+Lifecycle:
+
+* the master ``fork``\\ s each worker; the child builds its engine and
+  server, installs a SIGTERM handler that drains in-flight queries via
+  :func:`~repro.service.http.shutdown_gracefully`, and serves forever;
+* the master sits in a ``waitpid`` loop and **respawns** any worker
+  that dies unexpectedly (a crash-only design: one bad request cannot
+  take down the fleet), with a rapid-death cap so a worker that dies
+  on boot fails the whole service loudly instead of fork-bombing;
+* ``stop()`` sends SIGTERM to every worker and waits for the graceful
+  drains, escalating to SIGKILL past the deadline.
+
+Workers export metric snapshots to a shared directory (see
+:func:`~repro.service.http.export_worker_metrics`); any worker answers
+``GET /v1/metrics`` with the merged fleet view, so a scrape through
+the load-balanced address always sees fleet-wide numbers.
+
+Queries stay bit-identical to single-process serving: every worker
+answers from the same immutable store files through the same
+:class:`~repro.service.engine.QueryEngine` code, so which worker the
+kernel picks is unobservable in response bodies (and the shared
+byte-level cache keys mean ETags agree across workers too).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import socket
+import sys
+import tempfile
+import threading
+import time
+
+from repro.service.http import (
+    DEFAULT_DRAIN_S,
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_REQUEST_TIMEOUT_S,
+    METRICS_EXPORT_INTERVAL_S,
+    export_worker_metrics,
+    make_server,
+    shutdown_gracefully,
+)
+
+# A worker living under this long is a "rapid death" (crashed during
+# boot, most likely); this many in a row aborts the whole pool.
+RAPID_DEATH_S = 1.0
+MAX_RAPID_DEATHS = 3
+
+
+def resolve_workers(cli_value: int | None) -> int:
+    """Worker count: ``--workers`` beats ``REPRO_WORKERS`` beats 1."""
+    if cli_value is not None:
+        return max(1, int(cli_value))
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from exc
+    return 1
+
+
+def _reuseport_supported() -> bool:
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _bind_listener(host: str, port: int, reuse_port: bool) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+class PreforkServer:
+    """Master process for an N-worker query service fleet.
+
+    Args:
+        engine_factory: zero-argument callable building a fresh
+            :class:`QueryEngine` *inside each worker* — engines hold
+            mmap handles and locks that must not cross ``fork``.
+        workers: number of worker processes (≥ 1).
+        metrics_dir: shared directory for per-worker metric snapshots
+            (default: a fresh temporary directory).
+        server_kwargs: passed through to :func:`make_server` in each
+            worker (``verbose``, ``request_timeout``, ...).
+    """
+
+    def __init__(
+        self,
+        engine_factory,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT_S,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        drain_s: float = DEFAULT_DRAIN_S,
+        verbose: bool = False,
+        metrics_dir: str | os.PathLike | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.engine_factory = engine_factory
+        self.workers = workers
+        self.request_timeout = request_timeout
+        self.max_inflight = max_inflight
+        self.drain_s = drain_s
+        self.verbose = verbose
+        self.reuse_port = _reuseport_supported()
+        if metrics_dir is None:
+            self._metrics_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-worker-metrics-"
+            )
+            self.metrics_dir = self._metrics_tmp.name
+        else:
+            self._metrics_tmp = None
+            self.metrics_dir = os.fspath(metrics_dir)
+
+        # Resolve the address up front so port=0 picks one ephemeral
+        # port that every worker then shares.  Under SO_REUSEPORT the
+        # probe socket stays bound while workers bind their own (the
+        # option permits that); without it, workers inherit this very
+        # socket across fork.
+        self._listener = _bind_listener(host, port, self.reuse_port)
+        self.host, self.port = self._listener.getsockname()[:2]
+
+        self._pids: dict[int, int] = {}  # pid -> worker slot
+        self._spawn_times: dict[int, float] = {}
+        self._stopping = False
+        self._rapid_deaths = 0
+
+    # -- worker side ---------------------------------------------------
+
+    def _run_worker(self, slot: int) -> None:
+        """Child process body: build, serve, drain on SIGTERM."""
+        if self.reuse_port:
+            self._listener.close()
+            sock = _bind_listener(self.host, self.port, reuse_port=True)
+        else:
+            sock = self._listener
+        sock.listen(128)
+        engine = self.engine_factory()
+        server = make_server(
+            engine,
+            verbose=self.verbose,
+            request_timeout=self.request_timeout,
+            max_inflight=self.max_inflight,
+            sock=sock,
+            worker_metrics_dir=self.metrics_dir,
+            worker_label=f"w{slot}",
+        )
+
+        def _flush_metrics():
+            # The request epilogue only exports when traffic arrives;
+            # this keeps an idle worker's last requests visible to
+            # siblings aggregating the fleet view.
+            while True:
+                time.sleep(METRICS_EXPORT_INTERVAL_S)
+                export_worker_metrics(server, force=True)
+
+        threading.Thread(target=_flush_metrics, daemon=True).start()
+
+        def _terminate(signum, frame):
+            # serve_forever runs on the main thread, so the graceful
+            # path (shutdown → drain → exit) needs its own thread.
+            def _drain_and_exit():
+                shutdown_gracefully(server, self.drain_s)
+                os._exit(0)
+
+            threading.Thread(target=_drain_and_exit, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _terminate)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)  # master handles ^C
+        try:
+            server.serve_forever()
+        except Exception:
+            os._exit(1)
+        # shutdown_gracefully exits the process; reaching here means
+        # serve_forever returned some other way — just leave cleanly.
+        os._exit(0)
+
+    # -- master side ---------------------------------------------------
+
+    def _spawn(self, slot: int) -> int:
+        pid = os.fork()
+        if pid == 0:
+            try:
+                self._run_worker(slot)
+            finally:
+                os._exit(1)  # never fall back into the master's stack
+        self._pids[pid] = slot
+        self._spawn_times[pid] = time.monotonic()
+        return pid
+
+    def start(self) -> None:
+        """Fork the full worker fleet."""
+        for slot in range(self.workers):
+            self._spawn(slot)
+        if self.reuse_port:
+            # Workers each hold their own bound socket now; keeping the
+            # probe socket open would leave a listener nobody accepts on
+            # (the kernel would route a share of connections into it).
+            self._listener.close()
+
+    @property
+    def pids(self) -> list[int]:
+        return sorted(self._pids)
+
+    def wait(self) -> None:
+        """Reap and respawn workers until :meth:`stop` is called.
+
+        A worker that dies within ``RAPID_DEATH_S`` of its spawn counts
+        toward a consecutive rapid-death cap; exceeding it raises
+        instead of respawning, so a worker that cannot boot (bad store,
+        import error) surfaces as one loud failure.
+        """
+        while not self._stopping and self._pids:
+            try:
+                pid, status = os.waitpid(-1, 0)
+            except InterruptedError:
+                continue
+            except ChildProcessError:
+                break
+            slot = self._pids.pop(pid, None)
+            spawned = self._spawn_times.pop(pid, 0.0)
+            if slot is None or self._stopping:
+                continue
+            lived = time.monotonic() - spawned
+            if lived < RAPID_DEATH_S:
+                self._rapid_deaths += 1
+                if self._rapid_deaths >= MAX_RAPID_DEATHS:
+                    self.stop()
+                    raise RuntimeError(
+                        f"worker slot {slot} died {self._rapid_deaths} "
+                        f"times within {RAPID_DEATH_S}s of spawn "
+                        f"(last status {status}); aborting instead of "
+                        "respawning in a loop"
+                    )
+            else:
+                self._rapid_deaths = 0
+            print(
+                f"[prefork] worker w{slot} (pid {pid}) exited "
+                f"status={status}; respawning",
+                file=sys.stderr,
+            )
+            self._spawn(slot)
+
+    def stop(self, deadline_s: float | None = None) -> None:
+        """SIGTERM the fleet, wait for graceful drains, then SIGKILL."""
+        self._stopping = True
+        if deadline_s is None:
+            deadline_s = self.drain_s + 2.0
+        for pid in list(self._pids):
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        deadline = time.monotonic() + deadline_s
+        while self._pids and time.monotonic() < deadline:
+            try:
+                pid, _ = os.waitpid(-1, os.WNOHANG)
+            except ChildProcessError:
+                self._pids.clear()
+                break
+            if pid == 0:
+                time.sleep(0.02)
+                continue
+            self._pids.pop(pid, None)
+        for pid in list(self._pids):  # past the deadline: no mercy
+            try:
+                os.kill(pid, signal.SIGKILL)
+                os.waitpid(pid, 0)
+            except (ProcessLookupError, ChildProcessError, OSError) as exc:
+                if getattr(exc, "errno", None) not in (None, errno.ECHILD):
+                    raise
+            self._pids.pop(pid, None)
+        if not self.reuse_port:
+            self._listener.close()
+        if self._metrics_tmp is not None:
+            self._metrics_tmp.cleanup()
+            self._metrics_tmp = None
+
+    def serve_until_interrupted(self) -> None:
+        """The CLI loop: start, wait, and stop cleanly on Ctrl-C."""
+        self.start()
+        print(
+            f"repro.service listening on http://{self.host}:{self.port}"
+            f"/v1/query with {self.workers} workers "
+            f"({'SO_REUSEPORT' if self.reuse_port else 'inherited socket'})"
+        )
+        try:
+            self.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()

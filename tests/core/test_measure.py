@@ -69,3 +69,36 @@ class TestBenefitCurves:
         config = CacheConfig(8192, 4, 1)
         ratios = [c.icache_miss_ratio(config) for c in per]
         assert min(ratios) <= suite.icache_miss_ratio(config) <= max(ratios)
+
+
+class TestWorkerTraceMemo:
+    def test_eviction_drops_only_the_oldest(self, monkeypatch):
+        """Regression: hitting the memo cap used to clear the whole
+        memo, so interleaved units on two workloads regenerated the
+        still-hot sibling trace every time.  Eviction must be FIFO —
+        one entry out, the newer one stays."""
+        from repro.core import measure
+
+        calls = []
+        monkeypatch.setattr(
+            measure, "generate_trace",
+            lambda workload, os_name, references, seed: (
+                calls.append(workload) or object()
+            ),
+        )
+        monkeypatch.setattr(measure, "_worker_traces", {})
+
+        a1 = measure._trace_for("a", "mach", 1000, 1)
+        b1 = measure._trace_for("b", "mach", 1000, 1)
+        assert calls == ["a", "b"]
+
+        # Inserting a third evicts only "a"; "b" survives.
+        measure._trace_for("c", "mach", 1000, 1)
+        assert measure._trace_for("b", "mach", 1000, 1) is b1
+        assert calls == ["a", "b", "c"]
+
+        # "a" was the evictee, so it regenerates (and evicts "b").
+        a2 = measure._trace_for("a", "mach", 1000, 1)
+        assert a2 is not a1
+        assert calls == ["a", "b", "c", "a"]
+        assert set(k[0] for k in measure._worker_traces) == {"c", "a"}

@@ -49,3 +49,21 @@ class TestScaling:
         b = common.get_trace("IOzone", "ultrix")
         assert a is b
         common.get_trace.cache_clear()
+
+    def test_get_trace_key_includes_scale(self, monkeypatch):
+        """Regression: the memo key must include the REPRO_SCALE-derived
+        reference count, or a scale change mid-process silently replays
+        a trace of the old length."""
+        monkeypatch.setenv("REPRO_SCALE", "0.2")
+        common.get_trace.cache_clear()
+        small = common.get_trace("mpeg_play", "ultrix")
+
+        monkeypatch.setenv("REPRO_SCALE", "0.4")
+        rescaled = common.get_trace("mpeg_play", "ultrix")
+        assert rescaled is not small
+        assert len(rescaled) > len(small)
+
+        # Flipping back still hits the memo for the original scale.
+        monkeypatch.setenv("REPRO_SCALE", "0.2")
+        assert common.get_trace("mpeg_play", "ultrix") is small
+        common.get_trace.cache_clear()

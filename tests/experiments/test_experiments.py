@@ -170,3 +170,28 @@ class TestRunner:
 
         assert main(["fig4"]) == 0
         assert "Figure 4" in capsys.readouterr().out
+
+    def test_jobs_parallel_output_matches_serial(self, capsys, monkeypatch):
+        """``--all --jobs 2`` runs experiments in worker processes but
+        must print the same report, in the same order, as a serial run
+        (timing lines excluded — those legitimately differ)."""
+        import re
+
+        from repro.experiments import runner
+
+        monkeypatch.setenv("REPRO_JOBS", "1")  # restored after the test
+        monkeypatch.setattr(runner, "EXPERIMENT_NAMES", ("table1", "fig4"))
+
+        assert runner.main(["--all"]) == 0
+        serial = capsys.readouterr().out
+        assert runner.main(["--all", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def report_lines(text):
+            return [
+                line for line in text.splitlines()
+                if not re.match(r"^\[\w+ finished in ", line)
+            ]
+
+        assert report_lines(serial)  # sanity: real output survived
+        assert report_lines(parallel) == report_lines(serial)

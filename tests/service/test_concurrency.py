@@ -247,7 +247,13 @@ class TestHttpHammer:
         assert [k for k in responses if k.startswith("5")] == []
         assert responses.get("200", 0) >= total
         cache = metrics["engine_cache"]
-        assert cache["hits"] + cache["misses"] == total
+        # The byte-level response cache fronts the result cache: every
+        # POST is exactly one byte-cache lookup, and only byte-cache
+        # misses fall through to a full query().  Racing byte misses
+        # that lose the publish are tallied as byte hits, so query()
+        # traffic sits between byte_misses and total.
+        assert cache["byte_hits"] + cache["byte_misses"] == total
+        assert cache["byte_misses"] <= cache["hits"] + cache["misses"] <= total
         assert metrics["histograms"]["http_latency_ms"]["count"] >= total
 
 

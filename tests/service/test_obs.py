@@ -23,6 +23,7 @@ from repro.obs import (
     MetricsRegistry,
     NullLogger,
     Tracer,
+    merge_registry_snapshots,
     set_tracer,
 )
 from repro.service.client import ServiceClient
@@ -132,6 +133,54 @@ class TestRegistry:
         assert snapshot["counters"]["reqs"]["total"] == 1
         assert snapshot["histograms"]["lat"]["count"] == 1
         assert snapshot["gauges"]["inflight"]["current"] == 1
+
+
+class TestMergeSnapshots:
+    def _registry(self, latencies, statuses, inflight):
+        registry = MetricsRegistry()
+        for status in statuses:
+            registry.counter("http_responses").inc(label=status)
+        for value in latencies:
+            registry.histogram("http_latency_ms").observe(value)
+        registry.gauge("http_inflight").add(inflight)
+        return registry
+
+    def test_counters_and_buckets_sum_exactly(self):
+        a = self._registry([0.2, 3.0], ["200", "200"], 1)
+        b = self._registry([0.3, 40.0, 9000.0], ["200", "429", "200"], 2)
+        merged = merge_registry_snapshots([a.snapshot(), b.snapshot()])
+
+        responses = merged["counters"]["http_responses"]
+        assert responses["total"] == 5
+        assert responses["by_label"] == {"200": 4, "429": 1}
+
+        latency = merged["histograms"]["http_latency_ms"]
+        assert latency["count"] == 5
+        assert latency["min_ms"] == 0.2
+        assert latency["max_ms"] == 9000.0
+        assert latency["buckets"]["le_inf"] == 1  # the 9 s outlier
+        # Percentiles re-read off the merged buckets match a single
+        # registry fed the union of samples.
+        union = self._registry(
+            [0.2, 3.0, 0.3, 40.0, 9000.0], [], 0
+        ).snapshot()["histograms"]["http_latency_ms"]
+        for q in ("p50_ms", "p95_ms", "p99_ms"):
+            assert latency[q] == union[q]
+
+        assert merged["gauges"]["http_inflight"]["current"] == 3
+
+    def test_instrument_missing_from_one_worker(self):
+        a = MetricsRegistry()
+        a.counter("only_in_a").inc(5)
+        b = MetricsRegistry()
+        b.histogram("only_in_b").observe(1.0)
+        merged = merge_registry_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["only_in_a"]["total"] == 5
+        assert merged["histograms"]["only_in_b"]["count"] == 1
+
+    def test_empty_input(self):
+        merged = merge_registry_snapshots([])
+        assert merged == {"counters": {}, "histograms": {}, "gauges": {}}
 
 
 class TestTracer:
@@ -272,10 +321,16 @@ class TestServedObservability:
         assert metrics["counters"]["http_requests"]["by_label"][
             "POST query"
         ] == 3
-        assert metrics["counters"]["http_responses"]["by_label"]["200"] >= 3
+        # The client revalidates the repeated budget with If-None-Match
+        # and the server's byte cache answers it with a body-less 304.
+        responses = metrics["counters"]["http_responses"]["by_label"]
+        assert responses["200"] >= 2
+        assert responses["304"] == 1
+        assert metrics["counters"]["http_not_modified"]["total"] == 1
         cache = metrics["engine_cache"]
-        assert cache["hits"] == 1 and cache["misses"] == 2
-        assert cache["hit_rate"] == round(1 / 3, 4)
+        assert cache["byte_hits"] == 1 and cache["byte_misses"] == 2
+        assert cache["hits"] == 0 and cache["misses"] == 2
+        assert cache["hit_rate"] == 0.0
         assert metrics["uptime_s"] >= 0
         assert metrics["faults"] == {
             "corrupt_store": 0, "latency": 0, "drop_conn": 0,
@@ -295,8 +350,8 @@ class TestServedObservability:
             set_tracer(previous)
         spans = tracer.finished()
         by_name = {s["name"]: s for s in spans}
-        assert {"store.load", "engine.price", "engine.rank_priced",
+        assert {"store.load", "engine.price", "engine.rank_indexed",
                 "engine.query"} <= set(by_name)
         query = by_name["engine.query"]
-        assert by_name["engine.rank_priced"]["trace"] == query["trace"]
+        assert by_name["engine.rank_indexed"]["trace"] == query["trace"]
         assert by_name["store.load"]["trace"] == query["trace"]

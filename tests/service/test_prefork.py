@@ -1,0 +1,237 @@
+"""Pre-fork worker pool tests: fleet identity, drain, respawn.
+
+The pool's whole contract is that N workers are *unobservable* in
+response content: the kernel may route any request to any worker, so
+every worker must produce byte-identical bodies (and therefore
+identical ETags) for the same question.  These tests drive a real
+2-worker fleet over loopback and hold exactly that, plus the master's
+lifecycle duties — crash respawn, graceful stop, metrics aggregation.
+"""
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.measure import BenefitCurves, measure_workload
+from repro.service.engine import QueryEngine
+from repro.service.http import make_server
+from repro.service.workers import PreforkServer, resolve_workers
+from repro.store import CurveStore, StoreKey
+
+pytestmark = pytest.mark.concurrency
+
+TEST_REFERENCES = 60_000
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    single = measure_workload("ousterhout", "mach", references=TEST_REFERENCES)
+    curves = BenefitCurves(os_name="mach", per_workload=[single])
+    store = CurveStore(tmp_path_factory.mktemp("prefork-store") / "store")
+    store.build(curves, StoreKey.current("mach", suite=("ousterhout",)))
+    return store
+
+
+@pytest.fixture()
+def pool(store):
+    pool = PreforkServer(
+        lambda: QueryEngine(CurveStore(store.root)),
+        workers=2,
+        verbose=False,
+    )
+    pool.start()
+    _wait_serving(pool)
+    yield pool
+    pool.stop()
+
+
+def _wait_serving(pool, deadline_s=30.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            _get(pool, "/v1/health")
+            return
+        except (urllib.error.URLError, ConnectionError, OSError):
+            time.sleep(0.05)
+    raise TimeoutError("pool never started serving")
+
+
+def _get(pool, path):
+    url = f"http://{pool.host}:{pool.port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def _post(pool, body, headers=None):
+    request = urllib.request.Request(
+        f"http://{pool.host}:{pool.port}/v1/query",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            return resp.status, resp.read(), resp.headers.get("ETag")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), exc.headers.get("ETag")
+
+
+class TestResolveWorkers:
+    def test_cli_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers(None) == 4
+
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_floor_is_one(self):
+        assert resolve_workers(0) == 1
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+
+class TestSocketAdoption:
+    def test_make_server_adopts_a_bound_socket(self, store):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(8)
+        port = sock.getsockname()[1]
+        engine = QueryEngine(CurveStore(store.root))
+        server = make_server(engine, sock=sock)
+        try:
+            assert server.socket is sock
+            assert server.server_port == port
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/v1/health", timeout=10
+            ) as resp:
+                assert json.loads(resp.read())["ok"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestFleetServing:
+    def test_both_workers_answer(self, pool):
+        labels = set()
+        deadline = time.monotonic() + 20
+        while len(labels) < 2 and time.monotonic() < deadline:
+            labels.add(_get(pool, "/v1/health")["result"]["worker"])
+        assert labels == {"w0", "w1"}
+
+    def test_batch_matches_per_point_across_the_fleet(self, pool):
+        """Batch and point answers are bit-identical no matter which
+        worker the kernel routes each request to."""
+        budgets = [130_000.0, 180_000.0, 260_000.0, 390_000.0, 520_000.0]
+        status, body, _ = _post(
+            pool,
+            {"type": "batch", "os_names": ["mach"], "budgets": budgets,
+             "limit": 1},
+        )
+        assert status == 200
+        batch_rows = json.loads(body)["result"]["results"]
+        for row in batch_rows:
+            # Issue each point twice so both workers likely see it.
+            for _ in range(2):
+                status, body, _ = _post(
+                    pool,
+                    {"type": "point", "os": "mach", "budget": row["budget"],
+                     "limit": 1},
+                )
+                assert status == 200
+                point = json.loads(body)["result"]
+                assert point["allocations"] == row["allocations"]
+
+    def test_etags_agree_across_workers_and_304(self, pool):
+        request = {"type": "point", "os": "mach", "budget": 250_000,
+                   "limit": 3}
+        etags, bodies = set(), set()
+        for _ in range(8):
+            status, body, etag = _post(pool, request)
+            assert status == 200
+            etags.add(etag)
+            bodies.add(body)
+        # Deterministic encoder + identical stores => one body, one ETag.
+        assert len(bodies) == 1 and len(etags) == 1
+        etag = etags.pop()
+        for _ in range(4):  # any worker must honour the validator
+            status, body, resp_etag = _post(
+                pool, request, headers={"If-None-Match": etag}
+            )
+            assert status == 304
+            assert body == b""
+            assert resp_etag == etag
+
+    def test_metrics_aggregate_the_fleet(self, pool):
+        request = {"type": "point", "os": "mach", "budget": 300_000,
+                   "limit": 1}
+        for _ in range(10):
+            assert _post(pool, request)[0] == 200
+        # Sibling snapshots flush on a timer; poll until the merged
+        # view has caught up with every POST we issued.
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            metrics = _get(pool, "/v1/metrics")["result"]
+            posted = metrics["counters"]["http_requests"]["by_label"].get(
+                "POST query", 0
+            )
+            if posted >= 10 and len(metrics["workers"]) == 2:
+                break
+            time.sleep(0.1)
+        assert metrics["workers"] == ["w0", "w1"]
+        assert metrics["worker"] in ("w0", "w1")
+        assert posted >= 10
+        cache = metrics["engine_cache"]
+        assert cache["byte_hits"] + cache["byte_misses"] >= 10
+
+
+class TestLifecycle:
+    def test_sigkilled_worker_is_respawned(self, pool):
+        waiter = threading.Thread(target=pool.wait, daemon=True)
+        waiter.start()
+        victim = pool.pids[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            pids = pool.pids
+            if victim not in pids and len(pids) == 2:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail(f"worker {victim} was not respawned: {pool.pids}")
+        _wait_serving(pool)
+        status, body, _ = _post(
+            pool, {"type": "point", "os": "mach", "budget": 250_000,
+                   "limit": 1},
+        )
+        assert status == 200 and json.loads(body)["ok"]
+
+    def test_stop_terminates_every_worker(self, store):
+        pool = PreforkServer(
+            lambda: QueryEngine(CurveStore(store.root)),
+            workers=2,
+            verbose=False,
+        )
+        pool.start()
+        _wait_serving(pool)
+        pids = pool.pids
+        pool.stop()
+        assert pool.pids == []
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)  # ESRCH: the process is gone
