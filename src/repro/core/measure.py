@@ -18,6 +18,15 @@ can fan out over a process pool.  Performance knobs:
   the environment variable; the default is 1 (serial, in-process).
 * ``REPRO_CACHE_DIR`` moves the measurement cache (default
   ``.repro-cache`` under the working directory).
+* ``REPRO_TRACE_CACHE`` moves (or, set to ``off``, disables) the
+  zero-copy trace plane (default ``.repro-trace-cache``): generated
+  traces are published once as raw arrays and memory-mapped by every
+  worker, so parallel measurement shares one physical copy instead of
+  regenerating per process.
+
+Worker processes persist across measurement calls (one shared pool per
+``jobs`` count), so ``measure_suite`` and ``runner --all --jobs`` reuse
+warm workers — and their trace memos — across workloads.
 
 Cache writes go to a unique temporary file and are published with an
 atomic ``os.replace``, so concurrent workers and interrupted runs
@@ -27,11 +36,13 @@ and remeasured instead of crashing.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import os
 import pickle
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -54,7 +65,7 @@ from repro.memsim.stackdist import (
     set_associative_miss_split,
 )
 from repro.memsim.timing import DECSTATION_3100, simulate_system
-from repro.trace.generator import generate_trace
+from repro.trace import tracestore
 from repro.units import PAGE_SHIFT, VPN_BITS
 
 DEFAULT_REFERENCES = 700_000
@@ -262,8 +273,10 @@ def _tlb_table(
 # Unit-level measurement: one (workload, OS) measurement decomposes
 # into independent units — a cache grid per (structure, line size), the
 # TLB table, and the reference timing pass — that run serially or fan
-# out over a process pool.  Workers memoize the generated trace so each
-# process synthesizes a given (workload, OS) trace at most once.
+# out over a process pool.  Traces come from the zero-copy trace plane
+# (repro.trace.tracestore): generated once, published to an mmap-backed
+# on-disk cache, and shared by every worker through the OS page cache.
+# A small per-process LRU memo keeps the hottest trace handles alive.
 
 _worker_traces: dict[tuple, object] = {}
 
@@ -274,15 +287,101 @@ _WORKER_TRACE_CAP = 2
 def _trace_for(workload: str, os_name: str, references: int, seed: int):
     key = (workload, os_name, references, seed)
     trace = _worker_traces.get(key)
-    if trace is None:
-        # Evict only the oldest entry (dict preserves insertion order):
-        # clearing the whole memo would drop a still-hot sibling trace
-        # and force interleaved units to regenerate it every time.
-        while len(_worker_traces) >= _WORKER_TRACE_CAP:
-            _worker_traces.pop(next(iter(_worker_traces)))
-        trace = generate_trace(workload, os_name, references, seed=seed)
-        _worker_traces[key] = trace
+    if trace is not None:
+        # True LRU: refresh recency on hits too, otherwise the cap
+        # evicts by insertion order and interleaved units can drop the
+        # hottest trace.
+        _worker_traces[key] = _worker_traces.pop(key)
+        return trace
+    # Evict only the least-recently-used entry (dict preserves
+    # insertion order, and hits re-insert): clearing the whole memo
+    # would drop a still-hot sibling trace and force interleaved units
+    # to reload it every time.
+    while len(_worker_traces) >= _WORKER_TRACE_CAP:
+        _worker_traces.pop(next(iter(_worker_traces)))
+    trace = tracestore.get_trace(workload, os_name, references, seed=seed)
+    _worker_traces[key] = trace
     return trace
+
+
+def _warm_trace(spec: tuple) -> tuple[tuple, bool]:
+    """Publish one trace to the plane (pool warm-up task body).
+
+    Returns ``(spec, published)``.  The warming worker also memoizes
+    the trace, so the units it receives next hit its in-process LRU;
+    a worker that already holds the trace skips the disk entirely.
+    """
+    workload, os_name, references, seed = spec
+    if spec in _worker_traces:
+        return spec, False
+    published = tracestore.ensure(workload, os_name, references, seed=seed)
+    _trace_for(workload, os_name, references, seed)
+    return spec, published
+
+
+# ---------------------------------------------------------------------------
+# Persistent measurement pool: workers stay warm across measure_suite /
+# runner --all calls, so their trace memos and imports amortize over a
+# whole run instead of being re-paid per (workload, OS) measurement.
+# The pool is keyed by the worker count plus the environment its
+# workers inherited at fork; changing either retires the old pool.
+
+_POOL_ENV_KEYS = (
+    "REPRO_TRACE_CACHE",
+    "REPRO_TRACE_CACHE_MAX",
+    "REPRO_CACHE_DIR",
+    "REPRO_SCALE",
+    "REPRO_ENGINE",
+)
+
+_pool: ProcessPoolExecutor | None = None
+_pool_key: tuple | None = None
+
+
+def _pool_env_snapshot() -> tuple:
+    return tuple(os.environ.get(name) for name in _POOL_ENV_KEYS)
+
+
+def _measurement_pool(jobs: int) -> ProcessPoolExecutor:
+    """The shared worker pool for ``jobs`` workers (created on demand)."""
+    global _pool, _pool_key
+    key = (jobs, _pool_env_snapshot())
+    if _pool is not None and _pool_key == key:
+        return _pool
+    shutdown_measurement_pool()
+    _pool = ProcessPoolExecutor(max_workers=jobs)
+    _pool_key = key
+    return _pool
+
+
+def shutdown_measurement_pool() -> None:
+    """Retire the persistent pool (tests, atexit, broken-pool recovery)."""
+    global _pool, _pool_key
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+    _pool = None
+    _pool_key = None
+
+
+atexit.register(shutdown_measurement_pool)
+
+
+def _pool_map(jobs: int, fn, items: list) -> list:
+    """Map over the persistent pool, rebuilding it once if it broke.
+
+    A worker killed mid-run (OOM, signal) poisons a process pool for
+    every later submission; retiring and rebuilding it once retries the
+    batch on fresh workers before giving up.
+    """
+    for attempt in (0, 1):
+        pool = _measurement_pool(jobs)
+        try:
+            return list(pool.map(fn, items))
+        except BrokenProcessPool:
+            shutdown_measurement_pool()
+            if attempt:
+                raise
+    raise AssertionError("unreachable")
 
 
 def _measure_unit(spec: tuple):
@@ -431,8 +530,23 @@ def _measure_pairs(
         pair_specs = {pair: opts.unit_specs(*pair) for pair in todo}
         flat = [spec for specs in pair_specs.values() for spec in specs]
         if jobs > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                flat_outputs = list(pool.map(_measure_unit, flat))
+            if tracestore.enabled():
+                # Publish every *missing* trace once (generation fans
+                # out across the pool, one pair per worker) so the unit
+                # fan-out memmaps shared bytes instead of regenerating
+                # the same trace in every worker.  Already-published
+                # entries skip the warm-up round trip: workers memmap
+                # them on demand.
+                missing = [
+                    (w, o, opts.references, opts.seed)
+                    for w, o in todo
+                    if not tracestore.has(
+                        tracestore.key_for(w, o, opts.references, opts.seed)
+                    )
+                ]
+                if missing:
+                    _pool_map(jobs, _warm_trace, missing)
+            flat_outputs = _pool_map(jobs, _measure_unit, flat)
         else:
             flat_outputs = [_measure_unit(spec) for spec in flat]
         cursor = 0
@@ -527,6 +641,52 @@ def measure_suite(
     return _measure_pairs(
         [(name, os_name) for name in names], opts, use_cache, resolve_jobs(jobs)
     )
+
+
+def warm_traces(
+    os_names: tuple[str, ...] | None = None,
+    workloads: tuple[str, ...] | None = None,
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = None,
+) -> list[tuple[str, str, bool]]:
+    """Pre-publish every (workload, OS) trace to the trace plane.
+
+    Returns ``(workload, os_name, published)`` per pair, where
+    ``published`` is False for traces that were already cached.  With
+    ``jobs > 1`` generation fans out over the persistent pool, one
+    pair per worker.  Raises :class:`~repro.errors.ConfigError` when
+    the plane is disabled (``REPRO_TRACE_CACHE=off``) — there is
+    nowhere to warm.
+    """
+    if not tracestore.enabled():
+        raise ConfigError(
+            "cannot warm traces: the trace cache is disabled "
+            "(REPRO_TRACE_CACHE=off)"
+        )
+    if os_names is None:
+        from repro.trace.generator import OS_MODELS
+
+        os_names = tuple(sorted(OS_MODELS))
+    if workloads is None:
+        from repro.workloads.registry import workload_names
+
+        workloads = tuple(workload_names())
+    if references is None:
+        references = int(DEFAULT_REFERENCES * scale())
+    specs = [
+        (workload, os_name, references, seed)
+        for os_name in os_names
+        for workload in workloads
+    ]
+    jobs = resolve_jobs(jobs)
+    if jobs > 1:
+        outcomes = _pool_map(jobs, _warm_trace, specs)
+    else:
+        outcomes = [_warm_trace(spec) for spec in specs]
+    return [
+        (spec[0], spec[1], published) for spec, published in outcomes
+    ]
 
 
 @dataclass

@@ -6,8 +6,8 @@ import os
 from functools import lru_cache
 
 from repro.core.measure import DEFAULT_REFERENCES, scale
+from repro.trace import tracestore
 from repro.trace.events import ReferenceTrace
-from repro.trace.generator import generate_trace
 from repro.workloads.registry import workload_names
 
 DEFAULT_SEED = 1
@@ -33,11 +33,14 @@ def trace_references() -> int:
 def _cached_trace(
     workload: str, os_name: str, references: int, seed: int
 ) -> ReferenceTrace:
-    return generate_trace(workload, os_name, references, seed=seed)
+    # The trace plane (mmap-backed on-disk cache) sits behind the
+    # in-process memo: warm entries load as shared memory maps, misses
+    # generate once and publish for every later process.
+    return tracestore.get_trace(workload, os_name, references, seed=seed)
 
 
 def get_trace(workload: str, os_name: str, seed: int = DEFAULT_SEED) -> ReferenceTrace:
-    """Generate (and memoize in-process) one workload/OS trace.
+    """Load (trace plane) or generate one workload/OS trace, memoized.
 
     The memo key includes the REPRO_SCALE-derived reference count, so a
     scale change mid-process (tests flipping REPRO_SCALE, a notebook

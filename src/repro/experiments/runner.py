@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner table6 fig9
+    python -m repro.experiments.runner --warm-traces --jobs 4
     python -m repro.experiments.runner --all --jobs 4
 
 Set ``REPRO_SCALE`` to trade accuracy for runtime (e.g. 0.3 for a
@@ -84,6 +85,35 @@ def run_experiments(names: list[str], jobs: int) -> None:
             os.environ["REPRO_JOBS"] = inner
 
 
+def warm_traces_command() -> int:
+    """Publish every (workload, OS) trace to the trace plane and exit.
+
+    A warm trace cache is what makes ``--jobs`` pay off: workers
+    memory-map the published traces instead of regenerating them, so
+    run this once (or after bumping REPRO_SCALE) before large parallel
+    sweeps or ``python -m repro.service build``.
+    """
+    from repro.core.measure import warm_traces
+    from repro.errors import ConfigError
+    from repro.trace import tracestore
+
+    try:
+        started = time.time()
+        results = warm_traces()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    published = sum(1 for *_pair, fresh in results if fresh)
+    for workload, os_name, fresh in results:
+        print(f"  {workload}/{os_name}: {'published' if fresh else 'cached'}")
+    print(
+        f"warmed {len(results)} traces ({published} generated, "
+        f"{len(results) - published} already cached) "
+        f"in {time.time() - started:.1f}s -> {tracestore.trace_cache_dir()}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro-experiments``."""
     parser = argparse.ArgumentParser(
@@ -111,6 +141,13 @@ def main(argv: list[str] | None = None) -> int:
         help="curve-store directory for the service path "
         "(overrides REPRO_STORE_DIR; default .repro-store)",
     )
+    parser.add_argument(
+        "--warm-traces",
+        action="store_true",
+        help="pre-generate and publish every (workload, OS) trace to "
+        "the trace cache (REPRO_TRACE_CACHE), then exit; honours "
+        "--jobs and REPRO_SCALE",
+    )
     args = parser.parse_args(argv)
 
     if args.store is not None:
@@ -124,6 +161,9 @@ def main(argv: list[str] | None = None) -> int:
         # Experiments read the worker count through resolve_jobs(), so
         # the flag simply takes the env var's place for this process.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+
+    if args.warm_traces:
+        return warm_traces_command()
 
     if args.list:
         for name in EXPERIMENT_NAMES:

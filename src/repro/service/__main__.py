@@ -56,7 +56,16 @@ def _emit_error(code: str, message: str, exit_code: int) -> int:
 
 
 def cmd_build(args) -> int:
+    from repro.trace import tracestore
+
     store = CurveStore.open(args.store)
+    if tracestore.enabled():
+        # Store warm-up goes through the zero-copy trace plane: traces
+        # generate once into the mmap cache and measurement workers
+        # share them, instead of regenerating per process.
+        print(
+            f"trace plane: {tracestore.trace_cache_dir()}", file=sys.stderr
+        )
     manifests = []
     for os_name in args.os:
         print(f"measuring suite under {os_name} ...", file=sys.stderr)

@@ -9,12 +9,17 @@ trace-sampling estimator the paper uses for its trace-driven runs.
 
 from repro.trace.dinero import read_din, write_din
 from repro.trace.events import ReferenceTrace
-from repro.trace.generator import TraceGenerator, generate_trace
+from repro.trace.generator import (
+    TRACE_FORMAT_VERSION,
+    TraceGenerator,
+    generate_trace,
+)
 from repro.trace.sampling import SampledEstimate, sample_intervals, sampled_miss_ratio
 
 __all__ = [
     "ReferenceTrace",
     "TraceGenerator",
+    "TRACE_FORMAT_VERSION",
     "generate_trace",
     "SampledEstimate",
     "sample_intervals",

@@ -144,6 +144,12 @@ class ReferenceTrace:
         for name in ("physical", "kinds", "asids", "mapped", "kernel"):
             if len(getattr(self, name)) != n:
                 raise TraceError(f"trace field {name} length mismatch")
+        # Per-instance cache of derived streams (physical ifetch/load
+        # addresses): the hot measurement units all consume them, so
+        # they are materialized once per trace, not once per unit.
+        # Trace arrays are never mutated after construction, and the
+        # trace cache pre-seeds this dict with memmapped streams.
+        self._derived: dict[str, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.addresses)
@@ -174,7 +180,11 @@ class ReferenceTrace:
 
     def ifetch_physical(self) -> np.ndarray:
         """Physical addresses of instruction fetches (cache studies)."""
-        return self.physical[self.kinds == AccessKind.IFETCH]
+        stream = self._derived.get("ifetch_physical")
+        if stream is None:
+            stream = self.physical[self.kinds == AccessKind.IFETCH]
+            self._derived["ifetch_physical"] = stream
+        return stream
 
     def load_addresses(self) -> np.ndarray:
         """Virtual addresses of loads, in order."""
@@ -182,7 +192,11 @@ class ReferenceTrace:
 
     def load_physical(self) -> np.ndarray:
         """Physical addresses of loads (cache studies)."""
-        return self.physical[self.kinds == AccessKind.LOAD]
+        stream = self._derived.get("load_physical")
+        if stream is None:
+            stream = self.physical[self.kinds == AccessKind.LOAD]
+            self._derived["load_physical"] = stream
+        return stream
 
     def data_addresses(self) -> np.ndarray:
         """Virtual addresses of loads and stores, in order."""

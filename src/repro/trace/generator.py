@@ -20,6 +20,15 @@ OS_MODELS: dict[str, type[OperatingSystemModel]] = {
     "mach": MachModel,
 }
 
+TRACE_FORMAT_VERSION = 1
+"""Version stamp of the generated-trace semantics.
+
+Bump this whenever a change to the generator, the OS models, the
+workload specs or the physical-frame mapper alters the bytes of a
+generated trace: the on-disk trace cache (``repro.trace.tracestore``)
+keys every entry by this value, so a bump invalidates all cached
+traces automatically instead of silently replaying stale ones."""
+
 # Mach executions spend a larger share of their instructions in
 # OS/server code, which has fewer FP and multicycle-integer interlocks
 # than the user computation, so the non-memory "Other" stall component

@@ -1,0 +1,422 @@
+"""Zero-copy trace plane: an mmap-backed on-disk cache of traces.
+
+Trace *generation* — not simulation — dominates the cold path since the
+simulation kernels went native: every measurement worker used to
+re-synthesize the same multi-hundred-thousand-reference trace from
+scratch.  This module generates each (workload, OS, length, seed) trace
+once, serializes it as raw little-endian numpy arrays behind a JSON
+header, and loads it back with ``np.memmap`` so any number of
+measurement workers share one physical copy of the bytes through the
+OS page cache — no regeneration, no pickling, no per-process copies.
+
+Entries are content-addressed by a :class:`TraceKey` covering
+everything that determines the bytes: workload, OS model, reference
+count, seed, the generator's ``TRACE_FORMAT_VERSION`` (so cache keys
+invalidate automatically when generation semantics change) and
+``REPRO_SCALE``.  Alongside the six reference arrays the entry stores
+the two derived streams the cache-grid units consume (physical ifetch
+and load addresses), materialized once per trace instead of once per
+measurement unit.
+
+Publishes are crash-safe (unique temp file + atomic ``os.replace``,
+the same protocol as ``repro.store``); loads validate the header,
+format version and every array extent against the file size, and any
+torn or corrupt entry is evicted and regenerated rather than served
+short.  Knobs:
+
+* ``REPRO_TRACE_CACHE`` — cache directory (default
+  ``.repro-trace-cache``); ``off``/``0``/``none``/``false`` disables
+  the plane entirely (every call regenerates in-process).
+* ``REPRO_TRACE_CACHE_MAX`` — entry cap (default 64); publishing
+  beyond it prunes the oldest entries by mtime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError, TraceError
+from repro.trace import generator as _generator
+from repro.trace.events import ReferenceTrace
+
+MAGIC = "repro-tracestore"
+STORE_FORMAT = 1
+"""On-disk layout version of this module (header/array framing)."""
+
+DEFAULT_CACHE_DIR = ".repro-trace-cache"
+DEFAULT_MAX_ENTRIES = 64
+SUFFIX = ".trace"
+
+_DISABLED_VALUES = frozenset({"off", "0", "none", "false", "disabled"})
+
+_HEADER_PREFIX = struct.Struct("<Q")  # header-JSON byte length
+_ALIGN = 64  # arrays start on cache-line boundaries
+_MAX_HEADER_BYTES = 1 << 20  # sanity bound when reading foreign files
+
+# (name, little-endian dtype) of every serialized array.  The first six
+# are the ReferenceTrace fields; the last two are the derived physical
+# streams the I-/D-cache measurement units consume.
+_FIELDS: tuple[tuple[str, str], ...] = (
+    ("addresses", "<i8"),
+    ("physical", "<i8"),
+    ("kinds", "|u1"),
+    ("asids", "|u1"),
+    ("mapped", "|b1"),
+    ("kernel", "|b1"),
+    ("ifetch_physical", "<i8"),
+    ("load_physical", "<i8"),
+)
+
+
+def trace_cache_dir() -> Path | None:
+    """The trace-cache directory, or None when the plane is disabled."""
+    raw = os.environ.get("REPRO_TRACE_CACHE")
+    if raw is None or raw == "":
+        return Path(DEFAULT_CACHE_DIR)
+    if raw.strip().lower() in _DISABLED_VALUES:
+        return None
+    return Path(raw)
+
+
+def enabled() -> bool:
+    """True when traces are cached on disk (REPRO_TRACE_CACHE not off)."""
+    return trace_cache_dir() is not None
+
+
+def max_entries() -> int:
+    """Entry cap before pruning: ``REPRO_TRACE_CACHE_MAX`` or 64."""
+    raw = os.environ.get("REPRO_TRACE_CACHE_MAX", "")
+    if not raw:
+        return DEFAULT_MAX_ENTRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_TRACE_CACHE_MAX must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigError(f"REPRO_TRACE_CACHE_MAX must be >= 1, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Everything that determines a generated trace's bytes."""
+
+    workload: str
+    os_name: str
+    references: int
+    seed: int
+    generator_version: int
+    scale: float
+
+    def canonical(self) -> dict:
+        """JSON-stable form used for hashing and the entry header."""
+        return {
+            "workload": self.workload,
+            "os_name": self.os_name,
+            "references": self.references,
+            "seed": self.seed,
+            "generator_version": self.generator_version,
+            "scale": self.scale,
+        }
+
+    def hash(self) -> str:
+        text = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+
+def key_for(
+    workload: str, os_name: str, references: int, seed: int = 1
+) -> TraceKey:
+    """The key the running process would generate under right now.
+
+    ``generator_version`` is read from the generator module at call
+    time (not import time) so a bumped ``TRACE_FORMAT_VERSION``
+    invalidates keys immediately.
+    """
+    from repro.core.measure import scale
+
+    return TraceKey(
+        workload=str(workload),
+        os_name=str(os_name),
+        references=int(references),
+        seed=int(seed),
+        generator_version=int(_generator.TRACE_FORMAT_VERSION),
+        scale=float(scale()),
+    )
+
+
+def entry_path(key: TraceKey) -> Path | None:
+    """Where this key's entry lives, or None when the plane is off."""
+    root = trace_cache_dir()
+    if root is None:
+        return None
+    return root / f"{key.hash()}{SUFFIX}"
+
+
+def _evict(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def _serialize(trace: ReferenceTrace, key: TraceKey) -> bytes:
+    """Frame a trace as length-prefixed JSON header + aligned raw arrays."""
+    arrays = {
+        "addresses": np.ascontiguousarray(trace.addresses, dtype="<i8"),
+        "physical": np.ascontiguousarray(trace.physical, dtype="<i8"),
+        "kinds": np.ascontiguousarray(trace.kinds, dtype="|u1"),
+        "asids": np.ascontiguousarray(trace.asids, dtype="|u1"),
+        "mapped": np.ascontiguousarray(trace.mapped, dtype="|b1"),
+        "kernel": np.ascontiguousarray(trace.kernel, dtype="|b1"),
+        "ifetch_physical": np.ascontiguousarray(
+            trace.ifetch_physical(), dtype="<i8"
+        ),
+        "load_physical": np.ascontiguousarray(
+            trace.load_physical(), dtype="<i8"
+        ),
+    }
+    # Array offsets are relative to the aligned start of the data
+    # block, so the header can describe them before its own length is
+    # known.
+    specs = []
+    cursor = 0
+    for name, dtype in _FIELDS:
+        arr = arrays[name]
+        cursor = -(-cursor // _ALIGN) * _ALIGN
+        specs.append(
+            {
+                "name": name,
+                "dtype": dtype,
+                "count": int(arr.shape[0]),
+                "offset": cursor,
+            }
+        )
+        cursor += arr.nbytes
+    data_bytes = cursor
+    header = {
+        "magic": MAGIC,
+        "format": STORE_FORMAT,
+        "key": key.canonical(),
+        "meta": {
+            "page_faults": int(trace.page_faults),
+            "other_cpi": float(trace.other_cpi),
+            "workload": trace.workload,
+            "os_name": trace.os_name,
+        },
+        "arrays": specs,
+        "data_bytes": data_bytes,
+    }
+    header_blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+    data_start = -(-(_HEADER_PREFIX.size + len(header_blob)) // _ALIGN) * _ALIGN
+    out = bytearray(data_start + data_bytes)
+    out[: _HEADER_PREFIX.size] = _HEADER_PREFIX.pack(len(header_blob))
+    out[_HEADER_PREFIX.size : _HEADER_PREFIX.size + len(header_blob)] = header_blob
+    for spec, (name, _) in zip(specs, _FIELDS):
+        start = data_start + spec["offset"]
+        out[start : start + arrays[name].nbytes] = arrays[name].tobytes()
+    return bytes(out)
+
+
+def publish(trace: ReferenceTrace, key: TraceKey) -> Path | None:
+    """Write one entry crash-safely; returns its path (None if disabled).
+
+    A unique temp file in the cache directory is renamed into place,
+    so concurrent publishers of the same key are idempotent and readers
+    never observe a torn entry under ``os.replace`` semantics.
+    """
+    path = entry_path(key)
+    if path is None:
+        return None
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = _serialize(trace, key)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.stem}-", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_name, path)
+    except BaseException:
+        _evict(Path(tmp_name))
+        raise
+    _prune(path.parent, keep=path.name)
+    return path
+
+
+def _prune(root: Path, keep: str) -> None:
+    """Drop the oldest entries (by mtime) beyond the configured cap."""
+    cap = max_entries()
+    try:
+        entries = [
+            (p.stat().st_mtime_ns, p.name, p) for p in root.glob(f"*{SUFFIX}")
+        ]
+    except OSError:
+        return
+    if len(entries) <= cap:
+        return
+    entries.sort()
+    for _, name, path in entries[: len(entries) - cap]:
+        if name != keep:
+            _evict(path)
+
+
+def _read_header(path: Path) -> tuple[dict, int] | None:
+    """(header, data_start) for a structurally valid entry, else None."""
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as handle:
+            prefix = handle.read(_HEADER_PREFIX.size)
+            if len(prefix) != _HEADER_PREFIX.size:
+                return None
+            (header_len,) = _HEADER_PREFIX.unpack(prefix)
+            if header_len == 0 or header_len > min(_MAX_HEADER_BYTES, size):
+                return None
+            header_blob = handle.read(header_len)
+    except OSError:
+        return None
+    if len(header_blob) != header_len:
+        return None
+    try:
+        header = json.loads(header_blob)
+    except ValueError:
+        return None
+    if not isinstance(header, dict) or header.get("magic") != MAGIC:
+        return None
+    if header.get("format") != STORE_FORMAT:
+        return None
+    data_start = -(-(_HEADER_PREFIX.size + header_len) // _ALIGN) * _ALIGN
+    try:
+        if size != data_start + int(header["data_bytes"]):
+            return None  # truncated (or over-long) data block
+        specs = header["arrays"]
+        if [s["name"] for s in specs] != [name for name, _ in _FIELDS] or any(
+            s["dtype"] != dtype for s, (_, dtype) in zip(specs, _FIELDS)
+        ):
+            return None
+        for spec in specs:
+            count, offset = int(spec["count"]), int(spec["offset"])
+            nbytes = count * np.dtype(spec["dtype"]).itemsize
+            if count < 0 or offset < 0 or offset + nbytes > header["data_bytes"]:
+                return None
+        meta = header["meta"]
+        int(meta["page_faults"]), float(meta["other_cpi"])
+        str(meta["workload"]), str(meta["os_name"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return header, data_start
+
+
+def has(key: TraceKey) -> bool:
+    """True when a structurally valid entry exists for this key.
+
+    Header-only validation (no memmaps built): cheap enough for a
+    per-call check before deciding whether a warm-up fan-out is needed.
+    A torn entry reports False and is handled by :func:`load`.
+    """
+    path = entry_path(key)
+    if path is None or not path.exists():
+        return False
+    parsed = _read_header(path)
+    return parsed is not None and parsed[0]["key"] == key.canonical()
+
+
+def load(key: TraceKey) -> ReferenceTrace | None:
+    """Memory-map one cached trace; None on miss or corrupt entry.
+
+    Anything structurally wrong — torn header, short array file, stale
+    format, key mismatch — evicts the entry and reports a miss, so the
+    caller regenerates and re-publishes instead of crashing or working
+    on a short trace.
+    """
+    path = entry_path(key)
+    if path is None or not path.exists():
+        return None
+    parsed = _read_header(path)
+    if parsed is None or parsed[0]["key"] != key.canonical():
+        _evict(path)
+        return None
+    header, data_start = parsed
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        for spec in header["arrays"]:
+            arrays[spec["name"]] = np.memmap(
+                path,
+                mode="r",
+                dtype=np.dtype(spec["dtype"]),
+                offset=data_start + spec["offset"],
+                shape=(spec["count"],),
+            )
+        meta = header["meta"]
+        trace = ReferenceTrace(
+            addresses=arrays["addresses"],
+            physical=arrays["physical"],
+            kinds=arrays["kinds"],
+            asids=arrays["asids"],
+            mapped=arrays["mapped"],
+            kernel=arrays["kernel"],
+            page_faults=int(meta["page_faults"]),
+            other_cpi=float(meta["other_cpi"]),
+            workload=str(meta["workload"]),
+            os_name=str(meta["os_name"]),
+        )
+    except (OSError, ValueError, TraceError):
+        _evict(path)
+        return None
+    # Seed the derived-stream cache with the materialized streams so
+    # grid units never recompute the kind masks per unit.
+    trace._derived["ifetch_physical"] = arrays["ifetch_physical"]
+    trace._derived["load_physical"] = arrays["load_physical"]
+    return trace
+
+
+def ensure(
+    workload: str, os_name: str, references: int, seed: int = 1
+) -> bool:
+    """Make sure a key is published; True if this call generated it.
+
+    A no-op (False) when the plane is disabled or the entry already
+    loads cleanly.
+    """
+    if not enabled():
+        return False
+    key = key_for(workload, os_name, references, seed)
+    if load(key) is not None:
+        return False
+    trace = _generator.generate_trace(workload, os_name, references, seed=seed)
+    publish(trace, key)
+    return True
+
+
+def get_trace(
+    workload: str, os_name: str, references: int, seed: int = 1
+) -> ReferenceTrace:
+    """Load a trace through the plane, generating and publishing on miss.
+
+    Cache hits return memmap-backed traces (zero-copy across
+    processes); misses return the freshly generated in-memory trace —
+    bit-identical either way — after best-effort publishing it for the
+    next reader.  With the plane disabled this is plain generation.
+    """
+    if not enabled():
+        return _generator.generate_trace(workload, os_name, references, seed=seed)
+    key = key_for(workload, os_name, references, seed)
+    trace = load(key)
+    if trace is not None:
+        return trace
+    trace = _generator.generate_trace(workload, os_name, references, seed=seed)
+    try:
+        publish(trace, key)
+    except OSError:
+        pass  # read-only or full filesystem: serve the in-memory trace
+    return trace

@@ -46,10 +46,17 @@ def _isolated_measurement_cache(tmp_path_factory):
     # developer's working store.
     old_store = os.environ.get("REPRO_STORE_DIR")
     os.environ["REPRO_STORE_DIR"] = str(tmp_path_factory.mktemp("repro-store"))
+    # And for the zero-copy trace plane, which would otherwise publish
+    # test-sized traces into the working tree's .repro-trace-cache.
+    old_traces = os.environ.get("REPRO_TRACE_CACHE")
+    os.environ["REPRO_TRACE_CACHE"] = str(
+        tmp_path_factory.mktemp("repro-trace-cache")
+    )
     yield
     for key, value in (
         ("REPRO_CACHE_DIR", old),
         ("REPRO_STORE_DIR", old_store),
+        ("REPRO_TRACE_CACHE", old_traces),
     ):
         if value is None:
             os.environ.pop(key, None)

@@ -72,16 +72,17 @@ class TestBenefitCurves:
 
 
 class TestWorkerTraceMemo:
-    def test_eviction_drops_only_the_oldest(self, monkeypatch):
-        """Regression: hitting the memo cap used to clear the whole
-        memo, so interleaved units on two workloads regenerated the
-        still-hot sibling trace every time.  Eviction must be FIFO —
-        one entry out, the newer one stays."""
+    def test_eviction_is_true_lru(self, monkeypatch):
+        """Regression, twice over: hitting the memo cap used to clear
+        the whole memo, and after that was fixed, eviction still went
+        by insertion order — a hit never refreshed recency, so the cap
+        could drop the hottest trace under interleaved units.  Eviction
+        must be true LRU: hits count."""
         from repro.core import measure
 
         calls = []
         monkeypatch.setattr(
-            measure, "generate_trace",
+            measure.tracestore, "get_trace",
             lambda workload, os_name, references, seed: (
                 calls.append(workload) or object()
             ),
@@ -92,13 +93,16 @@ class TestWorkerTraceMemo:
         b1 = measure._trace_for("b", "mach", 1000, 1)
         assert calls == ["a", "b"]
 
-        # Inserting a third evicts only "a"; "b" survives.
+        # Inserting a third evicts only "a" (least recent); "b" survives.
         measure._trace_for("c", "mach", 1000, 1)
         assert measure._trace_for("b", "mach", 1000, 1) is b1
         assert calls == ["a", "b", "c"]
 
-        # "a" was the evictee, so it regenerates (and evicts "b").
+        # "a" regenerates; the hit above made "b" most-recent, so the
+        # evictee is now "c" — insertion order would wrongly drop "b".
         a2 = measure._trace_for("a", "mach", 1000, 1)
         assert a2 is not a1
         assert calls == ["a", "b", "c", "a"]
-        assert set(k[0] for k in measure._worker_traces) == {"c", "a"}
+        assert set(k[0] for k in measure._worker_traces) == {"b", "a"}
+        assert measure._trace_for("b", "mach", 1000, 1) is b1
+        assert calls == ["a", "b", "c", "a"]

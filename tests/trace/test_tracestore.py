@@ -1,0 +1,197 @@
+"""Tests for the zero-copy trace plane (repro.trace.tracestore)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace import generator, tracestore
+from repro.trace.generator import generate_trace
+
+REFERENCES = 40_000
+
+TRACE_FIELDS = ("addresses", "physical", "kinds", "asids", "mapped", "kernel")
+
+
+@pytest.fixture
+def plane(tmp_path, monkeypatch):
+    """An empty, isolated trace cache for one test."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    return tmp_path / "traces"
+
+
+def _publish(workload: str, os_name: str, seed: int = 3):
+    trace = generate_trace(workload, os_name, REFERENCES, seed=seed)
+    key = tracestore.key_for(workload, os_name, REFERENCES, seed)
+    path = tracestore.publish(trace, key)
+    return trace, key, path
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "workload,os_name",
+        [
+            ("mpeg_play", "ultrix"),
+            ("mpeg_play", "mach"),
+            ("IOzone", "ultrix"),
+            ("IOzone", "mach"),
+        ],
+    )
+    def test_every_field_bit_identical(self, plane, workload, os_name):
+        trace, key, _ = _publish(workload, os_name)
+        loaded = tracestore.load(key)
+        assert loaded is not None
+        for name in TRACE_FIELDS:
+            original = getattr(trace, name)
+            restored = getattr(loaded, name)
+            assert restored.dtype == original.dtype, name
+            assert np.array_equal(restored, original), name
+        assert loaded.page_faults == trace.page_faults
+        assert loaded.other_cpi == trace.other_cpi
+        assert loaded.workload == trace.workload
+        assert loaded.os_name == trace.os_name
+        # Derived streams come back bit-identical too, pre-seeded so
+        # they are never recomputed per measurement unit.
+        assert np.array_equal(loaded.ifetch_physical(), trace.ifetch_physical())
+        assert np.array_equal(loaded.load_physical(), trace.load_physical())
+        assert loaded.ifetch_physical() is loaded._derived["ifetch_physical"]
+
+    def test_loaded_arrays_are_memmaps(self, plane):
+        _, key, _ = _publish("jpeg_play", "mach")
+        loaded = tracestore.load(key)
+        for name in TRACE_FIELDS:
+            assert isinstance(getattr(loaded, name), np.memmap), name
+        assert isinstance(loaded.ifetch_physical(), np.memmap)
+
+    def test_missing_key_is_a_miss(self, plane):
+        key = tracestore.key_for("mab", "ultrix", REFERENCES, seed=99)
+        assert tracestore.load(key) is None
+
+
+class TestDerivedStreamCache:
+    def test_streams_materialize_once_per_trace(self):
+        trace = generate_trace("mab", "mach", 10_000, seed=2)
+        first = trace.ifetch_physical()
+        assert trace.ifetch_physical() is first
+        assert trace.load_physical() is trace.load_physical()
+
+    def test_slice_does_not_share_the_cache(self):
+        trace = generate_trace("mab", "mach", 10_000, seed=2)
+        trace.ifetch_physical()
+        sliced = trace.slice(0, 100)
+        assert "ifetch_physical" not in sliced._derived
+
+
+class TestCorruptionFallback:
+    """Torn or corrupt entries must fall back to regeneration."""
+
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.3, 0.9])
+    def test_truncated_entry_is_evicted(self, plane, keep_fraction):
+        trace, key, path = _publish("mpeg_play", "mach")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: int(len(blob) * keep_fraction)])
+        assert tracestore.load(key) is None
+        assert not path.exists()
+
+    def test_truncated_entry_regenerates_and_republishes(self, plane):
+        trace, key, path = _publish("mpeg_play", "mach")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        recovered = tracestore.get_trace("mpeg_play", "mach", REFERENCES, seed=3)
+        assert np.array_equal(recovered.addresses, trace.addresses)
+        # The entry was re-published and now loads cleanly again.
+        assert path.exists()
+        assert tracestore.load(key) is not None
+
+    def test_garbage_header_is_evicted(self, plane):
+        _, key, path = _publish("IOzone", "ultrix")
+        path.write_bytes(b"\x40\x00\x00\x00\x00\x00\x00\x00" + b"not json" * 8)
+        assert tracestore.load(key) is None
+        assert not path.exists()
+
+    def test_foreign_magic_is_evicted(self, plane):
+        _, key, path = _publish("IOzone", "ultrix")
+        blob = path.read_bytes()
+        path.write_bytes(blob.replace(b"repro-tracestore", b"other-tracestore"))
+        assert tracestore.load(key) is None
+        assert not path.exists()
+
+    def test_short_array_extent_never_served(self, plane):
+        # Chop off exactly the last array's bytes: the header still
+        # parses, but the data block is short — must be a miss, never
+        # a short trace.
+        trace, key, path = _publish("mpeg_play", "ultrix")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: -trace.load_physical().nbytes])
+        assert tracestore.load(key) is None
+
+    def test_publish_leaves_no_temp_files(self, plane):
+        _, _, path = _publish("mab", "mach")
+        leftovers = [p for p in path.parent.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestKeying:
+    def test_generator_version_invalidates_cache(self, plane, monkeypatch):
+        _, key, _ = _publish("mpeg_play", "mach")
+        assert tracestore.load(key) is not None
+        monkeypatch.setattr(
+            generator,
+            "TRACE_FORMAT_VERSION",
+            generator.TRACE_FORMAT_VERSION + 1,
+        )
+        bumped = tracestore.key_for("mpeg_play", "mach", REFERENCES, seed=3)
+        assert bumped != key
+        assert tracestore.load(bumped) is None
+
+    def test_scale_is_part_of_the_key(self, plane, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1.0")
+        base = tracestore.key_for("mpeg_play", "mach", REFERENCES, seed=3)
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert tracestore.key_for("mpeg_play", "mach", REFERENCES, seed=3) != base
+
+    def test_key_mismatch_under_hash_collision_is_a_miss(self, plane):
+        # Rename an entry onto another key's path: the embedded key no
+        # longer matches, so the load must refuse to serve it.
+        _, key_a, path_a = _publish("mpeg_play", "mach", seed=3)
+        key_b = tracestore.key_for("IOzone", "ultrix", REFERENCES, seed=4)
+        target = tracestore.entry_path(key_b)
+        os.replace(path_a, target)
+        assert tracestore.load(key_b) is None
+
+
+class TestConfig:
+    def test_disabled_plane_generates_without_writing(self, plane, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        assert not tracestore.enabled()
+        trace = tracestore.get_trace("mab", "ultrix", 10_000, seed=5)
+        assert len(trace) >= 10_000
+        assert not plane.exists()
+
+    def test_default_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        assert tracestore.trace_cache_dir() is not None
+        assert tracestore.trace_cache_dir().name == ".repro-trace-cache"
+
+    def test_bad_max_entries_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MAX", "many")
+        with pytest.raises(ConfigError, match="REPRO_TRACE_CACHE_MAX"):
+            tracestore.max_entries()
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MAX", "0")
+        with pytest.raises(ConfigError, match="REPRO_TRACE_CACHE_MAX"):
+            tracestore.max_entries()
+
+    def test_prune_drops_oldest_beyond_cap(self, plane, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MAX", "2")
+        _, key_old, path_old = _publish("mpeg_play", "mach", seed=1)
+        os.utime(path_old, ns=(1, 1))  # unambiguously the oldest
+        _, key_mid, path_mid = _publish("mpeg_play", "mach", seed=2)
+        os.utime(path_mid, ns=(2, 2))
+        _, key_new, path_new = _publish("mpeg_play", "mach", seed=3)
+        assert not path_old.exists()
+        assert path_mid.exists() and path_new.exists()
+        assert tracestore.load(key_old) is None
+        assert tracestore.load(key_new) is not None
