@@ -18,9 +18,26 @@ actually interactive.  This bench builds a reduced-scale store once
   ``rank_priced`` rankings (the pre-index engine's per-point path);
   the answers are required to match exactly.
 * **HTTP workers** — sustained keep-alive POST throughput over
-  loopback against a 1-worker and a 4-worker pre-fork fleet.  The
-  multi-worker scaling assertion only arms on machines with >= 4
-  cores; the numbers are recorded either way.
+  loopback against pre-fork fleets.  Worker counts are capped at the
+  host's CPU count: benchmarking 4 workers on 1 core measures fork
+  overhead plus scheduler churn, not scaling, and earlier runs
+  recorded exactly that misleading "slowdown" (``speedup_4v1: 0.53``
+  with ``cpu_count: 1``).  Oversubscribed shapes are now flagged and
+  skipped instead of reported as regressions.
+* **event loop** — closed-loop (depth-1) and pipelined saturation
+  capacity of one event-loop worker measured with the open-loop
+  generator (``benchmarks/loadgen.py``), and the ratio against the
+  PR-5 threaded-server baseline.
+* **latency vs offered load** — the open-loop sweep: fixed offered
+  rates at 0.25x / 0.5x / 1x / 2x of measured saturation, recording
+  tail latency *from scheduled fire time* and the 429 shed rate.
+  Closed-loop clients cannot see queueing collapse (they slow their
+  own offered rate to match the server); the open-loop curve makes
+  the saturation knee and graceful-shedding behavior visible.
+* **overload shedding** — a cache-busting miss mix offered at 2x its
+  capacity against a small in-flight budget: every answer must be a
+  200 or a structured 429 (with ``Retry-After``), never a hang or a
+  malformed response.
 
 p50/p95 latencies land in ``BENCH_service.json`` at the repo root.
 Runs as pytest (``pytest benchmarks/bench_service.py -q -s``) or
@@ -34,12 +51,19 @@ import json
 import os
 import platform
 import socket
+import sys
 import tempfile
 import threading
 import time
 from pathlib import Path
 
 import numpy as np
+
+try:
+    import loadgen
+except ImportError:  # standalone invocation from another cwd
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import loadgen
 
 from repro.core.allocator import (
     DEFAULT_BUDGET_RBES,
@@ -49,6 +73,7 @@ from repro.core.allocator import (
 )
 from repro.errors import BudgetError
 from repro.service.engine import QueryEngine
+from repro.service.http import make_server, shutdown_gracefully
 from repro.service.workers import PreforkServer
 from repro.store import CurveStore
 
@@ -63,6 +88,24 @@ HTTP_CLIENT_THREADS = 8
 HTTP_QUERIES_PER_THREAD = 120
 WORKER_SPEEDUP_FLOOR = 3.0
 WORKER_SPEEDUP_MIN_CORES = 4
+WORKER_TARGET = 4
+
+# PR 5's threaded single-worker throughput on this benchmark's own
+# `_http_hammer` (BENCH_service.json @ commit 4f1fbec, cpu_count: 1).
+# The event-loop acceptance target is >= 5x this number.
+PR5_WORKERS_1_QPS = 2858.7
+EVENT_LOOP_SPEEDUP_FLOOR = 5.0
+
+SWEEP_FRACTIONS = (0.25, 0.5, 1.0, 2.0)
+SWEEP_DURATION_S = 1.5
+SATURATION_PROBE_RATE = 80_000.0
+OVERLOAD_MAX_INFLIGHT = 16
+# Pipelined requests on one connection are answered in order, so each
+# connection holds at most ONE in-flight engine miss; the overload
+# phase needs more connections than the in-flight budget or the 429
+# path can never trigger.
+OVERLOAD_CONNECTIONS = 64
+
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
 
@@ -295,7 +338,15 @@ def _http_hammer(host: str, port: int, budgets: list[float]) -> dict:
 
 
 def bench_http_workers(root: Path) -> dict:
-    """Keep-alive POST throughput against 1-worker and 4-worker fleets."""
+    """Keep-alive POST throughput against pre-fork fleets.
+
+    Worker counts are capped at ``os.cpu_count()``: a 4-worker fleet on
+    a 1-core host is pure oversubscription — the hammer then measures
+    context-switch churn and reports a "slowdown" that says nothing
+    about the server.  The requested shape is still recorded (with
+    ``oversubscribed: true``) so the JSON explains itself, but the
+    oversubscribed run is skipped and never asserted against.
+    """
     engine_factory = lambda: QueryEngine(CurveStore(root))  # noqa: E731
     priced = QueryEngine(CurveStore(root)).priced_space(OS_NAME)
     rng = np.random.default_rng(23)
@@ -303,8 +354,15 @@ def bench_http_workers(root: Path) -> dict:
         priced.min_area() * 1.05, float(priced.area_grid.max()), 64
     ).tolist()
 
-    out: dict = {"cpu_count": os.cpu_count()}
-    for workers in (1, 4):
+    cpu_count = os.cpu_count() or 1
+    benched = max(1, min(WORKER_TARGET, cpu_count))
+    out: dict = {
+        "cpu_count": cpu_count,
+        "workers_requested": WORKER_TARGET,
+        "workers_benched": benched,
+        "oversubscribed": benched < WORKER_TARGET,
+    }
+    for workers in sorted({1, benched}):
         pool = PreforkServer(engine_factory, workers=workers, verbose=False)
         pool.start()
         try:
@@ -317,10 +375,18 @@ def bench_http_workers(root: Path) -> dict:
             )
         finally:
             pool.stop()
-    out["speedup_4v1"] = round(
-        out["workers_4"]["queries_per_s"] / out["workers_1"]["queries_per_s"],
-        2,
-    )
+    if benched > 1:
+        out[f"speedup_{benched}v1"] = round(
+            out[f"workers_{benched}"]["queries_per_s"]
+            / out["workers_1"]["queries_per_s"],
+            2,
+        )
+    else:
+        out["multi_worker_note"] = (
+            f"host has {cpu_count} CPU(s); a {WORKER_TARGET}-worker fleet "
+            "would oversubscribe the core and report scheduler churn as a "
+            "slowdown, so only workers_1 is measured"
+        )
     return out
 
 
@@ -338,6 +404,144 @@ def _wait_serving(host: str, port: int, deadline_s: float = 30.0) -> None:
     raise TimeoutError("pre-fork fleet never started serving")
 
 
+def _start_loop_server(engine: QueryEngine, **kwargs):
+    """One in-process event-loop worker on an ephemeral port."""
+    server = make_server(engine, port=0, verbose=False, **kwargs)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    _wait_serving(host, port)
+    return server, thread, f"http://{host}:{port}"
+
+
+def _stop_loop_server(server, thread) -> None:
+    shutdown_gracefully(server, deadline_s=5.0)
+    thread.join(timeout=10.0)
+
+
+def _point_payloads(priced, count: int, seed: int) -> list[bytes]:
+    rng = np.random.default_rng(seed)
+    budgets = rng.uniform(
+        priced.min_area() * 1.05, float(priced.area_grid.max()), count
+    )
+    return [
+        json.dumps(
+            {"type": "point", "os": OS_NAME, "budget": float(b), "limit": 5}
+        ).encode()
+        for b in budgets
+    ]
+
+
+def _sweep_point(result: loadgen.OpenLoopResult, fraction: float) -> dict:
+    return {
+        "fraction_of_saturation": fraction,
+        "offered_qps": result["offered_rate_qps"],
+        "achieved_qps": result["achieved_qps"],
+        "completed": result["completed"],
+        "statuses": result["statuses"],
+        "shed_rate": result["shed_rate"],
+        "dropped_conns": result["dropped_conns"],
+        "latency_ms": result["latency_ms"],
+        "ok_latency_ms": result["ok_latency_ms"],
+    }
+
+
+def bench_event_loop(root: Path) -> dict:
+    """Single event-loop worker: capacity plus the open-loop sweep.
+
+    Saturation is anchored by a deliberately unreachable offered rate
+    (the generator pipelines, the server caps out — the achieved q/s
+    *is* the capacity); the sweep then revisits fixed fractions of that
+    anchor so the tail-vs-load curve has an interpretable x-axis.  The
+    traffic is a 16-budget hot mix, the shape the byte cache serves.
+    """
+    engine = QueryEngine(CurveStore(root))
+    priced = engine.priced_space(OS_NAME)
+    payloads = _point_payloads(priced, 16, seed=31)
+
+    server, thread, base = _start_loop_server(engine)
+    try:
+        # Warm every payload through the full stack first.
+        loadgen.run_load(base, payloads, rate=None, total=len(payloads) * 2,
+                         connections=2)
+        closed = loadgen.run_load(base, payloads, rate=None, total=6000)
+        probe = loadgen.run_load(
+            base, payloads, rate=SATURATION_PROBE_RATE, duration_s=1.0
+        )
+        saturation = probe["achieved_qps"]
+
+        sweep = []
+        for fraction in SWEEP_FRACTIONS:
+            rate = max(100.0, saturation * fraction)
+            result = loadgen.run_load(
+                base, payloads, rate=rate, duration_s=SWEEP_DURATION_S
+            )
+            sweep.append(_sweep_point(result, fraction))
+    finally:
+        _stop_loop_server(server, thread)
+
+    return {
+        "baseline_pr5_workers_1_qps": PR5_WORKERS_1_QPS,
+        "closed_loop_depth1_qps": closed["achieved_qps"],
+        "closed_loop_latency_ms": closed["latency_ms"],
+        "saturation_qps": saturation,
+        "speedup_vs_pr5_workers_1": round(saturation / PR5_WORKERS_1_QPS, 2),
+        "closed_loop_speedup_vs_pr5": round(
+            closed["achieved_qps"] / PR5_WORKERS_1_QPS, 2
+        ),
+        "latency_vs_offered_load": sweep,
+    }
+
+
+def bench_overload_shedding(root: Path) -> dict:
+    """Graceful degradation: a miss mix offered at 2x its capacity.
+
+    Unique budgets against a tiny result cache keep every request off
+    the fast path and inside the bounded executor, and a small
+    ``max_inflight`` forces the loop to choose: queue or shed.  The
+    contract under that pressure is *no third outcome* — every answer
+    is a 200 or a structured 429 carrying ``Retry-After``, and no
+    connection is torn down mid-response.
+    """
+    engine = QueryEngine(CurveStore(root), result_cache_size=8)
+    priced = engine.priced_space(OS_NAME)
+    payloads = _point_payloads(priced, 6000, seed=47)
+
+    server, thread, base = _start_loop_server(
+        engine, max_inflight=OVERLOAD_MAX_INFLIGHT
+    )
+    try:
+        capacity = loadgen.run_load(
+            base, payloads[:2000], rate=None, total=2000
+        )["achieved_qps"]
+        overload = loadgen.run_load(
+            base, payloads[2000:], rate=max(200.0, capacity * 2.0),
+            duration_s=SWEEP_DURATION_S,
+            connections=OVERLOAD_CONNECTIONS, pipeline_depth=8,
+        )
+    finally:
+        _stop_loop_server(server, thread)
+
+    statuses = {int(k) for k in overload["statuses"]}
+    return {
+        "max_inflight": OVERLOAD_MAX_INFLIGHT,
+        "miss_capacity_qps": capacity,
+        "offered_qps": overload["offered_rate_qps"],
+        "achieved_qps": overload["achieved_qps"],
+        "completed": overload["completed"],
+        "statuses": overload["statuses"],
+        "shed_rate": overload["shed_rate"],
+        "retry_after_seen": overload["retry_after_seen"],
+        "dropped_conns": overload["dropped_conns"],
+        "ok_latency_ms": overload["ok_latency_ms"],
+        "only_200_or_429": statuses <= {200, 429},
+        "shed_engaged": overload["shed_429"] > 0,
+        "all_429_carry_retry_after": (
+            overload["retry_after_seen"] == overload["shed_429"]
+        ),
+    }
+
+
 def run_bench(root: Path | None = None) -> dict:
     if root is None:
         root = Path(tempfile.mkdtemp(prefix="repro-store-bench-")) / "store"
@@ -347,6 +551,8 @@ def run_bench(root: Path | None = None) -> dict:
     threaded = bench_threaded(root)
     batch = bench_batch_vs_point(root)
     http_workers = bench_http_workers(root)
+    event_loop = bench_event_loop(root)
+    overload = bench_overload_shedding(root)
 
     # The service must agree with the brute-force path bit-for-bit.
     curves = store.load(store.find_current(OS_NAME))
@@ -367,6 +573,9 @@ def run_bench(root: Path | None = None) -> dict:
         "threaded_point_query": threaded,
         "batch_vs_point": batch,
         "http_workers": http_workers,
+        "event_loop": event_loop,
+        "latency_vs_offered_load": event_loop["latency_vs_offered_load"],
+        "overload_shedding": overload,
         "identical_to_bruteforce": identical,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
@@ -385,6 +594,8 @@ def test_service_latency(show):
                 "threaded_point_query",
                 "batch_vs_point",
                 "http_workers",
+                "event_loop",
+                "overload_shedding",
             )},
             indent=2,
         ),
@@ -399,12 +610,36 @@ def test_service_latency(show):
     assert batch["speedup"] >= BATCH_SPEEDUP_FLOOR
 
     workers = payload["http_workers"]
+    benched = workers["workers_benched"]
     assert workers["workers_1"]["failures"] == 0
-    assert workers["workers_4"]["failures"] == 0
-    if (workers["cpu_count"] or 1) >= WORKER_SPEEDUP_MIN_CORES:
+    assert workers[f"workers_{benched}"]["failures"] == 0
+    if benched >= WORKER_SPEEDUP_MIN_CORES:
         # Worker scaling is a hardware claim; on fewer cores the fleet
         # can't beat one process, so only record the numbers there.
-        assert workers["speedup_4v1"] >= WORKER_SPEEDUP_FLOOR
+        assert workers[f"speedup_{benched}v1"] >= WORKER_SPEEDUP_FLOOR
+
+    loop = payload["event_loop"]
+    # The PR's headline number: one event-loop worker must beat PR 5's
+    # threaded single worker by >= 5x at saturation.
+    assert loop["speedup_vs_pr5_workers_1"] >= EVENT_LOOP_SPEEDUP_FLOOR
+    # At half of saturation the tail must stay near the median: p95
+    # within 10x of p50 (with a small absolute floor so microsecond
+    # medians don't turn scheduler jitter into a failure).
+    half = next(
+        point for point in loop["latency_vs_offered_load"]
+        if point["fraction_of_saturation"] == 0.5
+    )
+    assert half["latency_ms"]["p95"] <= max(
+        10.0 * half["latency_ms"]["p50"], 5.0
+    )
+    for point in loop["latency_vs_offered_load"]:
+        assert point["dropped_conns"] == 0
+
+    shed = payload["overload_shedding"]
+    assert shed["only_200_or_429"]
+    assert shed["shed_engaged"]
+    assert shed["all_429_carry_retry_after"]
+    assert shed["dropped_conns"] == 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,443 @@
+"""Open-loop load generator for the query service.
+
+Closed-loop clients (a fixed pool of workers, each waiting for its
+answer before asking again) cannot see queueing collapse: when the
+server slows down, a closed loop *slows its own offered rate* to
+match, so tail latency looks flat right up to the cliff.  An
+**open-loop** generator fires request *i* at the scheduled instant
+``t0 + i/rate`` whether or not earlier answers came back, and measures
+latency **from the scheduled fire time** — exactly the waiting time a
+real arrival process would experience.  Past saturation the measured
+tails grow without bound instead of flattering the server, which is
+what makes tail-latency-vs-offered-load curves honest (and makes
+graceful shedding visible as a rising 429 share with *bounded* 200
+tails).
+
+Implementation notes:
+
+* raw non-blocking sockets on one ``selectors`` loop — an
+  ``http.client`` round-trip costs ~150 us of client CPU, which on a
+  small host saturates the *generator* long before the server; the
+  hand-rolled path keeps per-request client cost low enough to offer
+  2x the server's capacity from the same core;
+* a fixed fleet of keep-alive connections; each scheduled request is
+  assigned round-robin and pipelined onto its connection (bounded
+  depth), so offered load keeps arriving even while answers are in
+  flight — the open-loop property;
+* responses are parsed with a minimal state machine (status line +
+  ``Content-Length`` / ``Connection: close``), statuses and latencies
+  recorded per request;
+* a closed-loop mode (``rate=None``) keeps every connection at depth 1
+  and measures sustained capacity — used to find saturation before
+  sweeping offered rates around it.
+
+Shared by ``benchmarks/bench_service.py`` (the
+``latency_vs_offered_load`` section), the overload burst test, and the
+CI smoke phase; also runnable standalone::
+
+    python benchmarks/loadgen.py --base http://127.0.0.1:8023 \
+        --rate 2000 --duration 5 --connections 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import selectors
+import socket
+import time
+
+DEFAULT_CONNECTIONS = 8
+DEFAULT_PIPELINE_DEPTH = 64
+RECV_CHUNK = 262144
+
+
+def percentile(sorted_values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return None
+    index = max(0, min(len(sorted_values) - 1,
+                       int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[index]
+
+
+def _parse_base(base_url: str) -> tuple[str, int]:
+    import urllib.parse
+
+    parsed = urllib.parse.urlparse(base_url)
+    return parsed.hostname or "127.0.0.1", parsed.port or 80
+
+
+def build_post(path: str, body: bytes,
+               content_type: str = "application/json") -> bytes:
+    """One pre-rendered keep-alive POST, ready to write verbatim."""
+    return (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: loadgen\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"\r\n"
+    ).encode() + body
+
+
+class _Response:
+    """Minimal parse state for one pipelined response."""
+
+    __slots__ = ("status", "headers_done", "body_remaining", "retry_after",
+                 "body")
+
+    def __init__(self):
+        self.status = 0
+        self.headers_done = False
+        self.body_remaining = 0
+        self.retry_after = False
+        self.body = bytearray()
+
+
+class _GenConn:
+    """One generator connection: queued sends, in-order responses."""
+
+    __slots__ = ("sock", "fd", "outbuf", "inbuf", "inflight", "cur",
+                 "depth", "alive", "events", "close_hint")
+
+    def __init__(self, host: str, port: int):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock.connect((host, port))
+        self.sock.setblocking(False)
+        self.fd = self.sock.fileno()
+        self.outbuf = bytearray()
+        self.inbuf = bytearray()
+        self.inflight: list = []  # [scheduled_t, payload_index] FIFO
+        self.cur: _Response | None = None
+        self.depth = 0
+        self.alive = True
+        self.events = 0
+        self.close_hint = False
+
+
+class OpenLoopResult(dict):
+    """Plain dict of the run's numbers (JSON-ready); attribute sugar."""
+
+    __getattr__ = dict.__getitem__
+
+
+def run_load(
+    base_url: str,
+    payloads: list[bytes],
+    rate: float | None,
+    duration_s: float | None = None,
+    total: int | None = None,
+    connections: int = DEFAULT_CONNECTIONS,
+    pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+    path: str = "/v1/query",
+    content_type: str = "application/json",
+    collect_bodies: bool = False,
+    timeout_s: float = 30.0,
+) -> OpenLoopResult:
+    """Fire ``payloads`` (cycled) at the service; return the ledger.
+
+    Args:
+        rate: offered requests/second, or None for closed-loop mode
+            (every connection kept at depth 1 — measures capacity).
+        duration_s: stop scheduling after this long (open loop).
+        total: stop after this many requests (either mode).
+        pipeline_depth: per-connection cap on queued-but-unanswered
+            requests in open-loop mode; past it the *scheduled* request
+            is still charged its queueing delay (it just waits client-
+            side), so the open-loop latency accounting stays honest.
+        collect_bodies: keep each response body for differential
+            checking (memory-heavy; tests only).
+
+    Returns:
+        OpenLoopResult with status counts, latency percentiles (ms,
+        measured from each request's scheduled fire time), achieved
+        and offered rates, and optionally the body ledger.
+    """
+    host, port = _parse_base(base_url)
+    if total is None:
+        if rate is None or duration_s is None:
+            raise ValueError("need total=, or rate= plus duration_s=")
+        total = max(1, int(rate * duration_s))
+
+    requests = [build_post(path, p, content_type) for p in payloads]
+    conns = [_GenConn(host, port) for _ in range(connections)]
+    selector = selectors.DefaultSelector()
+    for conn in conns:
+        selector.register(conn.sock, selectors.EVENT_READ, conn)
+        conn.events = selectors.EVENT_READ
+
+    statuses: dict[int, int] = {}
+    latencies_ms: list[float] = []
+    ok_latencies_ms: list[float] = []
+    bodies: list[tuple[int, int, bytes]] = []  # (payload_idx, status, body)
+    retry_after_seen = 0
+    dropped_conns = 0
+
+    t0 = time.perf_counter()
+    scheduled = 0  # requests handed to a connection
+    completed = 0
+    next_slot = 0  # round-robin cursor
+
+    def _interest(conn):
+        want = selectors.EVENT_READ
+        if conn.outbuf:
+            want |= selectors.EVENT_WRITE
+        if want != conn.events:
+            selector.modify(conn.sock, want, conn)
+            conn.events = want
+
+    def _pump_out(conn):
+        while conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                _kill(conn)
+                return
+            del conn.outbuf[:sent]
+        _interest(conn)
+
+    def _kill(conn):
+        nonlocal dropped_conns, completed
+        if not conn.alive:
+            return
+        conn.alive = False
+        dropped_conns += 1
+        # Every unanswered request on this connection is a failure.
+        for sched_t, _idx in conn.inflight:
+            statuses[0] = statuses.get(0, 0) + 1
+            completed += 1
+        conn.inflight.clear()
+        try:
+            selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _pump_in(conn):
+        nonlocal completed, retry_after_seen
+        try:
+            chunk = conn.sock.recv(RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            _kill(conn)
+            return
+        if not chunk:
+            _kill(conn)
+            return
+        conn.inbuf += chunk
+        while True:
+            if conn.cur is None:
+                head_end = conn.inbuf.find(b"\r\n\r\n")
+                if head_end < 0:
+                    return
+                head = bytes(conn.inbuf[:head_end]).decode(
+                    "latin-1", "replace"
+                )
+                del conn.inbuf[:head_end + 4]
+                resp = _Response()
+                lines = head.split("\r\n")
+                try:
+                    resp.status = int(lines[0].split()[1])
+                except (IndexError, ValueError):
+                    _kill(conn)
+                    return
+                close_after = False
+                for line in lines[1:]:
+                    lower = line.lower()
+                    if lower.startswith("content-length:"):
+                        resp.body_remaining = int(line.split(":", 1)[1])
+                    elif lower.startswith("retry-after:"):
+                        resp.retry_after = True
+                    elif lower.startswith("connection:") and "close" in lower:
+                        close_after = True
+                resp.headers_done = True
+                conn.cur = resp
+                conn.close_hint = close_after
+            resp = conn.cur
+            take = min(resp.body_remaining, len(conn.inbuf))
+            if take:
+                if collect_bodies:
+                    resp.body += conn.inbuf[:take]
+                del conn.inbuf[:take]
+                resp.body_remaining -= take
+            if resp.body_remaining:
+                return
+            # One response complete: pair with the oldest in-flight.
+            conn.cur = None
+            if conn.inflight:
+                sched_t, payload_idx = conn.inflight.pop(0)
+                lat_ms = (time.perf_counter() - sched_t) * 1e3
+                latencies_ms.append(lat_ms)
+                if resp.status == 200:
+                    ok_latencies_ms.append(lat_ms)
+                if resp.retry_after:
+                    retry_after_seen += 1
+                statuses[resp.status] = statuses.get(resp.status, 0) + 1
+                if collect_bodies:
+                    bodies.append(
+                        (payload_idx, resp.status, bytes(resp.body))
+                    )
+                completed += 1
+                conn.depth -= 1
+            if getattr(conn, "close_hint", False):
+                _kill(conn)
+                return
+
+    def _offer(conn, sched_t, payload_idx):
+        conn.outbuf += requests[payload_idx % len(requests)]
+        conn.inflight.append((sched_t, payload_idx))
+        conn.depth += 1
+        _pump_out(conn)
+
+    deadline = t0 + (duration_s if duration_s is not None else 3600.0)
+    hard_stop = deadline + timeout_s
+
+    while completed < total:
+        now = time.perf_counter()
+        if now > hard_stop:
+            break
+        live = [c for c in conns if c.alive]
+        if not live:
+            break
+
+        if rate is None:
+            # Closed loop: keep every live connection at depth 1.
+            for conn in live:
+                if scheduled < total and conn.depth == 0:
+                    _offer(conn, time.perf_counter(), scheduled)
+                    scheduled += 1
+            timeout = 0.05
+        else:
+            # Open loop: release every request whose scheduled time
+            # has arrived, charging latency from that instant.
+            due = min(total, int((now - t0) * rate) + 1)
+            while scheduled < due:
+                sched_t = t0 + scheduled / rate
+                conn = live[next_slot % len(live)]
+                next_slot += 1
+                if conn.depth >= pipeline_depth:
+                    # Find any connection with headroom this tick.
+                    for candidate in live:
+                        if candidate.depth < pipeline_depth:
+                            conn = candidate
+                            break
+                    else:
+                        break  # all saturated: retry next tick
+                _offer(conn, sched_t, scheduled)
+                scheduled += 1
+            if scheduled >= total:
+                timeout = 0.05
+            else:
+                next_fire = t0 + scheduled / rate
+                timeout = max(0.0, min(0.05, next_fire - time.perf_counter()))
+
+        for key, mask in selector.select(timeout):
+            conn = key.data
+            if not conn.alive:
+                continue
+            if mask & selectors.EVENT_WRITE:
+                _pump_out(conn)
+            if conn.alive and mask & selectors.EVENT_READ:
+                _pump_in(conn)
+
+    wall_s = time.perf_counter() - t0
+    for conn in conns:
+        if conn.alive:
+            try:
+                selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            conn.sock.close()
+    selector.close()
+
+    latencies_ms.sort()
+    ok_latencies_ms.sort()
+    result = OpenLoopResult(
+        mode="closed_loop" if rate is None else "open_loop",
+        offered_rate_qps=round(rate, 1) if rate is not None else None,
+        scheduled=scheduled,
+        completed=completed,
+        wall_s=round(wall_s, 3),
+        achieved_qps=round(completed / wall_s, 1) if wall_s > 0 else 0.0,
+        statuses={str(k): v for k, v in sorted(statuses.items())},
+        shed_429=statuses.get(429, 0),
+        shed_rate=round(statuses.get(429, 0) / completed, 4)
+        if completed else 0.0,
+        retry_after_seen=retry_after_seen,
+        dropped_conns=dropped_conns,
+        latency_ms={
+            "p50": round(percentile(latencies_ms, 0.50) or 0.0, 3),
+            "p95": round(percentile(latencies_ms, 0.95) or 0.0, 3),
+            "p99": round(percentile(latencies_ms, 0.99) or 0.0, 3),
+            "max": round(latencies_ms[-1], 3) if latencies_ms else None,
+        },
+        ok_latency_ms={
+            "p50": round(percentile(ok_latencies_ms, 0.50) or 0.0, 3),
+            "p95": round(percentile(ok_latencies_ms, 0.95) or 0.0, 3),
+            "p99": round(percentile(ok_latencies_ms, 0.99) or 0.0, 3),
+        },
+    )
+    if collect_bodies:
+        result["bodies"] = bodies
+    return result
+
+
+def find_saturation(
+    base_url: str,
+    payloads: list[bytes],
+    total: int = 4000,
+    connections: int = DEFAULT_CONNECTIONS,
+    **kwargs,
+) -> float:
+    """Closed-loop capacity in q/s — the saturation anchor for sweeps."""
+    result = run_load(
+        base_url, payloads, rate=None, total=total,
+        connections=connections, **kwargs,
+    )
+    return result["achieved_qps"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Open-loop load generator for the repro query service."
+    )
+    parser.add_argument("--base", required=True,
+                        help="service base URL, e.g. http://127.0.0.1:8023")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="offered q/s (omit for closed-loop capacity)")
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--total", type=int, default=None)
+    parser.add_argument("--connections", type=int,
+                        default=DEFAULT_CONNECTIONS)
+    parser.add_argument("--pipeline-depth", type=int,
+                        default=DEFAULT_PIPELINE_DEPTH)
+    parser.add_argument(
+        "--request", default=json.dumps(
+            {"type": "point", "os": "mach", "budget": 250000, "limit": 1}
+        ),
+        help="request JSON to fire (default: a mach point query)",
+    )
+    args = parser.parse_args(argv)
+    result = run_load(
+        args.base,
+        [args.request.encode()],
+        rate=args.rate,
+        duration_s=args.duration if args.rate is not None else None,
+        total=args.total,
+        connections=args.connections,
+        pipeline_depth=args.pipeline_depth,
+    )
+    json.dump(result, __import__("sys").stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

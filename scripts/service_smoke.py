@@ -12,14 +12,21 @@ Exercises the whole subsystem the way a user would:
    curves;
 5. re-serves the store with fault injection armed (corrupted store
    reads, injected latency, dropped connections) and hammers it
-   through the retrying client — every request must either succeed
-   with the same bit-exact answer or fail with a typed 503, and the
-   server's metrics must show no 500-class response;
+   through the retrying client — the chaos lands on the event-loop
+   server's full dispatch path (fault-active requests skip the raw
+   memo), and every request must either succeed with the same
+   bit-exact answer or fail with a typed 503, with no 500-class
+   response in the metrics;
 6. brings up a 2-worker pre-fork fleet with the same faults armed and
    requires (a) a batch sweep bit-identical to the same budgets asked
    point-by-point — whichever worker answers — (b) a working
    ``If-None-Match`` → 304 revalidation, and (c) zero 500-class
-   responses in the fleet-aggregated metrics.
+   responses in the fleet-aggregated metrics;
+7. fires a fixed-rate **open-loop** burst (``benchmarks/loadgen.py``)
+   at a single event-loop worker: every response must be a 200, 304
+   or structured 429, no connection may be torn down, and open-loop
+   p99 (measured from scheduled fire time) must stay under a generous
+   ceiling — the \"no hangs, no garbage under load\" gate.
 
 Usage::
 
@@ -39,6 +46,12 @@ import sys
 import threading
 import urllib.error
 import urllib.request
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+)
+import loadgen  # noqa: E402
 
 from repro.core.allocator import DEFAULT_BUDGET_RBES, Allocator
 from repro.service.client import ServiceClient, ServiceClientError
@@ -55,6 +68,14 @@ DEFAULT_FAULT_SPEC = (
     "latency_ms=10,latency_prob=0.3,"
     "drop_conn=0.25,drop_conn_limit=6,seed=13"
 )
+
+# Open-loop gate: modest fixed rate, generous tail ceiling — this is a
+# correctness-under-load check for CI's shared runners, not a capacity
+# benchmark (BENCH_service.json is where capacity numbers live).
+OPENLOOP_RATE_QPS = 1500.0
+OPENLOOP_DURATION_S = 2.0
+OPENLOOP_P99_CEILING_MS = 1000.0
+OPENLOOP_ALLOWED_STATUSES = {200, 304, 429}
 
 
 def run_cli(*args: str) -> dict:
@@ -219,6 +240,63 @@ def prefork_phase(store_path: str, os_name: str, spec: str) -> None:
         pool.stop()
 
 
+def openloop_phase(store_path: str, os_name: str) -> None:
+    """Fixed-rate open-loop burst against one event-loop worker."""
+    engine = QueryEngine(CurveStore(store_path))
+    priced = engine.priced_space(os_name)
+    budgets = [
+        priced.min_area() * 1.1 + frac * (
+            float(priced.area_grid.max()) - priced.min_area() * 1.1
+        )
+        for frac in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+    ]
+    payloads = [
+        json.dumps({"type": "point", "os": os_name, "budget": b,
+                    "limit": 5}).encode()
+        for b in budgets
+    ]
+    server = make_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        # Warm the byte cache, then offer the fixed open-loop rate.
+        loadgen.run_load(base, payloads, rate=None,
+                         total=len(payloads) * 2, connections=2)
+        result = loadgen.run_load(
+            base, payloads, rate=OPENLOOP_RATE_QPS,
+            duration_s=OPENLOOP_DURATION_S,
+        )
+    finally:
+        shutdown_gracefully(server)
+
+    bad = {
+        status: count for status, count in result["statuses"].items()
+        if int(status) not in OPENLOOP_ALLOWED_STATUSES
+    }
+    if bad:
+        raise SystemExit(f"open-loop burst got non-200/304/429: {bad}")
+    if result["dropped_conns"]:
+        raise SystemExit(
+            f"open-loop burst tore down {result['dropped_conns']} "
+            "connections"
+        )
+    p99 = result["latency_ms"]["p99"]
+    if p99 > OPENLOOP_P99_CEILING_MS:
+        raise SystemExit(
+            f"open-loop p99 {p99}ms exceeds the "
+            f"{OPENLOOP_P99_CEILING_MS}ms ceiling"
+        )
+    print(
+        f"    open-loop: {result['completed']} answers at "
+        f"{result['achieved_qps']} q/s (offered "
+        f"{result['offered_rate_qps']}), statuses={result['statuses']}, "
+        f"p99={p99}ms, shed={result['shed_429']}",
+        flush=True,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--store", default=".repro-store-smoke")
@@ -232,14 +310,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     store_args = ["--store", args.store]
 
-    print(f"[1/6] building store at {args.store} ...", flush=True)
+    print(f"[1/7] building store at {args.store} ...", flush=True)
     build_args = ["build", "--os", args.os_name, *store_args]
     if args.jobs is not None:
         build_args += ["--jobs", str(args.jobs)]
     built = run_cli(*build_args)
     assert built["ok"] and built["built"], f"build failed: {built}"
 
-    print("[2/6] CLI query batch ...", flush=True)
+    print("[2/7] CLI query batch ...", flush=True)
     point = run_cli(
         "query", *store_args, "--request",
         json.dumps({"type": "point", "os": args.os_name,
@@ -265,7 +343,7 @@ def main(argv: list[str] | None = None) -> int:
     info = run_cli("info", *store_args)
     assert info["exists"] and len(info["entries"]) == 1, info
 
-    print("[3/6] HTTP round-trip ...", flush=True)
+    print("[3/7] HTTP round-trip ...", flush=True)
     server = make_server(QueryEngine(CurveStore(args.store)), port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -287,7 +365,7 @@ def main(argv: list[str] | None = None) -> int:
     if http_payload["result"] != point["result"]:
         raise SystemExit("HTTP and CLI answers differ for the same query")
 
-    print("[4/6] differential check vs direct Allocator path ...", flush=True)
+    print("[4/7] differential check vs direct Allocator path ...", flush=True)
     store = CurveStore(args.store)
     curves = store.load(store.find_current(args.os_name))
     direct = Allocator(curves, budget_rbes=DEFAULT_BUDGET_RBES).rank(limit=10)
@@ -302,17 +380,20 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit(f"rank {rank} config differs: {got} vs {want}")
 
     if args.faults != "none":
-        print(f"[5/6] chaos phase with faults: {args.faults} ...", flush=True)
+        print(f"[5/7] chaos phase with faults: {args.faults} ...", flush=True)
         want_rows = [(a["area_rbe"], a["cpi"], a["tlb"]) for a in served]
         chaos_phase(args.store, args.os_name, args.faults, want_rows)
     else:
-        print("[5/6] chaos phase skipped (--faults none)", flush=True)
+        print("[5/7] chaos phase skipped (--faults none)", flush=True)
 
-    print(f"[6/6] 2-worker pre-fork fleet (faults: {args.faults}) ...",
+    print(f"[6/7] 2-worker pre-fork fleet (faults: {args.faults}) ...",
           flush=True)
     prefork_phase(args.store, args.os_name, args.faults)
-    print("service smoke OK: CLI, HTTP, direct, chaos and pre-fork "
-          "paths agree")
+
+    print("[7/7] open-loop burst ...", flush=True)
+    openloop_phase(args.store, args.os_name)
+    print("service smoke OK: CLI, HTTP, direct, chaos, pre-fork and "
+          "open-loop paths agree")
     return 0
 
 

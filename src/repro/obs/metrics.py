@@ -22,6 +22,7 @@ no third-party deps — matching the repo's stdlib-only service stack.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 
 # Log-spaced latency bucket upper bounds, in milliseconds.  Spans the
 # service's observed range: ~5 us LRU hits through multi-second faulty
@@ -76,6 +77,15 @@ class Gauge:
     def sub(self, n: int = 1) -> int:
         return self.add(-n)
 
+    def set(self, value: int) -> int:
+        """Set an absolute level (event-loop depth/byte gauges, which
+        are sampled rather than incrementally maintained)."""
+        with self._lock:
+            self._value = value
+            if value > self._high:
+                self._high = value
+            return self._value
+
     def snapshot(self) -> dict:
         with self._lock:
             return {"current": self._value, "high_water": self._high}
@@ -103,11 +113,9 @@ class Histogram:
         self._max = 0.0
 
     def observe(self, value_ms: float) -> None:
-        index = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if value_ms <= bound:
-                index = i
-                break
+        # First bucket whose upper bound contains the sample (bounds
+        # are sorted, so this is a binary search, not a scan).
+        index = bisect_left(self.bounds, value_ms)
         with self._lock:
             self._counts[index] += 1
             self._count += 1

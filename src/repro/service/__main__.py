@@ -40,6 +40,7 @@ from repro.errors import (
 from repro.service.engine import QueryEngine
 from repro.service.faults import parse_faults, set_injector
 from repro.service.http import (
+    DEFAULT_EXECUTOR_THREADS,
     DEFAULT_MAX_INFLIGHT,
     DEFAULT_REQUEST_TIMEOUT_S,
     serve,
@@ -133,6 +134,7 @@ def cmd_serve(args) -> int:
             request_timeout=args.timeout,
             max_inflight=args.max_inflight,
             verbose=not args.quiet,
+            executor_threads=args.executor_threads,
         )
         pool.serve_until_interrupted()
         return 0
@@ -145,6 +147,7 @@ def cmd_serve(args) -> int:
         request_timeout=args.timeout,
         max_inflight=args.max_inflight,
         faults=faults,
+        executor_threads=args.executor_threads,
     )
     return 0
 
@@ -208,6 +211,12 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=None,
         help="pre-fork worker processes sharing the listening address "
              "(default: REPRO_WORKERS or 1; >1 enables the pre-fork pool)",
+    )
+    srv.add_argument(
+        "--executor-threads", type=int, default=DEFAULT_EXECUTOR_THREADS,
+        help="off-loop executor threads per worker for engine misses "
+             f"(default {DEFAULT_EXECUTOR_THREADS}); cache hits are "
+             "served on the event loop and never use them",
     )
     srv.add_argument(
         "--quiet", action="store_true",

@@ -16,29 +16,56 @@ or a definitive error:
 Raises :class:`ServiceClientError` carrying the last status and
 structured error code once attempts are exhausted.
 
-Queries are also *conditionally* cached: the service tags each query
+The client holds **one persistent keep-alive connection** and reuses
+it across requests — no TCP handshake per query.  A reused idle socket
+can be legitimately stale (the server timed it out or restarted
+between requests); for *idempotent GETs* the client transparently
+reconnects and replays once on ECONNRESET-class failures without
+consuming the retry budget (``stale_retries`` counts them).  POSTs are
+never replayed transparently — a dropped POST always goes through the
+visible retry loop.
+
+Queries are *conditionally* cached: the service tags each query
 response with a strong ``ETag`` over the exact body bytes, and the
 client remembers the last validator per canonical request.  A repeat
 query sends ``If-None-Match``; a ``304 Not Modified`` answer carries
 no body, and the client replays its cached result — zero bytes of
 JSON cross the wire or get re-parsed for a repeated question.
+
+Batch queries can optionally ride the service's length-prefixed
+binary protocol (``binary_batch=True``): the request is framed by
+:mod:`repro.service.binproto` instead of JSON-encoded, and the binary
+response decodes to a result dict equal to the JSON path's (floats
+cross the wire as raw doubles, so equality is bit-exact).  Non-batch
+queries fall back to JSON automatically.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import socket
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from collections import OrderedDict
 
 from repro.errors import ReproError
+from repro.service import binproto
 
 DEFAULT_RETRIES = 4
 DEFAULT_BACKOFF_S = 0.05
 DEFAULT_ETAG_CACHE_SIZE = 256
 RETRYABLE_STATUS = (429, 503)
+
+# A reused keep-alive socket failing with one of these on a GET means
+# the server closed it between requests — reconnect-and-replay is safe.
+_STALE_SOCKET_ERRORS = (
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+)
 
 
 class ServiceClientError(ReproError):
@@ -72,7 +99,15 @@ def _decode(raw: bytes) -> dict:
 
 
 class ServiceClient:
-    """Client for one service base URL (``http://host:port``)."""
+    """Client for one service base URL (``http://host:port``).
+
+    Not thread-safe: the persistent connection is single-lane.  Use
+    one client per thread (the concurrency tests do exactly this).
+
+    Args:
+        binary_batch: send ``type: batch`` queries over the binary
+            protocol (``application/x-repro-batch``) instead of JSON.
+    """
 
     def __init__(
         self,
@@ -81,44 +116,107 @@ class ServiceClient:
         retries: int = DEFAULT_RETRIES,
         backoff_s: float = DEFAULT_BACKOFF_S,
         etag_cache_size: int = DEFAULT_ETAG_CACHE_SIZE,
+        binary_batch: bool = False,
     ):
         self.base_url = base_url.rstrip("/")
+        parsed = urllib.parse.urlparse(self.base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ServiceClientError(
+                f"only http:// endpoints are supported, got {base_url!r}"
+            )
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.binary_batch = binary_batch
         self.attempts_made = 0
         self.retries_used = 0
         self.not_modified_hits = 0
+        self.stale_retries = 0
+        self._conn: http.client.HTTPConnection | None = None
         # canonical request JSON -> (etag, cached payload)
         self._etag_cache: OrderedDict[str, tuple[str, dict]] = OrderedDict()
         self._etag_cache_size = etag_cache_size
 
     # -- transport ----------------------------------------------------
 
-    def _once(
-        self, path: str, body: bytes | None, etag: str | None = None
-    ) -> tuple[int, dict, str | None]:
-        headers = {"Content-Type": "application/json"} if body else {}
-        if etag is not None:
-            headers["If-None-Match"] = etag
-        request = urllib.request.Request(
-            self.base_url + path, data=body, headers=headers
+    def close(self) -> None:
+        """Drop the persistent connection (reconnects on next use)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """The live connection plus whether it was freshly opened."""
+        if self._conn is not None:
+            return self._conn, False
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
         )
+        conn.connect()
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return (
-                    resp.status,
-                    _decode(resp.read()),
-                    resp.headers.get("ETag"),
-                )
-        except urllib.error.HTTPError as exc:
-            if exc.code == 304:
-                return 304, {}, exc.headers.get("ETag")
-            return exc.code, _decode(exc.read()), None
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self._conn = conn
+        return conn, True
+
+    def _once(
+        self, method: str, path: str, body: bytes | None, headers: dict
+    ) -> tuple[int, dict, str | None]:
+        """One request over the persistent connection.
+
+        A stale reused socket on a GET is replayed once on a fresh
+        connection without touching the retry counters; every other
+        failure closes the connection and propagates to the visible
+        retry loop in :meth:`_request`.
+        """
+        replayed = False
+        while True:
+            conn, fresh = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+                status = resp.status
+                etag = resp.headers.get("ETag")
+                content_type = resp.headers.get("Content-Type", "")
+                if resp.will_close:
+                    self.close()
+                break
+            except _STALE_SOCKET_ERRORS:
+                self.close()
+                if method == "GET" and not fresh and not replayed:
+                    self.stale_retries += 1
+                    replayed = True
+                    continue
+                raise
+            except BaseException:
+                self.close()
+                raise
+        if status == 200 and content_type.startswith(binproto.CONTENT_TYPE):
+            return (
+                status,
+                {"ok": True, "result": binproto.decode_batch_response(raw)},
+                etag,
+            )
+        return status, _decode(raw), etag
 
     def _request(
-        self, path: str, body: bytes | None, etag: str | None = None
+        self,
+        path: str,
+        body: bytes | None,
+        etag: str | None = None,
+        content_type: str = "application/json",
     ) -> tuple[dict, int, str | None]:
+        method = "POST" if body is not None else "GET"
+        headers = {"Content-Type": content_type} if body is not None else {}
+        if etag is not None:
+            headers["If-None-Match"] = etag
         last: tuple[int | None, str | None, str] = (None, None, "no attempt")
         attempts = self.retries + 1
         for attempt in range(attempts):
@@ -127,21 +225,16 @@ class ServiceClient:
                 self.retries_used += 1
                 time.sleep(self.backoff_s * (2 ** (attempt - 1)))
             try:
-                status, payload, resp_etag = self._once(path, body, etag)
+                status, payload, resp_etag = self._once(
+                    method, path, body, headers
+                )
             except (
                 ConnectionError,
-                http.client.RemoteDisconnected,
-                http.client.IncompleteRead,
+                http.client.HTTPException,
                 TimeoutError,
             ) as exc:
                 last = (None, None, f"connection failed: {exc}")
                 continue
-            except urllib.error.URLError as exc:
-                reason = exc.reason
-                if isinstance(reason, (ConnectionError, TimeoutError)):
-                    last = (None, None, f"connection failed: {reason}")
-                    continue
-                raise
             if status in RETRYABLE_STATUS:
                 error = payload.get("error", {})
                 last = (
@@ -175,14 +268,25 @@ class ServiceClient:
         """POST one query; returns the engine's result dict.
 
         Repeat queries revalidate with ``If-None-Match``; a 304 reply
-        short-circuits to the locally cached result.
+        short-circuits to the locally cached result.  With
+        ``binary_batch`` on, batch requests travel framed binary both
+        ways and decode to the same result dict as JSON.
         """
-        cache_key = json.dumps(request, sort_keys=True)
+        binary = self.binary_batch and request.get("type") == "batch"
+        if binary:
+            body = binproto.encode_batch_request(request)
+            content_type = binproto.CONTENT_TYPE
+            cache_key = "bin:" + json.dumps(request, sort_keys=True)
+        else:
+            body = json.dumps(request).encode()
+            content_type = "application/json"
+            cache_key = json.dumps(request, sort_keys=True)
         cached = self._etag_cache.get(cache_key)
         payload, status, etag = self._request(
             "/v1/query",
-            json.dumps(request).encode(),
+            body,
             etag=cached[0] if cached else None,
+            content_type=content_type,
         )
         if status == 304 and cached is not None:
             self.not_modified_hits += 1

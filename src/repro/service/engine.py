@@ -125,10 +125,14 @@ class QueryEngine:
         self._priced: dict[tuple, PricedSpace] = {}
         self._results: OrderedDict[str, dict] = OrderedDict()
         self._result_bytes: OrderedDict[str, tuple[bytes, str]] = OrderedDict()
+        self._binary_bytes: OrderedDict[bytes, tuple[bytes, str]] = (
+            OrderedDict()
+        )
         self._result_cache_size = result_cache_size
         self._stats = {
             "hits": 0, "misses": 0, "coalesced": 0,
             "byte_hits": 0, "byte_misses": 0,
+            "binary_hits": 0, "binary_misses": 0,
         }
         self._lock = threading.Lock()
         self._inflight: dict[tuple, _InFlight] = {}
@@ -403,6 +407,93 @@ class QueryEngine:
                 # Another thread published the same bytes first; serve
                 # ours (identical content, deterministic encoder).
                 self._stats["byte_hits"] += 1
+        return body, etag
+
+    def count_byte_hit(self) -> None:
+        """Tally one byte-cache hit served from an outer raw-body memo.
+
+        The event-loop server keeps a small memo keyed on *exact raw
+        request bytes* in front of :meth:`try_cached_bytes`; a memo hit
+        serves the same cached bytes this cache holds but skips the
+        parse/validate/normalize work.  Counting it here keeps the
+        accounting contract — every query POST is exactly one counted
+        byte-cache lookup — independent of which layer answered.
+        """
+        with self._lock:
+            self._stats["byte_hits"] += 1
+
+    def try_cached_bytes(self, request) -> tuple[bytes, str] | None:
+        """Non-blocking byte-cache probe for the event loop's hot path.
+
+        Returns the cached ``(body, etag)`` and counts a byte hit, or
+        None without touching any counter — the loop then hands the
+        request to its off-loop executor, whose :meth:`query_bytes`
+        call tallies the miss.  Net effect: every request is exactly
+        one byte-cache lookup, same as the blocking path.
+
+        Raises:
+            RequestError: malformed request (surfaced on-loop as 400).
+        """
+        normalized = validate_request(request)
+        cache_key = json.dumps(normalized, sort_keys=True)
+        with self._lock:
+            entry = self._result_bytes.get(cache_key)
+            if entry is not None:
+                self._result_bytes.move_to_end(cache_key)
+                self._stats["byte_hits"] += 1
+                return entry
+        return None
+
+    # -- binary batch protocol ----------------------------------------
+
+    def try_cached_binary(self, payload: bytes) -> tuple[bytes, str] | None:
+        """Byte-cache probe for a binary batch frame payload.
+
+        Keyed on the *raw frame payload bytes* — a hit costs one dict
+        lookup with zero JSON or struct work, which is the whole point
+        of the binary path.  Deterministic client encoders mean equal
+        questions produce equal frames (and therefore shared entries).
+        """
+        with self._lock:
+            entry = self._binary_bytes.get(payload)
+            if entry is not None:
+                self._binary_bytes.move_to_end(payload)
+                self._stats["binary_hits"] += 1
+                return entry
+        return None
+
+    def query_binary(self, payload: bytes) -> tuple[bytes, str]:
+        """Answer one binary batch frame payload as response bytes.
+
+        Decodes the frame, answers through the same :meth:`query` path
+        as JSON (one shared result LRU, so the two protocols can never
+        drift), encodes the framed binary response once, and caches it
+        against the request payload bytes.
+
+        Raises:
+            RequestError: malformed frame or invalid decoded request.
+            Whatever :meth:`query` raises for the request.
+        """
+        from repro.service import binproto
+
+        with self._lock:
+            entry = self._binary_bytes.get(payload)
+            if entry is not None:
+                self._binary_bytes.move_to_end(payload)
+                self._stats["binary_hits"] += 1
+                return entry
+        request = binproto.decode_batch_request(payload)
+        result = self.query(request)
+        body = binproto.encode_batch_response(result)
+        etag = '"' + hashlib.sha256(body).hexdigest()[:20] + '"'
+        with self._lock:
+            if payload not in self._binary_bytes:
+                self._stats["binary_misses"] += 1
+                self._binary_bytes[payload] = (body, etag)
+                while len(self._binary_bytes) > self._result_cache_size:
+                    self._binary_bytes.popitem(last=False)
+            else:
+                self._stats["binary_hits"] += 1
         return body, etag
 
     def _answer(self, req: dict) -> dict:

@@ -132,6 +132,18 @@ class FaultInjector:
             return self.latency_ms
         return 0.0
 
+    def draw_latency(self) -> float:
+        """Draw the latency fault *without sleeping*; returns the delay
+        in ms (0.0 when nothing tripped).
+
+        The non-blocking event loop cannot sleep on-loop, so it draws
+        here and parks the request on a timer for the returned delay —
+        same draws, same trip counts as :meth:`maybe_latency`.
+        """
+        if self.latency_ms > 0 and self.trip("latency"):
+            return self.latency_ms
+        return 0.0
+
 
 DISABLED = FaultInjector()
 """The always-off injector; ``get_injector`` returns it by default."""

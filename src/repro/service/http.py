@@ -1,441 +1,70 @@
-"""Stdlib HTTP front end for the allocation query engine.
+"""HTTP front end for the allocation query engine.
 
-A thin ``http.server`` layer — no framework — exposing:
+The public surface of the service's data plane:
 
-* ``GET /v1/health`` — liveness plus store metadata (entry count is
-  cached against the store directory's mtime, not re-listed per probe);
+* ``GET /v1/health`` — liveness plus store metadata;
 * ``GET /v1/metrics`` — request counts, latency histograms, cache
-  hit-rate, responses by status code, fault-injection trip counts;
+  hit-rate, responses by status code, fault-injection trip counts,
+  event-loop gauges (ready-queue depth, buffered bytes, connections);
 * ``POST /v1/query`` — one JSON request (see
-  :mod:`repro.service.requests`), answered by the shared
-  :class:`~repro.service.engine.QueryEngine`.
+  :mod:`repro.service.requests`) answered by the shared
+  :class:`~repro.service.engine.QueryEngine`, or one framed binary
+  batch request (``Content-Type: application/x-repro-batch``, see
+  :mod:`repro.service.binproto`) answered in kind.
 
-Every response is JSON and carries an ``X-Request-Id`` header (echoed
-from the client's, or generated).  Success wraps the engine's answer
-as ``{"ok": true, "result": ...}``; failures return a structured error
+Every response carries an ``X-Request-Id`` header (echoed from the
+client's, or generated).  Success wraps the engine's answer as
+``{"ok": true, "result": ...}``; failures return a structured error
 ``{"ok": false, "error": {"code", "message"}, "request_id": ...}``
 with a status code matched to the failure class (400 malformed, 404
 unknown path, 411 chunked body, 413 oversized body, 422 unsatisfiable
-budget, 429 overload, 503 store problems) — an unexpected exception
-still produces a structured 500, never a bare traceback page.
+budget, 429 overload, 431 oversized head, 503 store problems) — an
+unexpected exception still produces a structured 500, never a bare
+traceback page.
 
-Built for concurrency: the server is threading, per-connection sockets
-carry a read/write timeout so a stalled client can't pin a handler
-thread forever, query concurrency is bounded by a semaphore (excess
-load is shed with 429 + ``Retry-After`` instead of queueing without
-bound), and :func:`drain` gives shutdown a grace period for in-flight
-queries.  Each request emits one structured JSON log line when
-logging is on, and the shared :class:`~repro.obs.MetricsRegistry`
-feeds ``/v1/metrics``.
+Since PR 6 the implementation behind :func:`make_server` is a
+``selectors``-based non-blocking event loop
+(:class:`~repro.service.eventloop.EventLoopHTTPServer`) rather than a
+thread-per-connection ``http.server``: cached answers are written as
+zero-copy ``memoryview`` slices, engine misses run in a small bounded
+executor off the loop, slow clients are bounded by per-connection and
+loop-wide buffer caps, and overload is shed with structured 429 +
+``Retry-After`` instead of queueing without bound.  The object model
+(``serve_forever`` / ``shutdown`` / ``server_close`` /
+``server_address``) and every constant below are unchanged, so the
+pre-fork workers, CLI, tests, and benchmarks run on either mental
+model without edits.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import socket
 import sys
-import threading
 import time
-import uuid
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from pathlib import Path
 
-from repro.errors import (
-    BudgetError,
-    RequestError,
-    StaleStoreError,
-    StoreError,
-    StoreIntegrityError,
-)
-from repro.obs import (
-    JsonLogger,
-    MetricsRegistry,
-    NullLogger,
-    merge_registry_snapshots,
-    trace_span,
-)
+from repro.obs import JsonLogger, MetricsRegistry, NullLogger
 from repro.service.engine import QueryEngine
-from repro.service.faults import FaultInjector, get_injector
-
-MAX_BODY_BYTES = 4 * 1024 * 1024
-DEFAULT_REQUEST_TIMEOUT_S = 30.0
-DEFAULT_MAX_INFLIGHT = 64
-DEFAULT_DRAIN_S = 5.0
-RETRY_AFTER_S = 1
-METRICS_EXPORT_INTERVAL_S = 0.25
-
-# Ordered most-specific first: subclasses must precede their bases.
-_ERROR_STATUS = (
-    (RequestError, 400, "invalid_request"),
-    (BudgetError, 422, "budget_unsatisfiable"),
-    (StaleStoreError, 503, "stale_store"),
-    (StoreIntegrityError, 503, "store_corrupt"),
-    (StoreError, 503, "store_unavailable"),
+from repro.service.eventloop import (  # noqa: F401  (re-exported surface)
+    DEFAULT_DRAIN_S,
+    DEFAULT_EXECUTOR_THREADS,
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_REQUEST_TIMEOUT_S,
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    MAX_TOTAL_BUFFERED_BYTES,
+    MAX_WRITE_BUFFER_BYTES,
+    METRICS_EXPORT_INTERVAL_S,
+    RETRY_AFTER_S,
+    EventLoopHTTPServer,
+    _ERROR_STATUS,
+    _KNOWN_ROUTES,
+    _metrics_view,
+    _with_hit_rate,
+    export_worker_metrics,
+    read_worker_snapshots,
 )
-
-_KNOWN_ROUTES = {
-    "/v1/health": "health",
-    "/health": "health",
-    "/v1/metrics": "metrics",
-    "/metrics": "metrics",
-    "/v1/query": "query",
-    "/query": "query",
-}
-
-
-class _DropConnection(Exception):
-    """Raised when fault injection wants the socket closed unanswered."""
-
-
-class ServiceHandler(BaseHTTPRequestHandler):
-    """Request handler bound to the server's engine."""
-
-    server_version = "repro-service/2"
-    protocol_version = "HTTP/1.1"
-    # Keep-alive POSTs arrive as separate header/body segments; with
-    # Nagle on, each response can stall ~40 ms behind the peer's
-    # delayed ACK, flattening throughput at ~25 req/s per connection.
-    disable_nagle_algorithm = True
-
-    def setup(self):
-        # StreamRequestHandler applies self.timeout to the connection
-        # socket, bounding every read/write on this client.
-        self.timeout = self.server.request_timeout
-        self.request_id = "-"
-        super().setup()
-
-    # -- response plumbing --------------------------------------------
-
-    def _send_json(self, status: int, payload: dict, close: bool = False) -> None:
-        self._send_body(status, json.dumps(payload).encode(), close=close)
-
-    def _send_body(
-        self,
-        status: int,
-        body: bytes,
-        close: bool = False,
-        etag: str | None = None,
-    ) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.send_header("X-Request-Id", self.request_id)
-        if etag is not None:
-            self.send_header("ETag", etag)
-        if status == 429:
-            self.send_header("Retry-After", str(RETRY_AFTER_S))
-        if close:
-            self.send_header("Connection", "close")
-            self.close_connection = True
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_not_modified(self, etag: str) -> None:
-        # RFC 9110: 304 carries no body; the validator lets the client
-        # keep serving its cached representation.
-        self.send_response(304)
-        self.send_header("ETag", etag)
-        self.send_header("X-Request-Id", self.request_id)
-        self.end_headers()
-
-    def _send_error_json(
-        self, status: int, code: str, message: str, close: bool = False
-    ) -> None:
-        self._send_json(
-            status,
-            {
-                "ok": False,
-                "error": {"code": code, "message": message},
-                "request_id": self.request_id,
-            },
-            close=close,
-        )
-
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        # Stdlib-internal notices (timeouts, protocol errors) join the
-        # structured log rather than printing bare lines.
-        self.server.obs_logger.log(
-            "http_server", message=format % args, request_id=self.request_id
-        )
-
-    def log_request(self, code="-", size="-"):
-        # _handle emits one structured line per request; the stdlib's
-        # per-response line would duplicate it.
-        pass
-
-    # -- dispatch with logging / metrics / faults ---------------------
-
-    def do_GET(self):
-        self._handle(self._do_get)
-
-    def do_POST(self):
-        self._handle(self._do_post)
-
-    def _handle(self, method) -> None:
-        started = time.perf_counter()
-        self.request_id = (
-            self.headers.get("X-Request-Id") or uuid.uuid4().hex[:12]
-        )
-        route = _KNOWN_ROUTES.get(self.path, "other")
-        server = self.server
-        status: int | str = 500
-        try:
-            injector: FaultInjector = server.faults
-            if injector.active:
-                injected_ms = injector.maybe_latency()
-                if injected_ms:
-                    server.metrics.counter("faults_injected_latency").inc()
-                if self.command == "POST" and injector.trip("drop_conn"):
-                    raise _DropConnection
-            with trace_span(
-                "http.request",
-                method=self.command,
-                path=self.path,
-                request_id=self.request_id,
-            ):
-                status = method()
-        except _DropConnection:
-            # Close without a response: exercises client-side retry.
-            status = "dropped"
-            self.close_connection = True
-            server.metrics.counter("faults_dropped_connections").inc()
-            try:
-                self.connection.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-        except (BrokenPipeError, ConnectionResetError, TimeoutError):
-            status = "client_gone"
-            self.close_connection = True
-        except Exception as exc:  # last-ditch: structured, never a traceback
-            status = 500
-            try:
-                self._send_error_json(
-                    500, "internal", f"{type(exc).__name__}: {exc}", close=True
-                )
-            except OSError:
-                self.close_connection = True
-        dur_ms = (time.perf_counter() - started) * 1e3
-        server.metrics.counter("http_requests").inc(
-            label=f"{self.command} {route}"
-        )
-        server.metrics.counter("http_responses").inc(label=str(status))
-        server.metrics.histogram("http_latency_ms").observe(dur_ms)
-        server.obs_logger.log(
-            "request",
-            request_id=self.request_id,
-            method=self.command,
-            path=self.path,
-            status=status,
-            dur_ms=round(dur_ms, 3),
-            remote=self.client_address[0],
-        )
-        if server.worker_metrics_dir is not None:
-            export_worker_metrics(server)
-
-    # -- GET: health and metrics --------------------------------------
-
-    def _do_get(self) -> int:
-        engine: QueryEngine = self.server.engine
-        if self.path in ("/v1/health", "/health"):
-            store = engine.store
-            result = {
-                "status": "serving",
-                "store": str(store.root) if store is not None else None,
-                "entries": engine.entry_count(),
-                "cache": engine.stats,
-                "inflight": self.server.metrics.gauge(
-                    "http_inflight"
-                ).snapshot(),
-            }
-            if self.server.worker_metrics_dir is not None:
-                result["worker"] = self.server.worker_label
-            self._send_json(200, {"ok": True, "result": result})
-            return 200
-        if self.path in ("/v1/metrics", "/metrics"):
-            self._send_json(200, {"ok": True, "result": _metrics_view(self.server)})
-            return 200
-        self._send_error_json(404, "not_found", f"unknown path {self.path}")
-        return 404
-
-    # -- POST: the query endpoint -------------------------------------
-
-    def _do_post(self) -> int:
-        if self.path not in ("/v1/query", "/query"):
-            self._send_error_json(404, "not_found", f"unknown path {self.path}")
-            return 404
-        server = self.server
-        if not server.inflight_sem.acquire(blocking=False):
-            server.metrics.counter("http_overload_rejections").inc()
-            self._send_error_json(
-                429, "overloaded",
-                f"server is at its {server.max_inflight}-request "
-                f"concurrency limit; retry after {RETRY_AFTER_S}s",
-            )
-            return 429
-        server.metrics.gauge("http_inflight").add(1)
-        try:
-            return self._answer_query()
-        finally:
-            server.metrics.gauge("http_inflight").sub(1)
-            server.inflight_sem.release()
-
-    def _answer_query(self) -> int:
-        transfer_encoding = self.headers.get("Transfer-Encoding", "")
-        if "chunked" in transfer_encoding.lower():
-            # We never read chunked bodies; draining one we can't parse
-            # would desync keep-alive, so refuse and close cleanly.
-            self._send_error_json(
-                411, "length_required",
-                "chunked transfer encoding is not supported; "
-                "send Content-Length",
-                close=True,
-            )
-            return 411
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            self._send_error_json(
-                400, "invalid_request", "malformed Content-Length header"
-            )
-            return 400
-        if length <= 0:
-            self._send_error_json(
-                400, "invalid_request", "request body is required"
-            )
-            return 400
-        if length > MAX_BODY_BYTES:
-            # The unread body would poison the next keep-alive request
-            # on this connection, so close instead of draining 4 MiB+.
-            self._send_error_json(
-                413, "payload_too_large",
-                f"request body exceeds {MAX_BODY_BYTES} bytes",
-                close=True,
-            )
-            return 413
-        body = self.rfile.read(length)
-        if len(body) < length:
-            self._send_error_json(
-                400, "invalid_request",
-                f"body truncated: got {len(body)} of {length} bytes",
-                close=True,
-            )
-            return 400
-        try:
-            request = json.loads(body)
-        except ValueError as exc:
-            self._send_error_json(400, "invalid_json", f"body is not JSON: {exc}")
-            return 400
-        try:
-            body_bytes, etag = self.server.engine.query_bytes(request)
-        except Exception as exc:  # mapped to structured errors below
-            for exc_type, status, code in _ERROR_STATUS:
-                if isinstance(exc, exc_type):
-                    self._send_error_json(status, code, str(exc))
-                    return status
-            self._send_error_json(500, "internal", f"{type(exc).__name__}: {exc}")
-            return 500
-        if self.headers.get("If-None-Match") == etag:
-            # The client already holds these exact bytes; skip the body.
-            self.server.metrics.counter("http_not_modified").inc()
-            self._send_not_modified(etag)
-            return 304
-        self._send_body(200, body_bytes, etag=etag)
-        return 200
-
-
-def _metrics_view(server: ThreadingHTTPServer) -> dict:
-    """The ``/v1/metrics`` payload, fleet-aggregated when pre-forked.
-
-    Single-process servers render their own registry.  A pre-fork
-    worker first force-exports its own snapshot, then merges every
-    sibling's last export from the shared metrics directory, so any
-    worker can answer for the whole fleet (load balancing means the
-    scrape may land anywhere).
-    """
-    engine: QueryEngine = server.engine
-    view: dict = {
-        "uptime_s": round(time.monotonic() - server.started_monotonic, 3),
-    }
-    if server.worker_metrics_dir is None:
-        stats = engine.stats
-        view["engine_cache"] = _with_hit_rate(stats)
-        view["faults"] = server.faults.trip_counts()
-        view.update(server.metrics.snapshot())
-        return view
-
-    export_worker_metrics(server, force=True)
-    snapshots = read_worker_snapshots(server.worker_metrics_dir)
-    engine_cache: dict[str, int] = {}
-    faults: dict[str, int] = {}
-    for snap in snapshots.values():
-        for key, value in snap.get("engine_cache", {}).items():
-            engine_cache[key] = engine_cache.get(key, 0) + value
-        for key, value in snap.get("faults", {}).items():
-            faults[key] = faults.get(key, 0) + value
-    view["worker"] = server.worker_label
-    view["workers"] = sorted(snapshots)
-    view["engine_cache"] = _with_hit_rate(engine_cache)
-    view["faults"] = faults
-    view.update(
-        merge_registry_snapshots(
-            [snap.get("instruments", {}) for snap in snapshots.values()]
-        )
-    )
-    return view
-
-
-def _with_hit_rate(stats: dict) -> dict:
-    lookups = stats.get("hits", 0) + stats.get("misses", 0)
-    return {
-        **stats,
-        "hit_rate": round(stats["hits"] / lookups, 4) if lookups else None,
-    }
-
-
-def _worker_snapshot(server: ThreadingHTTPServer) -> dict:
-    return {
-        "worker": server.worker_label,
-        "pid": os.getpid(),
-        "engine_cache": server.engine.stats,
-        "faults": server.faults.trip_counts(),
-        "instruments": server.metrics.snapshot(),
-    }
-
-
-def export_worker_metrics(server: ThreadingHTTPServer, force: bool = False) -> None:
-    """Write this worker's snapshot to the shared metrics directory.
-
-    Time-gated (``METRICS_EXPORT_INTERVAL_S``) so the per-request
-    epilogue stays cheap under load; the write is atomic (tmp +
-    ``os.replace``) so a sibling aggregating mid-write never reads a
-    torn JSON file.
-    """
-    now = time.monotonic()
-    if not force and now - server.last_metrics_export < METRICS_EXPORT_INTERVAL_S:
-        return
-    server.last_metrics_export = now
-    directory = Path(server.worker_metrics_dir)
-    target = directory / f"worker-{server.worker_label}.json"
-    tmp = directory / f".worker-{server.worker_label}.json.tmp"
-    try:
-        tmp.write_text(json.dumps(_worker_snapshot(server)))
-        os.replace(tmp, target)
-    except OSError:
-        pass  # metrics export must never take down a request
-
-
-def read_worker_snapshots(directory: str | os.PathLike) -> dict[str, dict]:
-    """All workers' last exported snapshots, keyed by worker label."""
-    snapshots: dict[str, dict] = {}
-    for path in sorted(Path(directory).glob("worker-*.json")):
-        try:
-            snap = json.loads(path.read_text())
-        except (OSError, ValueError):
-            continue  # sibling died mid-replace or file vanished
-        label = snap.get("worker") or path.stem.removeprefix("worker-")
-        snapshots[str(label)] = snap
-    return snapshots
+from repro.service.faults import FaultInjector, get_injector
 
 
 def make_server(
@@ -451,13 +80,20 @@ def make_server(
     sock: socket.socket | None = None,
     worker_metrics_dir: str | os.PathLike | None = None,
     worker_label: str | None = None,
-) -> ThreadingHTTPServer:
-    """A ready-to-run server; ``port=0`` binds an ephemeral port.
+    executor_threads: int = DEFAULT_EXECUTOR_THREADS,
+    drain_grace_s: float = DEFAULT_DRAIN_S,
+    max_write_buffer: int = MAX_WRITE_BUFFER_BYTES,
+    max_total_buffered: int = MAX_TOTAL_BUFFERED_BYTES,
+) -> EventLoopHTTPServer:
+    """A ready-to-run event-loop server; ``port=0`` binds ephemeral.
 
     Args:
-        request_timeout: per-connection socket timeout in seconds — a
-            stalled client gets disconnected, not a parked thread.
-        max_inflight: concurrent ``/v1/query`` bound; excess gets 429.
+        request_timeout: idle-connection timeout in seconds — a stalled
+            client gets disconnected by the loop's sweep, not a parked
+            thread.
+        max_inflight: concurrent engine-miss bound (queued + executing
+            off-loop queries); excess gets 429.  Cache hits are served
+            on-loop and never consume it.
         log_stream: stream for JSON request logs (None + verbose →
             stderr; None + quiet → no logs).
         faults: fault injector (default: the process one, usually off).
@@ -468,23 +104,27 @@ def make_server(
         worker_metrics_dir: directory for per-worker metric snapshots;
             enables fleet aggregation on ``/v1/metrics``.
         worker_label: this worker's name in exported snapshots.
+        executor_threads: size of the off-loop executor that runs
+            engine misses (cold queries, store loads).
+        drain_grace_s: how long ``shutdown()`` waits for in-flight
+            queries and unflushed responses before giving up.
+        max_write_buffer: per-connection buffered-response cap; a
+            connection past it stops being read until it drains.
+        max_total_buffered: loop-wide buffered-response cap; past it
+            query POSTs are shed with 429.
     """
-    if sock is not None:
-        server = ThreadingHTTPServer(
-            sock.getsockname()[:2], ServiceHandler, bind_and_activate=False
-        )
-        server.socket.close()  # discard the unbound one from __init__
-        server.socket = sock
-        server.server_address = sock.getsockname()
-        server.server_port = server.server_address[1]
-        server.server_activate()
-    else:
-        server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server = EventLoopHTTPServer(
+        (host, port),
+        sock=sock,
+        max_inflight=max_inflight,
+        request_timeout=request_timeout,
+        executor_threads=executor_threads,
+        drain_grace_s=drain_grace_s,
+        max_write_buffer=max_write_buffer,
+        max_total_buffered=max_total_buffered,
+    )
     server.engine = engine
     server.verbose = verbose
-    server.request_timeout = request_timeout
-    server.max_inflight = max_inflight
-    server.inflight_sem = threading.BoundedSemaphore(max_inflight)
     server.metrics = metrics if metrics is not None else MetricsRegistry()
     server.faults = faults if faults is not None else get_injector()
     server.started_monotonic = time.monotonic()
@@ -500,12 +140,14 @@ def make_server(
     return server
 
 
-def drain(server: ThreadingHTTPServer, deadline_s: float = DEFAULT_DRAIN_S) -> bool:
+def drain(server: EventLoopHTTPServer, deadline_s: float = DEFAULT_DRAIN_S) -> bool:
     """Graceful shutdown: wait for in-flight queries, then close.
 
-    The caller must already have stopped the accept loop (``serve_forever``
-    returned or ``server.shutdown()`` was called from another thread).
-    Returns True if the server drained fully inside the deadline.
+    The caller must already have stopped the accept loop
+    (``serve_forever`` returned or ``server.shutdown()`` was called
+    from another thread; the loop's shutdown path itself waits for
+    in-flight queries).  Returns True if the server drained fully
+    inside the deadline.
     """
     deadline = time.monotonic() + deadline_s
     gauge = server.metrics.gauge("http_inflight")
@@ -521,10 +163,11 @@ def drain(server: ThreadingHTTPServer, deadline_s: float = DEFAULT_DRAIN_S) -> b
 
 
 def shutdown_gracefully(
-    server: ThreadingHTTPServer, deadline_s: float = DEFAULT_DRAIN_S
+    server: EventLoopHTTPServer, deadline_s: float = DEFAULT_DRAIN_S
 ) -> bool:
     """Stop accepting, drain in-flight queries, close.  Call from a
     thread other than the one running ``serve_forever``."""
+    server.drain_grace_s = min(server.drain_grace_s, deadline_s)
     server.shutdown()
     return drain(server, deadline_s)
 
@@ -537,6 +180,7 @@ def serve(
     request_timeout: float = DEFAULT_REQUEST_TIMEOUT_S,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     faults: FaultInjector | None = None,
+    executor_threads: int = DEFAULT_EXECUTOR_THREADS,
 ) -> None:
     """Serve until interrupted (the CLI's ``serve`` subcommand)."""
     server = make_server(
@@ -547,6 +191,7 @@ def serve(
         request_timeout=request_timeout,
         max_inflight=max_inflight,
         faults=faults,
+        executor_threads=executor_threads,
     )
     bound_host, bound_port = server.server_address[:2]
     print(f"repro.service listening on http://{bound_host}:{bound_port}/v1/query")

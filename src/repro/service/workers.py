@@ -1,8 +1,9 @@
 """Pre-fork worker pool for the query service.
 
 One master process owns the listening address and a fleet of worker
-processes, each running its own :class:`ThreadingHTTPServer` over its
-own mmap-loaded store view.  Two socket-sharing strategies:
+processes, each running its own selectors-based event-loop server
+(:class:`~repro.service.eventloop.EventLoopHTTPServer`) over its own
+mmap-loaded store view.  Two socket-sharing strategies:
 
 * **SO_REUSEPORT** (Linux default): every worker binds its own socket
   to the same address and the kernel load-balances accepted
@@ -49,6 +50,7 @@ import time
 
 from repro.service.http import (
     DEFAULT_DRAIN_S,
+    DEFAULT_EXECUTOR_THREADS,
     DEFAULT_MAX_INFLIGHT,
     DEFAULT_REQUEST_TIMEOUT_S,
     METRICS_EXPORT_INTERVAL_S,
@@ -120,6 +122,7 @@ class PreforkServer:
         drain_s: float = DEFAULT_DRAIN_S,
         verbose: bool = False,
         metrics_dir: str | os.PathLike | None = None,
+        executor_threads: int = DEFAULT_EXECUTOR_THREADS,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -129,6 +132,7 @@ class PreforkServer:
         self.max_inflight = max_inflight
         self.drain_s = drain_s
         self.verbose = verbose
+        self.executor_threads = executor_threads
         self.reuse_port = _reuseport_supported()
         if metrics_dir is None:
             self._metrics_tmp = tempfile.TemporaryDirectory(
@@ -171,6 +175,8 @@ class PreforkServer:
             sock=sock,
             worker_metrics_dir=self.metrics_dir,
             worker_label=f"w{slot}",
+            drain_grace_s=self.drain_s,
+            executor_threads=self.executor_threads,
         )
 
         def _flush_metrics():
