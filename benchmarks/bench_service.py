@@ -38,6 +38,12 @@ actually interactive.  This bench builds a reduced-scale store once
   capacity against a small in-flight budget: every answer must be a
   200 or a structured 429 (with ``Retry-After``), never a hang or a
   malformed response.
+* **fleet** — the routing-tier tax and payoff: closed-loop p50/p99 and
+  saturation q/s for one direct event-loop worker vs the
+  consistent-hash router fronting 1-node and 3-node shard fleets
+  (R=2, ``repro.fleet``).  Topologies wider than the host are flagged
+  ``oversubscribed`` and recorded without assertions, mirroring the
+  HTTP-workers policy.
 
 p50/p95 latencies land in ``BENCH_service.json`` at the repo root.
 Runs as pytest (``pytest benchmarks/bench_service.py -q -s``) or
@@ -72,6 +78,7 @@ from repro.core.allocator import (
     rank_priced,
 )
 from repro.errors import BudgetError
+from repro.fleet.local import FleetSupervisor
 from repro.service.engine import QueryEngine
 from repro.service.http import make_server, shutdown_gracefully
 from repro.service.workers import PreforkServer
@@ -105,6 +112,13 @@ OVERLOAD_MAX_INFLIGHT = 16
 # phase needs more connections than the in-flight budget or the 429
 # path can never trigger.
 OVERLOAD_CONNECTIONS = 64
+
+FLEET_TOPOLOGIES = (1, 3)
+FLEET_REPLICAS = 2
+FLEET_CLOSED_TOTAL = 3000
+# Router + 3 shards + the load generator each want a core; below this
+# the 3-node numbers measure scheduler churn, not fleet scaling.
+FLEET_MIN_CORES = 4
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
@@ -542,6 +556,90 @@ def bench_overload_shedding(root: Path) -> dict:
     }
 
 
+def _fleet_load_point(base: str, payloads: list[bytes]) -> dict:
+    """Warm, closed-loop measure, then probe saturation on one target."""
+    loadgen.run_load(base, payloads, rate=None, total=len(payloads) * 2,
+                     connections=2)
+    closed = loadgen.run_load(
+        base, payloads, rate=None, total=FLEET_CLOSED_TOTAL
+    )
+    probe = loadgen.run_load(
+        base, payloads, rate=SATURATION_PROBE_RATE, duration_s=1.0
+    )
+    ok = probe["statuses"].get("200", 0) + probe["statuses"].get("304", 0)
+    return {
+        "closed_loop_qps": closed["achieved_qps"],
+        "closed_loop_latency_ms": closed["latency_ms"],
+        "saturation_qps": probe["achieved_qps"],
+        "saturation_ok_qps": round(
+            probe["achieved_qps"] * ok / max(probe["completed"], 1), 1
+        ),
+        "statuses": probe["statuses"],
+        "dropped_conns": closed["dropped_conns"] + probe["dropped_conns"],
+    }
+
+
+def bench_fleet(root: Path) -> dict:
+    """Router overhead vs direct engine calls, 1-node vs 3-node.
+
+    ``direct`` is one event-loop worker answering for itself — the
+    PR-6 serving shape.  ``fleet_N`` puts the consistent-hash router
+    in front of N forked pre-fork shards (R=2) and drives the *router*
+    with the identical hot mix, so the deltas are pure routing-tier
+    cost: one extra loopback hop plus proxy bookkeeping per miss.
+    Like the worker bench, topologies wider than the host are recorded
+    but flagged ``oversubscribed`` and never asserted against.
+    """
+    engine = QueryEngine(CurveStore(root))
+    priced = engine.priced_space(OS_NAME)
+    payloads = _point_payloads(priced, 16, seed=53)
+
+    cpu_count = os.cpu_count() or 1
+    out: dict = {
+        "cpu_count": cpu_count,
+        "replicas": FLEET_REPLICAS,
+        "topologies": list(FLEET_TOPOLOGIES),
+        "oversubscribed": cpu_count < FLEET_MIN_CORES,
+    }
+
+    server, thread, base = _start_loop_server(engine)
+    try:
+        out["direct"] = _fleet_load_point(base, payloads)
+    finally:
+        _stop_loop_server(server, thread)
+
+    for nodes in FLEET_TOPOLOGIES:
+        fleet = FleetSupervisor(root, nodes=nodes, replicas=FLEET_REPLICAS)
+        fleet.start()
+        try:
+            out[f"fleet_{nodes}"] = _fleet_load_point(
+                fleet.base_url, payloads
+            )
+        finally:
+            fleet.stop()
+
+    direct_lat = out["direct"]["closed_loop_latency_ms"]
+    router_lat = out["fleet_1"]["closed_loop_latency_ms"]
+    out["router_overhead_p50_ms"] = round(
+        router_lat["p50"] - direct_lat["p50"], 3
+    )
+    out["router_overhead_p99_ms"] = round(
+        router_lat["p99"] - direct_lat["p99"], 3
+    )
+    out["scaling_3v1"] = round(
+        out["fleet_3"]["saturation_ok_qps"]
+        / max(out["fleet_1"]["saturation_ok_qps"], 1.0),
+        2,
+    )
+    if out["oversubscribed"]:
+        out["note"] = (
+            f"host has {cpu_count} CPU(s); router, shards and the load "
+            "generator time-share cores, so latency deltas and the 3v1 "
+            "scaling ratio measure scheduler churn and are not asserted"
+        )
+    return out
+
+
 def run_bench(root: Path | None = None) -> dict:
     if root is None:
         root = Path(tempfile.mkdtemp(prefix="repro-store-bench-")) / "store"
@@ -553,6 +651,7 @@ def run_bench(root: Path | None = None) -> dict:
     http_workers = bench_http_workers(root)
     event_loop = bench_event_loop(root)
     overload = bench_overload_shedding(root)
+    fleet = bench_fleet(root)
 
     # The service must agree with the brute-force path bit-for-bit.
     curves = store.load(store.find_current(OS_NAME))
@@ -576,6 +675,7 @@ def run_bench(root: Path | None = None) -> dict:
         "event_loop": event_loop,
         "latency_vs_offered_load": event_loop["latency_vs_offered_load"],
         "overload_shedding": overload,
+        "fleet": fleet,
         "identical_to_bruteforce": identical,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
@@ -596,6 +696,7 @@ def test_service_latency(show):
                 "http_workers",
                 "event_loop",
                 "overload_shedding",
+                "fleet",
             )},
             indent=2,
         ),
@@ -640,6 +741,16 @@ def test_service_latency(show):
     assert shed["shed_engaged"]
     assert shed["all_429_carry_retry_after"]
     assert shed["dropped_conns"] == 0
+
+    fleet = payload["fleet"]
+    for key in ("direct", "fleet_1", "fleet_3"):
+        assert fleet[key]["dropped_conns"] == 0
+        assert {int(s) for s in fleet[key]["statuses"]} <= {200, 304, 429}
+    if not fleet["oversubscribed"]:
+        # Scaling and overhead are hardware claims — only asserted when
+        # router, shards and the generator get their own cores.
+        assert fleet["scaling_3v1"] >= 1.0
+        assert fleet["router_overhead_p50_ms"] < 50.0
 
 
 if __name__ == "__main__":

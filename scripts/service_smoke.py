@@ -26,7 +26,14 @@ Exercises the whole subsystem the way a user would:
    at a single event-loop worker: every response must be a 200, 304
    or structured 429, no connection may be torn down, and open-loop
    p99 (measured from scheduled fire time) must stay under a generous
-   ceiling — the \"no hangs, no garbage under load\" gate.
+   ceiling — the \"no hangs, no garbage under load\" gate;
+8. launches a 3-shard / R=2 **fleet** (``repro.fleet``: consistent-hash
+   router + pre-fork shards) with latency/drop faults armed inside the
+   shard workers, SIGKILLs one whole shard mid-stream, and requires
+   the retrying client to see zero failed and zero wrong answers —
+   every response bit-identical to the direct ``Allocator.rank`` rows
+   — plus per-node labels in the router's merged metrics and no
+   unstructured 5xx from the router.
 
 Usage::
 
@@ -54,6 +61,7 @@ sys.path.insert(
 import loadgen  # noqa: E402
 
 from repro.core.allocator import DEFAULT_BUDGET_RBES, Allocator
+from repro.fleet.local import FleetSupervisor
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.engine import QueryEngine
 from repro.service.faults import parse_faults, set_injector
@@ -68,6 +76,16 @@ DEFAULT_FAULT_SPEC = (
     "latency_ms=10,latency_prob=0.3,"
     "drop_conn=0.25,drop_conn_limit=6,seed=13"
 )
+
+# The fleet phase is a *zero failed answers* gate, so its fault spec
+# deliberately omits corrupt_store (which legitimately degrades to a
+# typed 503 once retries exhaust): latency and dropped connections are
+# the failures failover must fully absorb.
+FLEET_FAULT_SPEC = (
+    "latency_ms=5,latency_prob=0.3,drop_conn=0.2,drop_conn_limit=8,seed=11"
+)
+FLEET_QUERIES = 60
+FLEET_KILL_AT = 20
 
 # Open-loop gate: modest fixed rate, generous tail ceiling — this is a
 # correctness-under-load check for CI's shared runners, not a capacity
@@ -297,6 +315,74 @@ def openloop_phase(store_path: str, os_name: str) -> None:
     )
 
 
+def fleet_phase(store_path: str, os_name: str,
+                want_rows: list[tuple]) -> None:
+    """3-shard / R=2 fleet chaos gate: kill a shard mid-stream, demand
+    zero failed and zero wrong answers through the retrying client."""
+    fleet = FleetSupervisor(
+        store_path, nodes=3, replicas=2,
+        faults=FLEET_FAULT_SPEC, probe_interval_s=0.2,
+    )
+    fleet.start()
+    killed = None
+    try:
+        client = ServiceClient(fleet.base_url, retries=8, backoff_s=0.05)
+        request = {"type": "point", "os": os_name,
+                   "budget": DEFAULT_BUDGET_RBES, "limit": 10}
+        for i in range(FLEET_QUERIES):
+            if i == FLEET_KILL_AT:
+                killed = "n1"
+                fleet.kill_shard(killed)  # SIGKILL: master + workers
+            result = client.query(dict(request))  # a failure here fails CI
+            got = [(a["area_rbe"], a["cpi"], a["tlb"])
+                   for a in result["allocations"]]
+            if got != want_rows:
+                raise SystemExit(
+                    f"fleet query {i} returned a wrong answer "
+                    f"{'after' if killed else 'before'} the kill: "
+                    f"{got[:2]} != {want_rows[:2]}"
+                )
+
+        with urllib.request.urlopen(
+            fleet.base_url + "/v1/metrics", timeout=30
+        ) as response:
+            view = json.loads(response.read())["result"]
+        if set(view["nodes"]) != {"n0", "n1", "n2"}:
+            raise SystemExit(
+                f"fleet metrics missing node labels: {sorted(view['nodes'])}"
+            )
+        if view["nodes"][killed]["status"] != "down":
+            raise SystemExit(
+                f"killed shard {killed} not reported down: "
+                f"{view['nodes'][killed]}"
+            )
+        router_responses = (
+            view["router"]["counters"]["http_responses"]["by_label"]
+        )
+        fives = [k for k in router_responses
+                 if k.startswith("5") and k != "503"]
+        if fives:
+            raise SystemExit(
+                f"router produced unstructured 5xx: "
+                f"{ {k: router_responses[k] for k in fives} }"
+            )
+        proxy = view["router"]["proxy"]
+        if proxy["failovers"] == 0:
+            raise SystemExit(
+                "shard kill never exercised failover — gate inert? "
+                f"proxy={proxy}"
+            )
+        print(
+            f"    fleet: {FLEET_QUERIES} queries, {killed} SIGKILLed at "
+            f"#{FLEET_KILL_AT}, zero failed, zero wrong, "
+            f"failovers={proxy['failovers']}, "
+            f"router responses={router_responses}",
+            flush=True,
+        )
+    finally:
+        fleet.stop()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--store", default=".repro-store-smoke")
@@ -310,14 +396,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     store_args = ["--store", args.store]
 
-    print(f"[1/7] building store at {args.store} ...", flush=True)
+    print(f"[1/8] building store at {args.store} ...", flush=True)
     build_args = ["build", "--os", args.os_name, *store_args]
     if args.jobs is not None:
         build_args += ["--jobs", str(args.jobs)]
     built = run_cli(*build_args)
     assert built["ok"] and built["built"], f"build failed: {built}"
 
-    print("[2/7] CLI query batch ...", flush=True)
+    print("[2/8] CLI query batch ...", flush=True)
     point = run_cli(
         "query", *store_args, "--request",
         json.dumps({"type": "point", "os": args.os_name,
@@ -343,7 +429,7 @@ def main(argv: list[str] | None = None) -> int:
     info = run_cli("info", *store_args)
     assert info["exists"] and len(info["entries"]) == 1, info
 
-    print("[3/7] HTTP round-trip ...", flush=True)
+    print("[3/8] HTTP round-trip ...", flush=True)
     server = make_server(QueryEngine(CurveStore(args.store)), port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -365,7 +451,7 @@ def main(argv: list[str] | None = None) -> int:
     if http_payload["result"] != point["result"]:
         raise SystemExit("HTTP and CLI answers differ for the same query")
 
-    print("[4/7] differential check vs direct Allocator path ...", flush=True)
+    print("[4/8] differential check vs direct Allocator path ...", flush=True)
     store = CurveStore(args.store)
     curves = store.load(store.find_current(args.os_name))
     direct = Allocator(curves, budget_rbes=DEFAULT_BUDGET_RBES).rank(limit=10)
@@ -379,21 +465,25 @@ def main(argv: list[str] | None = None) -> int:
         if got["tlb"] != want.config.tlb.label():
             raise SystemExit(f"rank {rank} config differs: {got} vs {want}")
 
+    want_rows = [(a["area_rbe"], a["cpi"], a["tlb"]) for a in served]
     if args.faults != "none":
-        print(f"[5/7] chaos phase with faults: {args.faults} ...", flush=True)
-        want_rows = [(a["area_rbe"], a["cpi"], a["tlb"]) for a in served]
+        print(f"[5/8] chaos phase with faults: {args.faults} ...", flush=True)
         chaos_phase(args.store, args.os_name, args.faults, want_rows)
     else:
-        print("[5/7] chaos phase skipped (--faults none)", flush=True)
+        print("[5/8] chaos phase skipped (--faults none)", flush=True)
 
-    print(f"[6/7] 2-worker pre-fork fleet (faults: {args.faults}) ...",
+    print(f"[6/8] 2-worker pre-fork fleet (faults: {args.faults}) ...",
           flush=True)
     prefork_phase(args.store, args.os_name, args.faults)
 
-    print("[7/7] open-loop burst ...", flush=True)
+    print("[7/8] open-loop burst ...", flush=True)
     openloop_phase(args.store, args.os_name)
-    print("service smoke OK: CLI, HTTP, direct, chaos, pre-fork and "
-          "open-loop paths agree")
+
+    print(f"[8/8] fleet chaos gate (3 shards, R=2, faults: "
+          f"{FLEET_FAULT_SPEC}) ...", flush=True)
+    fleet_phase(args.store, args.os_name, want_rows)
+    print("service smoke OK: CLI, HTTP, direct, chaos, pre-fork, "
+          "open-loop and fleet paths agree")
     return 0
 
 

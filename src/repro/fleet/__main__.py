@@ -1,0 +1,116 @@
+"""Command-line front end: ``python -m repro.fleet``.
+
+Launches a local serving fleet — one stateless router plus N pre-fork
+shards over the same store — on one host::
+
+    python -m repro.fleet --store .repro-store --port 8040 \\
+        --nodes 3 --replicas 2 [--workers-per-shard 2] \\
+        [--faults SPEC] [--quiet]
+
+The router speaks the exact HTTP surface of ``python -m repro.service
+serve`` (JSON, batch, and binary-batch ``POST /v1/query``;
+``/v1/health``; ``/v1/metrics``), so any existing client points at the
+router unchanged.  Node and replica counts also honour the
+``REPRO_FLEET_NODES`` / ``REPRO_FLEET_REPLICAS`` environment knobs
+(flags win).
+
+Failure semantics: a query is retried on the next replica of its shard
+key after a connect error, 429, or any 5xx; only when *every* replica
+fails does the client see a 503 (code ``no_shard_available``) carrying
+``Retry-After``.  ``--faults`` injects faults inside shard workers —
+the router itself stays fault-free.
+
+Exit codes match ``repro.service``: 2 bad request/config, 3 store
+problem, 1 other failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ConfigError, ReproError, StoreError
+from repro.fleet.local import FleetSupervisor, resolve_nodes, resolve_replicas
+
+
+def _emit_error(code: str, message: str, exit_code: int) -> int:
+    json.dump({"ok": False, "error": {"code": code, "message": message}},
+              sys.stderr)
+    sys.stderr.write("\n")
+    return exit_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="serve a sharded, replicated allocation-query fleet",
+    )
+    parser.add_argument(
+        "--store", required=True,
+        help="path to a built curve store (shared by every shard)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address for router and shards",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8040,
+        help="router port (default 8040; shards bind ephemeral ports)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None,
+        help="shard count (default: REPRO_FLEET_NODES or 3)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=None,
+        help="replication factor (default: REPRO_FLEET_REPLICAS or 2)",
+    )
+    parser.add_argument(
+        "--workers-per-shard", type=int, default=1,
+        help="pre-fork workers inside each shard (default 1)",
+    )
+    parser.add_argument(
+        "--faults", default=None,
+        help="fault-injection spec applied inside shard workers "
+             "(see repro.service.faults)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress JSON request logs",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        nodes = resolve_nodes(args.nodes)
+        replicas = resolve_replicas(args.replicas)
+    except ValueError as exc:
+        return _emit_error("invalid_config", str(exc), 2)
+    fleet = FleetSupervisor(
+        args.store,
+        nodes=nodes,
+        replicas=replicas,
+        host=args.host,
+        router_port=args.port,
+        workers_per_shard=args.workers_per_shard,
+        faults=args.faults,
+        verbose=not args.quiet,
+    )
+    try:
+        fleet.serve_until_interrupted()
+    except ConfigError as exc:
+        return _emit_error("invalid_config", str(exc), 2)
+    except StoreError as exc:
+        return _emit_error("store_error", str(exc), 3)
+    except ReproError as exc:
+        return _emit_error("error", str(exc), 1)
+    except ValueError as exc:
+        return _emit_error("invalid_config", str(exc), 2)
+    except OSError as exc:
+        return _emit_error("os_error", str(exc), 1)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

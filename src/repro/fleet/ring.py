@@ -1,0 +1,130 @@
+"""Consistent-hash ring with virtual nodes for shard placement.
+
+Each node contributes :data:`DEFAULT_VNODES` points on a 64-bit ring
+(the first 8 bytes of ``SHA-256("node#i")``); a key hashes to the same
+space and is owned by the first node point at or clockwise of it.  Two
+properties make this the right structure for a serving fleet:
+
+* **balance** — with 128 virtual nodes per server the per-node share
+  of key space concentrates tightly around 1/N (the property tests
+  bound max/mean load);
+* **minimal remap** — adding or removing one node moves only the keys
+  in the arcs that node's points cover, ~1/N of the space; every other
+  key keeps its owner, so a membership change invalidates ~1/N of the
+  fleet's warm caches instead of all of them.
+
+Keys are the service's *priced-space* identity — the ``(OS mix,
+config-space restriction)`` pair from a normalized request (see
+:func:`shard_key`) — because that is the unit of expensive server
+state (loaded curves, priced space, budget index, byte cache).  Every
+budget against one priced space lands on the same replica set, so the
+sweep that prices a space once keeps hitting the node that priced it.
+
+The ring is immutable: :meth:`Ring.add_node` / :meth:`Ring.remove_node`
+return new rings, so a reader never observes a half-updated point
+array (membership swaps are one attribute store).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+DEFAULT_VNODES = 128
+
+
+def hash_key(key: str) -> int:
+    """A key's 64-bit position on the ring (SHA-256 prefix)."""
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+
+
+def shard_key(normalized: dict) -> str:
+    """The ring key for one *normalized* request (see
+    :func:`repro.service.requests.validate_request`).
+
+    Budgets are deliberately excluded: every budget against one
+    ``(OS mix, restriction)`` shares the node that holds its priced
+    space.  Batch requests key on the full OS-name list so a sweep
+    stays on one replica set.
+    """
+    if normalized.get("type") == "batch":
+        os_part = ",".join(normalized["os_names"])
+    else:
+        os_part = normalized["os"]
+    return (
+        f"{os_part}|assoc={normalized.get('max_cache_assoc')}"
+        f"|t={normalized.get('max_access_time_ns')}"
+    )
+
+
+class Ring:
+    """An immutable consistent-hash ring over a set of node labels.
+
+    Args:
+        nodes: node labels (deduplicated; order is irrelevant).
+        vnodes: virtual node points per node (128 balances well; the
+            property tests pin the max/mean bound at this default).
+    """
+
+    __slots__ = ("nodes", "vnodes", "_points", "_owners")
+
+    def __init__(self, nodes, vnodes: int = DEFAULT_VNODES):
+        unique = tuple(sorted(set(map(str, nodes))))
+        if not unique:
+            raise ValueError("a ring needs at least one node")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.nodes = unique
+        self.vnodes = vnodes
+        points = []
+        for node in unique:
+            for i in range(vnodes):
+                points.append((hash_key(f"{node}#{i}"), node))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [node for _, node in points]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (its first clockwise ring point)."""
+        index = bisect.bisect_right(self._points, hash_key(key))
+        return self._owners[index % len(self._owners)]
+
+    def preference(self, key: str, n: int) -> list[str]:
+        """The first ``min(n, len(nodes))`` *distinct* nodes clockwise
+        of ``key`` — the replica set, owner first.
+
+        Walking successor points (rather than hashing the key N times)
+        keeps the minimal-remap property for replicas too: a membership
+        change only perturbs preference lists whose arcs it touches.
+        """
+        want = min(n, len(self.nodes))
+        start = bisect.bisect_right(self._points, hash_key(key))
+        owners = self._owners
+        total = len(owners)
+        picked: list[str] = []
+        seen = set()
+        for step in range(total):
+            node = owners[(start + step) % total]
+            if node not in seen:
+                seen.add(node)
+                picked.append(node)
+                if len(picked) == want:
+                    break
+        return picked
+
+    def add_node(self, node: str) -> "Ring":
+        """A new ring with ``node`` added (self is unchanged)."""
+        return Ring(self.nodes + (str(node),), vnodes=self.vnodes)
+
+    def remove_node(self, node: str) -> "Ring":
+        """A new ring without ``node`` (self is unchanged)."""
+        remaining = [n for n in self.nodes if n != node]
+        if len(remaining) == len(self.nodes):
+            raise ValueError(f"node {node!r} is not on the ring")
+        return Ring(remaining, vnodes=self.vnodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"Ring(nodes={list(self.nodes)}, vnodes={self.vnodes})"

@@ -1,0 +1,487 @@
+"""Stateless consistent-hash router for the serving fleet.
+
+The router is an :class:`~repro.service.eventloop.EventLoopHTTPServer`
+whose "engine" (:class:`RouterEngine`) forwards instead of computing:
+``POST /v1/query`` (JSON, batch, and binary-batch) is validated
+on-loop, hashed to its priced-space shard key, and proxied to the
+key's replica set in preference order — alive nodes first, but every
+replica is attempted before giving up, so a stale health view can
+slow an answer, never lose one.  Failover triggers on connect errors,
+torn upstream connections, 429, and any 5xx; 400/422 answers are the
+request's own fault and re-raise as the same typed error (the client
+sees exactly the status a single server would have sent).
+
+Reusing the event-loop machinery buys the router every data-plane
+property of a worker for free: bounded buffers with 431/413 rejection,
+429 + ``Retry-After`` shedding when its upstream executor budget is
+exhausted, pipelining, idle reaping, graceful drain, and the ETag
+contract — upstream validators pass through untouched, so a client's
+``If-None-Match`` revalidates *at the router* (shards compute the same
+strong ETag over the same bytes, which is also why failover cannot
+change an answer: every shard opens the same immutable
+content-addressed store).
+
+What the router deliberately does **not** do is cache: the raw-body
+memo is disabled, every query consults a shard.  Statelessness is the
+property that makes N routers interchangeable.
+
+``GET /v1/metrics`` on the router is the fleet view: it scrapes every
+shard (off-loop), merges counters and histogram buckets *exactly*
+(:func:`~repro.obs.merge_registry_snapshots` — sums, not averages of
+percentiles), sums the engine-cache and fault counters, and labels
+each node's contribution, alongside the router's own proxy counters.
+``GET /v1/health`` reports topology, ring membership, per-node health
+state, and replica factor without touching the network.
+
+When every replica of a shard is down the router answers a structured
+``503`` carrying ``Retry-After`` (:class:`NoShardAvailableError`), the
+signal the retrying :class:`ServiceClient` already backs off on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import socket
+import threading
+import time
+
+from repro.errors import BudgetError, RequestError, StoreError
+from repro.obs import merge_registry_snapshots
+from repro.service import binproto
+from repro.service.eventloop import EventLoopHTTPServer
+from repro.service.http import make_server
+from repro.service.requests import validate_request
+from repro.fleet.health import HealthChecker
+from repro.fleet.ring import Ring, shard_key
+
+DEFAULT_REPLICAS = 2
+DEFAULT_UPSTREAM_TIMEOUT_S = 10.0
+SCRAPE_TIMEOUT_S = 5.0
+
+# Upstream statuses that mean "this replica can't answer right now but
+# another might": overload shedding and store trouble.  Any other 5xx
+# is treated the same way — failover is the router's whole job.
+_FAILOVER_STATUS = (429, 503)
+
+
+class NoShardAvailableError(StoreError):
+    """Every replica of a shard failed; maps to 503 + ``Retry-After``."""
+
+
+class RouterEngine:
+    """An engine-shaped proxy: same probe/query surface as
+    :class:`~repro.service.engine.QueryEngine`, but every miss is an
+    upstream HTTP call instead of a ranking.
+
+    Args:
+        topology: node label -> ``(host, port)`` of each shard.
+        replicas: R — how many distinct nodes hold each shard key
+            (clamped to the node count).
+        ring: the consistent-hash ring (default: one over the
+            topology's labels at 128 vnodes).
+        health: optional :class:`HealthChecker`; used to order replica
+            attempts, never to skip them.
+        timeout_s: per-upstream-request timeout.
+
+    Thread-safe: upstream keep-alive connections are pooled
+    per-executor-thread (``threading.local``), counters sit behind one
+    lock.
+    """
+
+    def __init__(
+        self,
+        topology: dict[str, tuple[str, int]],
+        replicas: int = DEFAULT_REPLICAS,
+        ring: Ring | None = None,
+        health: HealthChecker | None = None,
+        timeout_s: float = DEFAULT_UPSTREAM_TIMEOUT_S,
+    ):
+        if not topology:
+            raise ValueError("router needs at least one shard node")
+        self.topology = {label: tuple(addr) for label, addr in topology.items()}
+        self.ring = ring if ring is not None else Ring(self.topology)
+        self.replicas = max(1, min(int(replicas), len(self.topology)))
+        self.health = health
+        self.timeout_s = timeout_s
+        self.store = None  # the router holds no store; shards do
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._counters = {
+            "proxied": 0,
+            "failovers": 0,
+            "upstream_errors": 0,
+            "exhausted": 0,
+        }
+
+    # -- engine surface the event loop reads ---------------------------
+
+    @property
+    def stats(self) -> dict:
+        """Proxy counters (the router's analogue of cache stats)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def entry_count(self) -> int:
+        return 0
+
+    def count_byte_hit(self) -> None:
+        pass  # the router's raw memo is disabled; nothing to tally
+
+    def try_cached_bytes(self, request) -> None:
+        """Always a miss — but validate on-loop first so malformed
+        requests 400 at the edge without an upstream round-trip."""
+        validate_request(request)
+        return None
+
+    def try_cached_binary(self, payload: bytes) -> None:
+        return None  # frame decode happens off-loop in query_binary
+
+    def query_bytes(self, request) -> tuple[bytes, str]:
+        """Proxy one JSON query to its shard's replica set."""
+        normalized = validate_request(request)
+        body = json.dumps(request).encode()
+        return self._forward(shard_key(normalized), body, "application/json")
+
+    def query_binary(self, payload: bytes) -> tuple[bytes, str]:
+        """Proxy one binary batch frame payload, re-framed upstream."""
+        request = binproto.decode_batch_request(payload)
+        normalized = validate_request(request)
+        body = binproto.frame(binproto.REQUEST_MAGIC, payload)
+        return self._forward(
+            shard_key(normalized), body, binproto.CONTENT_TYPE
+        )
+
+    # -- upstream transport --------------------------------------------
+
+    def candidates(self, key: str) -> list[str]:
+        """The key's replica set, alive nodes first.
+
+        Marked-down nodes are *appended*, not dropped: health ordering
+        is latency advice, and a key's answer must survive a health
+        view that is stale in either direction.
+        """
+        preference = self.ring.preference(key, self.replicas)
+        if self.health is None:
+            return preference
+        alive = self.health.alive()
+        up = [label for label in preference if label in alive]
+        down = [label for label in preference if label not in alive]
+        return up + down
+
+    def _pool(self) -> dict:
+        pool = getattr(self._local, "conns", None)
+        if pool is None:
+            pool = self._local.conns = {}
+        return pool
+
+    def _connect(self, label: str, timeout: float) -> http.client.HTTPConnection:
+        host, port = self.topology[label]
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        conn.connect()
+        try:
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        return conn
+
+    def _send(
+        self,
+        label: str,
+        method: str,
+        path: str,
+        body: bytes | None,
+        content_type: str | None,
+        timeout: float | None = None,
+    ) -> tuple[int, bytes, str | None]:
+        """One request to one node over its pooled connection.
+
+        A pooled socket the shard idled out is replayed once on a
+        fresh connection (queries are pure reads, so the replay is
+        safe); a failure on a fresh connection propagates — that node
+        is genuinely unreachable right now.
+        """
+        timeout = self.timeout_s if timeout is None else timeout
+        pool = self._pool()
+        headers = {"Content-Type": content_type} if content_type else {}
+        for attempt in range(2):
+            conn = pool.pop(label, None)
+            fresh = conn is None
+            if fresh:
+                conn = self._connect(label, timeout)
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                status = response.status
+                etag = response.headers.get("ETag")
+                if response.will_close:
+                    conn.close()
+                else:
+                    pool[label] = conn
+                return status, raw, etag
+            except (OSError, http.client.HTTPException):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                if fresh or attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _forward(
+        self, key: str, body: bytes, content_type: str
+    ) -> tuple[bytes, str]:
+        """Send one query to the key's replicas until one answers."""
+        labels = self.candidates(key)
+        failures: list[str] = []
+        for position, label in enumerate(labels):
+            try:
+                status, raw, etag = self._send(
+                    label, "POST", "/v1/query", body, content_type
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                with self._lock:
+                    self._counters["upstream_errors"] += 1
+                failures.append(f"{label}: {type(exc).__name__}: {exc}")
+                continue
+            if status == 200:
+                with self._lock:
+                    self._counters["proxied"] += 1
+                    if position:
+                        self._counters["failovers"] += 1
+                if etag is None:  # defensive: recompute the shard formula
+                    etag = '"' + hashlib.sha256(raw).hexdigest()[:20] + '"'
+                return raw, etag
+            if status not in _FAILOVER_STATUS and status < 500:
+                # The request itself is wrong; every replica would say
+                # the same.  Re-raise as the matching typed error so
+                # the loop's mapper regenerates the shard's status.
+                message = _upstream_message(raw, status)
+                with self._lock:
+                    self._counters["proxied"] += 1
+                if status == 422:
+                    raise BudgetError(message)
+                raise RequestError(message)
+            with self._lock:
+                self._counters["upstream_errors"] += 1
+            failures.append(f"{label}: HTTP {status}")
+        with self._lock:
+            self._counters["exhausted"] += 1
+        raise NoShardAvailableError(
+            f"all {len(labels)} replica(s) of shard key {key!r} failed: "
+            + "; ".join(failures)
+        )
+
+    # -- fleet metrics --------------------------------------------------
+
+    def fleet_metrics(self) -> dict:
+        """Scrape every shard and merge the fleet view exactly.
+
+        Counters and histogram buckets sum across nodes (percentiles
+        are re-read from the merged buckets by
+        :func:`merge_registry_snapshots`, never averaged); engine-cache
+        and fault trip counts sum; each node's own contribution stays
+        visible under its label, with unreachable nodes reported as
+        ``down`` rather than silently omitted.
+        """
+        nodes: dict[str, dict] = {}
+        views: list[dict] = []
+        engine_cache: dict[str, int] = {}
+        faults: dict[str, int] = {}
+        for label in sorted(self.topology):
+            try:
+                status, raw, _ = self._send(
+                    label, "GET", "/v1/metrics", None, None,
+                    timeout=SCRAPE_TIMEOUT_S,
+                )
+                if status != 200:
+                    raise OSError(f"HTTP {status}")
+                view = json.loads(raw).get("result", {})
+            except (OSError, ValueError, http.client.HTTPException) as exc:
+                nodes[label] = {
+                    "status": "down",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+                continue
+            views.append(view)
+            for key, value in view.get("engine_cache", {}).items():
+                if isinstance(value, (int, float)) and key != "hit_rate":
+                    engine_cache[key] = engine_cache.get(key, 0) + value
+            for key, value in view.get("faults", {}).items():
+                faults[key] = faults.get(key, 0) + value
+            nodes[label] = {
+                "status": "up",
+                "uptime_s": view.get("uptime_s"),
+                "workers": view.get("workers"),
+                "engine_cache": view.get("engine_cache"),
+                "responses": view.get("counters", {})
+                .get("http_responses", {})
+                .get("by_label"),
+            }
+        merged = merge_registry_snapshots(
+            [
+                {
+                    kind: view[kind]
+                    for kind in ("counters", "histograms", "gauges")
+                    if kind in view
+                }
+                for view in views
+            ]
+        )
+        result: dict = {
+            "role": "router",
+            "nodes": nodes,
+            "nodes_up": sorted(
+                label for label, info in nodes.items()
+                if info["status"] == "up"
+            ),
+            "engine_cache": engine_cache,
+            "faults": faults,
+        }
+        result.update(merged)
+        return result
+
+    def close(self) -> None:
+        """Drop this thread's pooled upstream connections."""
+        pool = getattr(self._local, "conns", None)
+        if pool:
+            for conn in pool.values():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            pool.clear()
+
+
+def _upstream_message(raw: bytes, status: int) -> str:
+    try:
+        payload = json.loads(raw)
+        return payload["error"]["message"]
+    except (ValueError, KeyError, TypeError):
+        return f"upstream shard answered HTTP {status}"
+
+
+class RouterHTTPServer(EventLoopHTTPServer):
+    """The event-loop server specialized for routing.
+
+    Differences from a worker: 503s carry ``Retry-After`` (a fleet
+    with a dead shard set *is* a retry-later condition), the raw-body
+    memo is disabled (stateless: every query consults a shard), and
+    the GET endpoints answer for the fleet — health from local state,
+    metrics via an off-loop cross-node scrape.
+    """
+
+    retry_after_statuses = (429, 503)
+
+    def _memoize_raw(self, body: bytes, entry: tuple[bytes, str]) -> None:
+        pass  # stateless by construction
+
+    def _respond_mapped_error(self, conn, req, exc) -> None:
+        if isinstance(exc, NoShardAvailableError):
+            self._respond_error(conn, req, 503, "no_shard_available", str(exc))
+            return
+        super()._respond_mapped_error(conn, req, exc)
+
+    def _router_health_view(self) -> dict:
+        engine: RouterEngine = self.engine
+        states = (
+            engine.health.snapshot() if engine.health is not None else {}
+        )
+        nodes = {}
+        for label, (host, port) in sorted(engine.topology.items()):
+            nodes[label] = {"address": f"{host}:{port}"}
+            nodes[label].update(states.get(label, {"alive": None}))
+        return {
+            "status": "serving",
+            "role": "router",
+            "replicas": engine.replicas,
+            "ring": {
+                "nodes": list(engine.ring.nodes),
+                "vnodes": engine.ring.vnodes,
+            },
+            "nodes": nodes,
+            "proxy": engine.stats,
+            "inflight": self.metrics.gauge("http_inflight").snapshot(),
+        }
+
+    def _fleet_metrics_view(self) -> dict:
+        view = self.engine.fleet_metrics()
+        view["uptime_s"] = round(
+            time.monotonic() - self.started_monotonic, 3
+        )
+        view["router"] = {
+            "proxy": self.engine.stats,
+            **self.metrics.snapshot(),
+        }
+        return view
+
+    def _do_get(self, conn, req) -> None:
+        if req.path in ("/v1/health", "/health"):
+            self._respond_json(
+                conn, req, 200,
+                {"ok": True, "result": self._router_health_view()},
+            )
+            return
+        if req.path in ("/v1/metrics", "/metrics"):
+            # The scrape is blocking network IO: run it off-loop with
+            # the same inflight bookkeeping as an engine miss so a
+            # hung shard can't stall query traffic.
+            self._inflight_count += 1
+            self.metrics.gauge("http_inflight").add(1)
+            conn.pending = True
+            self._update_interest(conn)
+
+            def _scrape(conn=conn, req=req):
+                try:
+                    body = json.dumps(
+                        {"ok": True, "result": self._fleet_metrics_view()}
+                    ).encode()
+                    etag = (
+                        '"' + hashlib.sha256(body).hexdigest()[:20] + '"'
+                    )
+                    outcome = ("ok", (body, etag), False, b"")
+                except BaseException as exc:
+                    outcome = ("err", exc, False, b"")
+                self._completions.append((conn, req, outcome))
+                self._wake()
+
+            self._executor.submit(_scrape)
+            return
+        self._respond_error(
+            conn, req, 404, "not_found", f"unknown path {req.path}"
+        )
+
+
+def make_router(
+    topology: dict[str, tuple[str, int]],
+    replicas: int = DEFAULT_REPLICAS,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ring: Ring | None = None,
+    health: HealthChecker | None = None,
+    upstream_timeout_s: float = DEFAULT_UPSTREAM_TIMEOUT_S,
+    **server_kwargs,
+) -> RouterHTTPServer:
+    """A ready-to-run router server over a shard topology.
+
+    The caller owns the :class:`HealthChecker` lifecycle (``start()``
+    it alongside ``serve_forever``, ``stop()`` it on shutdown); extra
+    keyword arguments flow to :func:`repro.service.http.make_server`
+    (``verbose``, ``max_inflight``, ``executor_threads``, ...).
+    """
+    engine = RouterEngine(
+        topology,
+        replicas=replicas,
+        ring=ring,
+        health=health,
+        timeout_s=upstream_timeout_s,
+    )
+    return make_server(
+        engine,
+        host=host,
+        port=port,
+        server_cls=RouterHTTPServer,
+        **server_kwargs,
+    )

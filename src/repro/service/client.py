@@ -4,7 +4,10 @@ The service sheds load (429) and surfaces transient store trouble
 (503, e.g. an integrity failure racing a publish) as *retryable*
 structured errors, and fault injection can drop a connection outright.
 :class:`ServiceClient` wraps one endpoint and retries exactly those
-failures with exponential backoff, so callers — the smoke script, the
+failures with capped full-jitter exponential backoff (each wait is
+uniform over ``[0, min(max_backoff_s, backoff_s * 2**(attempt-1))]``,
+so synchronized clients don't restrike a recovering server in
+lockstep), so callers — the smoke script, the
 fault-injection tests, operators' scripts — see either a good answer
 or a definitive error:
 
@@ -44,6 +47,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 import urllib.parse
@@ -54,6 +58,7 @@ from repro.service import binproto
 
 DEFAULT_RETRIES = 4
 DEFAULT_BACKOFF_S = 0.05
+DEFAULT_MAX_BACKOFF_S = 2.0
 DEFAULT_ETAG_CACHE_SIZE = 256
 RETRYABLE_STATUS = (429, 503)
 
@@ -115,6 +120,7 @@ class ServiceClient:
         timeout: float = 10.0,
         retries: int = DEFAULT_RETRIES,
         backoff_s: float = DEFAULT_BACKOFF_S,
+        max_backoff_s: float = DEFAULT_MAX_BACKOFF_S,
         etag_cache_size: int = DEFAULT_ETAG_CACHE_SIZE,
         binary_batch: bool = False,
     ):
@@ -129,7 +135,9 @@ class ServiceClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
         self.binary_batch = binary_batch
+        self._rng = random.Random()
         self.attempts_made = 0
         self.retries_used = 0
         self.not_modified_hits = 0
@@ -223,7 +231,14 @@ class ServiceClient:
             self.attempts_made += 1
             if attempt:
                 self.retries_used += 1
-                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+                # Full jitter: sleep uniformly within the (capped)
+                # exponential window, so a herd of clients retrying the
+                # same recovering shard spreads out instead of striking
+                # it in lockstep at deterministic multiples of backoff_s.
+                window = min(
+                    self.max_backoff_s, self.backoff_s * (2 ** (attempt - 1))
+                )
+                time.sleep(self._rng.uniform(0.0, window))
             try:
                 status, payload, resp_etag = self._once(
                     method, path, body, headers

@@ -183,6 +183,10 @@ class EventLoopHTTPServer:
     """
 
     allow_reuse_address = True
+    # Statuses that carry a Retry-After header.  Subclasses widen this:
+    # the fleet router adds 503 (all replicas of a shard down is a
+    # retry-later condition, not a permanent failure).
+    retry_after_statuses: tuple[int, ...] = (429,)
 
     def __init__(
         self,
@@ -997,7 +1001,7 @@ class EventLoopHTTPServer:
         parts.append(f"X-Request-Id: {req.request_id}")
         if etag is not None:
             parts.append(f"ETag: {etag}")
-        if status == 429:
+        if status in self.retry_after_statuses:
             parts.append(f"Retry-After: {RETRY_AFTER_S}")
         if close:
             parts.append("Connection: close")

@@ -84,6 +84,7 @@ def make_server(
     drain_grace_s: float = DEFAULT_DRAIN_S,
     max_write_buffer: int = MAX_WRITE_BUFFER_BYTES,
     max_total_buffered: int = MAX_TOTAL_BUFFERED_BYTES,
+    server_cls: type[EventLoopHTTPServer] = EventLoopHTTPServer,
 ) -> EventLoopHTTPServer:
     """A ready-to-run event-loop server; ``port=0`` binds ephemeral.
 
@@ -112,8 +113,11 @@ def make_server(
             connection past it stops being read until it drains.
         max_total_buffered: loop-wide buffered-response cap; past it
             query POSTs are shed with 429.
+        server_cls: the loop class to instantiate — lets the fleet
+            router substitute its own subclass while reusing all of
+            this wiring.
     """
-    server = EventLoopHTTPServer(
+    server = server_cls(
         (host, port),
         sock=sock,
         max_inflight=max_inflight,

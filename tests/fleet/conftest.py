@@ -1,0 +1,29 @@
+"""Shared fixtures for the fleet suite: one small built store.
+
+Every fleet test serves the same immutable store from every shard —
+that identity is the correctness backbone of the whole tier (any node
+answers any query bit-identically), so the fixture builds it once per
+session and hands out the path.
+"""
+
+import pytest
+
+from repro.core.measure import BenefitCurves, measure_workload
+from repro.store import CurveStore, StoreKey
+
+TEST_REFERENCES = 60_000
+
+
+@pytest.fixture(scope="session")
+def curves():
+    single = measure_workload(
+        "ousterhout", "mach", references=TEST_REFERENCES
+    )
+    return BenefitCurves(os_name="mach", per_workload=[single])
+
+
+@pytest.fixture(scope="session")
+def store(tmp_path_factory, curves):
+    store = CurveStore(tmp_path_factory.mktemp("fleet-store") / "store")
+    store.build(curves, StoreKey.current("mach", suite=("ousterhout",)))
+    return store

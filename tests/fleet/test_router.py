@@ -1,0 +1,242 @@
+"""Router tests: transparent proxying, failover, and the fleet view.
+
+These drive a real :class:`RouterHTTPServer` over loopback against
+in-process event-loop shards (threads, not forks — process-level chaos
+lives in ``test_failover.py``).  The contract under test is the
+ISSUE's: the router speaks the *exact* HTTP surface of a single
+server, so every answer through it must be bit-identical to the
+engine's — including ETags, the binary protocol, and 304 revalidation
+— no matter which replica answers or dies.
+"""
+
+import json
+import http.client
+import threading
+
+import pytest
+
+from repro.errors import RequestError
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.engine import QueryEngine
+from repro.service.http import make_server, shutdown_gracefully
+from repro.fleet import HealthChecker, Ring, make_router
+from repro.fleet.ring import shard_key
+from repro.fleet.router import RouterEngine
+from repro.service.requests import validate_request
+from repro.store import CurveStore
+
+pytestmark = pytest.mark.fleet
+
+
+@pytest.fixture()
+def cluster(store):
+    """Three thread-shards + router, torn down in reverse order."""
+    shards = []
+    for _ in range(3):
+        server = make_server(QueryEngine(CurveStore.open(store.root)), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        shards.append((server, thread))
+    topology = {
+        f"n{i}": server.server_address[:2]
+        for i, (server, _) in enumerate(shards)
+    }
+    health = HealthChecker(topology)
+    health.probe_all()
+    router = make_router(topology, replicas=2, health=health)
+    router_thread = threading.Thread(target=router.serve_forever, daemon=True)
+    router_thread.start()
+    host, port = router.server_address[:2]
+    yield {
+        "router": router,
+        "base": f"http://{host}:{port}",
+        "shards": shards,
+        "topology": topology,
+        "health": health,
+    }
+    shutdown_gracefully(router, deadline_s=2.0)
+    router_thread.join(timeout=5.0)
+    for server, thread in shards:
+        try:
+            shutdown_gracefully(server, deadline_s=2.0)
+        except OSError:
+            pass
+        thread.join(timeout=5.0)
+
+
+def _direct(store):
+    return QueryEngine(CurveStore.open(store.root))
+
+
+POINT = {"type": "point", "os": "mach", "budget": 250_000, "limit": 5}
+BATCH = {
+    "type": "batch", "os_names": ["mach"],
+    "budgets": [150_000.0, 250_000.0, 350_000.0], "limit": 3,
+}
+PARETO = {"type": "pareto", "os": "mach", "max_budget": 400_000}
+
+
+class TestTransparentProxy:
+    def test_point_batch_pareto_identical_to_engine(self, cluster, store):
+        client = ServiceClient(cluster["base"])
+        engine = _direct(store)
+        for request in (POINT, BATCH, PARETO):
+            assert client.query(dict(request)) == engine.query(dict(request))
+
+    def test_binary_batch_identical(self, cluster, store):
+        client = ServiceClient(cluster["base"], binary_batch=True)
+        assert client.query(dict(BATCH)) == _direct(store).query(dict(BATCH))
+
+    def test_etag_revalidation_at_router_edge(self, cluster):
+        client = ServiceClient(cluster["base"])
+        first = client.query(dict(POINT))
+        again = client.query(dict(POINT))
+        assert again == first
+        # The repeat was a 304: the router compared the client's
+        # validator against the upstream ETag and sent no body.
+        assert client.not_modified_hits == 1
+
+    def test_bad_request_is_not_retried_and_keeps_shape(self, cluster):
+        client = ServiceClient(cluster["base"], retries=3)
+        before = client.attempts_made
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.query({"type": "point", "os": "mach"})  # no budget
+        assert excinfo.value.status == 400
+        assert client.attempts_made == before + 1  # definitive, no retry
+
+    def test_router_health_names_nodes(self, cluster):
+        host, port = cluster["router"].server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        conn.request("GET", "/v1/health")
+        payload = json.loads(conn.getresponse().read())
+        conn.close()
+        result = payload["result"]
+        assert result["role"] == "router"
+        assert result["replicas"] == 2
+        assert set(result["nodes"]) == {"n0", "n1", "n2"}
+        for info in result["nodes"].values():
+            assert info["alive"] is True
+
+
+class TestFailover:
+    def _key_owned_by(self, cluster, label):
+        """A point request whose shard's primary owner is ``label``."""
+        ring = cluster["router"].engine.ring
+        for assoc in (None, 1, 2, 4, 8, 16):
+            request = dict(POINT, max_cache_assoc=assoc)
+            key = shard_key(validate_request(request))
+            if ring.preference(key, 2)[0] == label:
+                return request
+        pytest.skip(f"no probe key owned by {label}")
+
+    def test_dead_primary_fails_over_with_identical_answer(
+        self, cluster, store
+    ):
+        victim = "n1"
+        request = self._key_owned_by(cluster, victim)
+        expected = _direct(store).query(dict(request))
+        index = int(victim[1:])
+        server, thread = cluster["shards"][index]
+        shutdown_gracefully(server, deadline_s=2.0)
+        thread.join(timeout=5.0)
+        client = ServiceClient(cluster["base"])
+        assert client.query(dict(request)) == expected
+        stats = cluster["router"].engine.stats
+        assert stats["failovers"] >= 1
+
+    def test_all_replicas_down_yields_503_with_retry_after(self, cluster):
+        for server, thread in cluster["shards"]:
+            shutdown_gracefully(server, deadline_s=2.0)
+            thread.join(timeout=5.0)
+        host, port = cluster["router"].server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request(
+            "POST", "/v1/query", body=json.dumps(POINT).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        assert response.status == 503
+        assert response.headers.get("Retry-After") is not None
+        assert json.loads(raw)["error"]["code"] == "no_shard_available"
+        conn.close()
+
+    def test_client_sees_definitive_error_when_fleet_is_gone(self, cluster):
+        for server, thread in cluster["shards"]:
+            shutdown_gracefully(server, deadline_s=2.0)
+            thread.join(timeout=5.0)
+        client = ServiceClient(cluster["base"], retries=1, backoff_s=0.01)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.query(dict(POINT))
+        assert excinfo.value.status == 503
+        assert excinfo.value.code == "no_shard_available"
+
+
+class TestFleetMetrics:
+    def test_exact_merge_with_node_labels(self, cluster, store):
+        client = ServiceClient(cluster["base"])
+        engine = _direct(store)
+        for request in (POINT, BATCH, PARETO):
+            assert client.query(dict(request)) == engine.query(dict(request))
+        host, port = cluster["router"].server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("GET", "/v1/metrics")
+        view = json.loads(conn.getresponse().read())["result"]
+        conn.close()
+        assert set(view["nodes"]) == {"n0", "n1", "n2"}
+        assert view["nodes_up"] == ["n0", "n1", "n2"]
+        for info in view["nodes"].values():
+            assert info["status"] == "up"
+        # Exact counter merge: the fleet served exactly the requests
+        # the shards served, so summed per-node 200s equal the merged
+        # http_responses counter for label "200".
+        merged = view["counters"]["http_responses"]["by_label"].get("200", 0)
+        summed = sum(
+            (info.get("responses") or {}).get("200", 0)
+            for info in view["nodes"].values()
+        )
+        assert merged == summed >= 3
+        assert view["router"]["proxy"]["proxied"] >= 3
+
+    def test_down_node_is_labelled_not_dropped(self, cluster):
+        server, thread = cluster["shards"][0]
+        shutdown_gracefully(server, deadline_s=2.0)
+        thread.join(timeout=5.0)
+        host, port = cluster["router"].server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("GET", "/v1/metrics")
+        view = json.loads(conn.getresponse().read())["result"]
+        conn.close()
+        assert view["nodes"]["n0"]["status"] == "down"
+        assert "error" in view["nodes"]["n0"]
+        assert view["nodes_up"] == ["n1", "n2"]
+
+
+class TestRouterEngineUnit:
+    def test_candidates_order_alive_first_but_keep_everyone(self):
+        topology = {
+            "n0": ("127.0.0.1", 1), "n1": ("127.0.0.1", 2),
+            "n2": ("127.0.0.1", 3),
+        }
+        health = HealthChecker(topology, fail_threshold=1, timeout_s=0.05)
+        ring = Ring(topology)
+        engine = RouterEngine(
+            topology, replicas=3, ring=ring, health=health
+        )
+        health.probe_all()  # nothing listens: everyone marks down
+        key = "mach|assoc=None|t=None"
+        candidates = engine.candidates(key)
+        # All replicas still present — a stale health view must never
+        # remove a node from consideration, only deprioritize it.
+        assert sorted(candidates) == ["n0", "n1", "n2"]
+        assert candidates == ring.preference(key, 3)[:0] + candidates
+
+    def test_validation_happens_before_any_upstream_call(self):
+        engine = RouterEngine({"n0": ("127.0.0.1", 1)})
+        with pytest.raises(RequestError):
+            engine.try_cached_bytes({"type": "nope"})
+        assert engine.stats["upstream_errors"] == 0
+
+    def test_replicas_clamped_to_node_count(self):
+        engine = RouterEngine({"n0": ("127.0.0.1", 1)}, replicas=5)
+        assert engine.replicas == 1
