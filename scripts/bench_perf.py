@@ -1,6 +1,6 @@
 """Performance benchmark harness: writes BENCH_perf.json.
 
-Times the three layers the fast path accelerates:
+Times the four layers the fast path accelerates:
 
 1. The Table 5 cache-miss-ratio grid on a 700k-reference instruction
    stream — interpreted baseline vs the engine (and each forced engine
@@ -10,15 +10,22 @@ Times the three layers the fast path accelerates:
 3. The zero-copy trace plane: cold generation+publish vs warm memmap
    load, and warm-cache curve measurement serial vs ``--jobs 4``
    through the persistent worker pool.
+4. Chunk-streaming scaling: references vs wall seconds vs peak RSS for
+   streaming generation + simulation, one fresh subprocess per size so
+   each row's ``resource.getrusage`` high-water mark is its own.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py [--output BENCH_perf.json]
-        [--section {all,grid,curves,trace_plane}] [--check-scaling]
+        [--section {all,grid,curves,trace_plane,streaming}]
+        [--check-scaling] [--sizes N,N,...]
 
-``--check-scaling`` exits non-zero when the host has >= 4 cores and
-warm-cache ``jobs=4`` measurement is slower than serial (a CI tripwire
-for the parallel-measurement inversion the trace plane removed).
+``--check-scaling`` exits non-zero when (a) the host has >= 4 cores and
+warm-cache ``jobs=4`` measurement is slower than serial (the
+parallel-measurement inversion the trace plane removed), or (b) any
+streaming-scaling row's peak RSS reaches 1 GiB — the bounded-RSS
+guarantee of the chunk-streaming trace plane (a >= 100M-reference trace
+must generate and simulate well under 1 GB).
 
 ``REPRO_SCALE`` is ignored: the numbers are defined at full trace
 length so they are comparable across runs and machines.
@@ -31,6 +38,8 @@ import json
 import os
 import platform
 import shutil
+import subprocess
+import sys
 import tempfile
 import time
 
@@ -250,6 +259,103 @@ def bench_trace_plane() -> dict:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+STREAMING_SIZES = (2_097_152, 16_777_216, 104_857_600)
+PEAK_RSS_LIMIT = 1 << 30  # the streaming plane's bounded-RSS guarantee
+
+# Runs in a fresh interpreter per trace size: generates the trace
+# chunk-streaming into a throwaway plane, simulates a representative
+# cache grid over the stored chunks, and reports its own wall times and
+# getrusage peak-RSS high-water mark as JSON on stdout.
+_STREAMING_CHILD = """
+import json, resource, sys, time
+from repro.memsim.multiconfig import cache_miss_ratio_grid_chunked
+from repro.trace import tracestore
+
+workload, os_name, references = sys.argv[1], sys.argv[2], int(sys.argv[3])
+t0 = time.perf_counter()
+stream = tracestore.stream(workload, os_name, references, seed=1)
+generate_s = time.perf_counter() - t0
+t0 = time.perf_counter()
+grid = cache_miss_ratio_grid_chunked(
+    (f["ifetch_physical"] for _s, _e, f in stream.chunks(("ifetch_physical",))),
+    stream.count("ifetch_physical"),
+    [4096, 65536], [4], [1, 2], warmup_fraction=0.4,
+)
+simulate_s = time.perf_counter() - t0
+rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "references": stream.references,
+    "chunk_references": stream.chunk_references,
+    "generate_seconds": round(generate_s, 2),
+    "simulate_seconds": round(simulate_s, 2),
+    "peak_rss_bytes": rss_kib * 1024,
+    "design_points": len(grid),
+}))
+"""
+
+
+def bench_streaming(sizes: tuple[int, ...]) -> dict:
+    """References vs seconds vs peak RSS for the streaming trace plane.
+
+    Each size runs in a fresh subprocess against its own throwaway
+    cache directory, so ``ru_maxrss`` (a per-process high-water mark)
+    reflects exactly that size's generation + simulation and no state
+    leaks between rows.
+    """
+    rows = []
+    for references in sizes:
+        cache_dir = tempfile.mkdtemp(prefix="repro-stream-bench-")
+        env = dict(os.environ)
+        env["REPRO_TRACE_CACHE"] = cache_dir
+        env.pop("REPRO_SCALE", None)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        try:
+            result = subprocess.run(
+                [
+                    sys.executable,
+                    "-c",
+                    _STREAMING_CHILD,
+                    WORKLOAD,
+                    OS_NAME,
+                    str(references),
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+        rows.append(json.loads(result.stdout.strip().splitlines()[-1]))
+    return {
+        "workload": WORKLOAD,
+        "os": OS_NAME,
+        "peak_rss_limit_bytes": PEAK_RSS_LIMIT,
+        "rows": rows,
+    }
+
+
+def check_streaming_rss(streaming: dict) -> int:
+    """CI tripwire: every streaming row must stay under 1 GiB RSS."""
+    failed = 0
+    for row in streaming["rows"]:
+        rss_mib = row["peak_rss_bytes"] / (1 << 20)
+        if row["peak_rss_bytes"] >= PEAK_RSS_LIMIT:
+            print(
+                f"peak-RSS check FAILED: {row['references']:,} refs "
+                f"peaked at {rss_mib:.0f} MiB (limit 1024 MiB)"
+            )
+            failed = 1
+        else:
+            print(
+                f"peak-RSS check OK: {row['references']:,} refs "
+                f"peaked at {rss_mib:.0f} MiB"
+            )
+    return failed
+
+
 def check_scaling(plane: dict) -> int:
     """CI tripwire: warm jobs=4 must not lose to serial on big hosts."""
     cores = os.cpu_count() or 1
@@ -280,7 +386,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--section",
-        choices=("all", "grid", "curves", "trace_plane"),
+        choices=("all", "grid", "curves", "trace_plane", "streaming"),
         default="all",
         help="benchmark only one section (default: all)",
     )
@@ -288,19 +394,30 @@ def main(argv: list[str] | None = None) -> int:
         "--check-scaling",
         action="store_true",
         help="exit non-zero if warm jobs=4 measurement is slower than "
-        "serial on a >= 4-core host (implies the trace_plane section)",
+        "serial on a >= 4-core host, or if any streaming-scaling row "
+        "peaks at >= 1 GiB RSS (gates only the sections that ran)",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=",".join(str(n) for n in STREAMING_SIZES),
+        help="comma-separated reference counts for the streaming "
+        "scaling section",
     )
     args = parser.parse_args(argv)
     out_dir = os.path.dirname(os.path.abspath(args.output))
     if not os.path.isdir(out_dir):
         parser.error(f"output directory does not exist: {out_dir}")
+    try:
+        sizes = tuple(int(n) for n in args.sizes.split(",") if n.strip())
+    except ValueError:
+        parser.error(f"--sizes must be comma-separated integers: {args.sizes!r}")
+    if not sizes or any(n < 1 for n in sizes):
+        parser.error(f"--sizes needs positive reference counts: {args.sizes!r}")
     sections = (
-        {"grid", "curves", "trace_plane"}
+        {"grid", "curves", "trace_plane", "streaming"}
         if args.section == "all"
         else {args.section}
     )
-    if args.check_scaling:
-        sections.add("trace_plane")
 
     payload = {
         "machine": {
@@ -355,13 +472,30 @@ def main(argv: list[str] | None = None) -> int:
         )
         payload["trace_plane"] = plane
 
+    streaming = None
+    if "streaming" in sections:
+        print("benchmarking chunk-streaming scaling ...")
+        streaming = bench_streaming(sizes)
+        for row in streaming["rows"]:
+            print(
+                f"  {row['references']:>12,} refs: "
+                f"generate {row['generate_seconds']}s   "
+                f"simulate {row['simulate_seconds']}s   "
+                f"peak RSS {row['peak_rss_bytes'] / (1 << 20):.0f} MiB"
+            )
+        payload["streaming_scaling"] = streaming
+
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.output}")
-    if args.check_scaling and plane is not None:
-        return check_scaling(plane)
-    return 0
+    status = 0
+    if args.check_scaling:
+        if plane is not None:
+            status |= check_scaling(plane)
+        if streaming is not None:
+            status |= check_streaming_rss(streaming)
+    return status
 
 
 if __name__ == "__main__":

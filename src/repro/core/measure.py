@@ -59,12 +59,21 @@ from repro.core.space import (
     TABLE5_TLB_ENTRIES,
     TABLE5_TLB_FULL_MAX_ENTRIES,
 )
-from repro.memsim.multiconfig import cache_miss_ratio_grid, dedupe_consecutive
+from repro.memsim.multiconfig import (
+    cache_miss_ratio_grid,
+    cache_miss_ratio_grid_chunked,
+    dedupe_consecutive,
+)
 from repro.memsim.stackdist import (
+    StreamingStackDistance,
     fully_associative_miss_split,
     set_associative_miss_split,
 )
-from repro.memsim.timing import DECSTATION_3100, simulate_system
+from repro.memsim.timing import (
+    DECSTATION_3100,
+    simulate_system,
+    simulate_system_stream,
+)
 from repro.trace import tracestore
 from repro.units import PAGE_SHIFT, VPN_BITS
 
@@ -269,6 +278,74 @@ def _tlb_table(
     return table
 
 
+def _tlb_table_stream(
+    stream,
+    entries_list: tuple[int, ...],
+    assocs: tuple[int, ...],
+    full_max_entries: int,
+    warm: int,
+) -> dict:
+    """Chunk-streaming twin of :func:`_tlb_table` (bit-identical).
+
+    The mapped-reference filter, the warmup boundary, the consecutive-
+    duplicate dedupe (its last id carried across chunk boundaries) and
+    every stack pass accumulate exactly the quantities the batch path
+    computes over whole arrays.
+    """
+    max_assoc = max(assocs)
+    set_counts = sorted({n // a for n in entries_list for a in assocs if a <= n})
+    sims = {
+        n_sets: StreamingStackDistance(n_sets, max_assoc, track_flags=True)
+        for n_sets in set_counts
+    }
+    fa_sizes = [n for n in entries_list if n <= full_max_entries]
+    fa_sim = (
+        StreamingStackDistance(1, max(fa_sizes), track_flags=True)
+        if fa_sizes
+        else None
+    )
+    last_id = None
+    for start, _stop, fields in stream.chunks(
+        ("addresses", "asids", "mapped", "kernel")
+    ):
+        mapped_local = np.flatnonzero(fields["mapped"])
+        if not len(mapped_local):
+            continue
+        vpns = fields["addresses"][mapped_local] >> PAGE_SHIFT
+        ids = (fields["asids"][mapped_local].astype(np.int64) << VPN_BITS) | vpns
+        kernel = np.asarray(fields["kernel"], dtype=bool)[mapped_local]
+        raw_count_from = int((start + mapped_local < warm).sum())
+        keep = np.empty(len(ids), dtype=bool)
+        keep[0] = last_id is None or ids[0] != last_id
+        np.not_equal(ids[1:], ids[:-1], out=keep[1:])
+        deduped = ids[keep]
+        kernel_d = kernel[keep]
+        deduped_from = int(keep[:raw_count_from].sum())
+        last_id = int(ids[-1])
+        for sim in sims.values():
+            sim.feed(deduped, kernel_d, count_from=deduped_from)
+        if fa_sim is not None:
+            fa_sim.feed(deduped, kernel_d, count_from=deduped_from)
+
+    table: dict = {}
+    for n_sets, sim in sims.items():
+        misses = sim.miss_counts()
+        kernel_misses = sim.flagged_miss_counts()
+        for assoc in assocs:
+            entries = n_sets * assoc
+            if entries in entries_list:
+                total = int(misses[assoc - 1])
+                k = int(kernel_misses[assoc - 1])
+                table[(entries, assoc)] = (total - k, k)
+    if fa_sim is not None:
+        sizes = np.asarray(fa_sizes, dtype=np.int64)
+        misses = fa_sim.miss_counts()[sizes - 1]
+        kernel_misses = fa_sim.flagged_miss_counts()[sizes - 1]
+        for size, total, k in zip(fa_sizes, misses, kernel_misses):
+            table[(size, FULLY_ASSOCIATIVE)] = (int(total) - int(k), int(k))
+    return table
+
+
 # ---------------------------------------------------------------------------
 # Unit-level measurement: one (workload, OS) measurement decomposes
 # into independent units — a cache grid per (structure, line size), the
@@ -310,13 +387,28 @@ def _warm_trace(spec: tuple) -> tuple[tuple, bool]:
     Returns ``(spec, published)``.  The warming worker also memoizes
     the trace, so the units it receives next hit its in-process LRU;
     a worker that already holds the trace skips the disk entirely.
+    Traces long enough for the streaming path skip the memo — units
+    will read them in chunks, never whole.
     """
     workload, os_name, references, seed = spec
     if spec in _worker_traces:
         return spec, False
     published = tracestore.ensure(workload, os_name, references, seed=seed)
-    _trace_for(workload, os_name, references, seed)
+    if not _use_streaming(references):
+        _trace_for(workload, os_name, references, seed)
     return spec, published
+
+
+def _use_streaming(references: int) -> bool:
+    """Whether measurement units consume this trace chunk-streaming.
+
+    Traces longer than one stream chunk are generated, stored and
+    simulated in fixed-size windows so peak RSS stays bounded by the
+    chunk size (``REPRO_STREAM_CHUNK``) regardless of ``REPRO_SCALE``.
+    Requires the on-disk plane; with ``REPRO_TRACE_CACHE=off`` there is
+    nowhere to stage chunks, so everything stays materialized.
+    """
+    return tracestore.enabled() and references > tracestore.stream_chunk_references()
 
 
 # ---------------------------------------------------------------------------
@@ -332,6 +424,7 @@ _POOL_ENV_KEYS = (
     "REPRO_CACHE_DIR",
     "REPRO_SCALE",
     "REPRO_ENGINE",
+    "REPRO_STREAM_CHUNK",
 )
 
 _pool: ProcessPoolExecutor | None = None
@@ -384,9 +477,84 @@ def _pool_map(jobs: int, fn, items: list) -> list:
     raise AssertionError("unreachable")
 
 
+def _measure_unit_stream(spec: tuple):
+    """Chunk-streaming twin of :func:`_measure_unit` (bit-identical).
+
+    Opens the trace as an on-disk :class:`~repro.trace.tracestore.
+    TraceStream` and feeds every kernel one ``REPRO_STREAM_CHUNK``-sized
+    window at a time, so peak RSS is bounded by the chunk size instead
+    of the trace length.
+    """
+    (unit, workload, os_name, references, seed, warmup_fraction, params) = spec
+    stream = tracestore.stream(workload, os_name, references, seed=seed)
+    warm = int(stream.references * warmup_fraction)
+    if unit in ("icache", "dcache"):
+        capacities, line_words, assocs = params
+        kind_code = 0 if unit == "icache" else 1
+        field = "ifetch_physical" if unit == "icache" else "load_physical"
+        # How many of the first `warm` references are this kind — the
+        # same count the batch path gets from flatnonzero(kinds) < warm.
+        stream_warm = 0
+        for start, _stop, fields in stream.chunks(("kinds",)):
+            if start >= warm:
+                break
+            head = fields["kinds"][: warm - start]
+            stream_warm += int((head == kind_code).sum())
+        stream_len = stream.count(field)
+        return cache_miss_ratio_grid_chunked(
+            (fields[field] for _s, _e, fields in stream.chunks((field,))),
+            stream_len,
+            list(capacities),
+            [line_words],
+            list(assocs),
+            warmup_fraction=stream_warm / max(stream_len, 1),
+        )
+    if unit == "tlb":
+        tlb_entries, tlb_assocs, tlb_full_max = params
+        return _tlb_table_stream(
+            stream, tlb_entries, tlb_assocs, tlb_full_max, warm
+        )
+    if unit == "timing":
+        totals = {"instructions": 0, "loads": 0, "stores": 0, "mapped": 0}
+
+        def chunks_with_counts():
+            for start, _stop, fields in stream.chunks(
+                ("addresses", "physical", "kinds", "asids", "mapped", "kernel")
+            ):
+                kinds = fields["kinds"]
+                lo = min(max(warm - start, 0), len(kinds))
+                counted = kinds[lo:]
+                totals["instructions"] += int((counted == 0).sum())
+                totals["loads"] += int((counted == 1).sum())
+                totals["stores"] += int((counted == 2).sum())
+                totals["mapped"] += int(fields["mapped"][lo:].sum())
+                yield fields
+
+        reference_timing = simulate_system_stream(
+            chunks_with_counts(),
+            stream.references,
+            stream.other_cpi,
+            DECSTATION_3100,
+            warmup_fraction=warmup_fraction,
+        )
+        return {
+            "instructions": totals["instructions"],
+            "loads": totals["loads"],
+            "stores": totals["stores"],
+            "mapped": totals["mapped"],
+            "other_cpi": stream.other_cpi,
+            "wb_stall": reference_timing.cpi_components["write_buffer"],
+            "page_fault_per_instr": stream.page_faults
+            / max(stream.count("ifetch_physical"), 1),
+        }
+    raise ValueError(f"unknown measurement unit {unit!r}")
+
+
 def _measure_unit(spec: tuple):
     """Compute one measurement unit; runs in-process or in a worker."""
     (unit, workload, os_name, references, seed, warmup_fraction, params) = spec
+    if _use_streaming(references):
+        return _measure_unit_stream(spec)
     trace = _trace_for(workload, os_name, references, seed)
     warm = int(len(trace) * warmup_fraction)
     if unit in ("icache", "dcache"):

@@ -22,6 +22,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.memsim.engine import lru_depths, multi_group_depths
+from repro.memsim.stackdist import StreamingStackDistance
 from repro.units import WORD_BYTES, log2i
 
 
@@ -169,6 +170,107 @@ def cache_miss_ratio_grid(
             hits = np.cumsum(
                 np.bincount(d[deduped_count_from:], minlength=cap + 1)[:cap]
             )
+            for assoc in assocs:
+                capacity = n_sets * assoc * line_bytes
+                if assoc <= cap and capacity in capacities:
+                    misses = n_counted_deduped - int(hits[assoc - 1])
+                    grid[(capacity, line_words, assoc)] = misses / counted_total
+    return grid
+
+
+class StreamingMissFlags:
+    """Per-reference miss flags for one LRU structure, fed in chunks.
+
+    The chunked twin of :func:`miss_flags_lru`: each ``feed`` returns
+    the chunk's miss flags, bit-identical to one whole-stream pass,
+    with the stack state carried between chunks (see
+    :class:`~repro.memsim.stackdist.StreamingStackDistance`).
+    """
+
+    def __init__(self, n_sets: int, assoc: int, engine: str | None = None):
+        self.assoc = assoc
+        self._sim = StreamingStackDistance(n_sets, assoc, engine=engine)
+
+    def feed(self, ids: np.ndarray) -> np.ndarray:
+        depths = self._sim.feed(np.asarray(ids, dtype=np.int64))
+        return depths == self.assoc
+
+
+def cache_miss_ratio_grid_chunked(
+    chunks,
+    total_references: int,
+    capacities: list[int],
+    line_words_list: list[int],
+    assocs: list[int],
+    warmup_fraction: float = 0.0,
+    engine: str | None = None,
+) -> dict[tuple[int, int, int], float]:
+    """Chunk-streaming twin of :func:`cache_miss_ratio_grid`.
+
+    ``chunks`` is an iterable of address arrays in program order whose
+    lengths sum to ``total_references``; only one chunk is held at a
+    time.  Results are bit-identical to the batch grid: the warmup
+    boundary is the same ``int(total * warmup_fraction)`` reference
+    index, consecutive-duplicate dedupe carries the last id across
+    chunk boundaries, and the per-(line, set-count) stack state is
+    carried exactly between chunks.
+    """
+    total = int(total_references)
+    grid: dict[tuple[int, int, int], float] = {}
+    if total == 0:
+        return grid
+    warm = int(total * warmup_fraction)
+    counted_total = total - warm
+
+    per_line: dict[int, dict] = {}
+    for line_words in line_words_list:
+        line_bytes = line_words * WORD_BYTES
+        depth_needed: dict[int, int] = {}
+        for capacity in capacities:
+            for assoc in assocs:
+                n_sets = capacity // (line_bytes * assoc)
+                if n_sets >= 1:
+                    depth_needed[n_sets] = max(depth_needed.get(n_sets, 0), assoc)
+        per_line[line_words] = {
+            "depth_needed": depth_needed,
+            "sims": {
+                n_sets: StreamingStackDistance(n_sets, cap, engine=engine)
+                for n_sets, cap in depth_needed.items()
+            },
+            "last_id": None,
+            "deduped_counted": 0,
+        }
+
+    consumed = 0
+    for chunk in chunks:
+        chunk = np.asarray(chunk, dtype=np.int64)
+        if len(chunk) == 0:
+            continue
+        start = consumed
+        consumed += len(chunk)
+        raw_count_from = min(max(warm - start, 0), len(chunk))
+        for line_words, state in per_line.items():
+            ids = line_ids_for(chunk, line_words)
+            keep = np.empty(len(ids), dtype=bool)
+            keep[0] = state["last_id"] is None or ids[0] != state["last_id"]
+            np.not_equal(ids[1:], ids[:-1], out=keep[1:])
+            deduped = ids[keep]
+            deduped_count_from = int(keep[:raw_count_from].sum())
+            state["deduped_counted"] += len(deduped) - deduped_count_from
+            state["last_id"] = int(ids[-1])
+            for sim in state["sims"].values():
+                sim.feed(deduped, count_from=deduped_count_from)
+    if consumed != total:
+        raise ValueError(
+            f"chunks supplied {consumed} references, expected {total}"
+        )
+
+    for line_words in line_words_list:
+        state = per_line[line_words]
+        line_bytes = line_words * WORD_BYTES
+        n_counted_deduped = state["deduped_counted"]
+        for n_sets, cap in sorted(state["depth_needed"].items()):
+            hits = state["sims"][n_sets].hit_counts()
             for assoc in assocs:
                 capacity = n_sets * assoc * line_bytes
                 if assoc <= cap and capacity in capacities:

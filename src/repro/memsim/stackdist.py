@@ -157,6 +157,158 @@ def compulsory_miss_count(ids: np.ndarray) -> int:
     return int(np.unique(np.asarray(ids)).size)
 
 
+class StreamingStackDistance:
+    """Chunk-streaming LRU stack-distance pass with carried state.
+
+    Feeding a reference stream chunk by chunk produces depth statistics
+    *bit-identical* to one :func:`lru_depths` pass over the whole
+    stream, while holding only one chunk (plus the stack state) in
+    memory.  The trick is that an LRU stack under
+    insert-at-top / move-to-front / pop-beyond-``max_assoc`` semantics
+    is exactly the set's ``max_assoc`` most recently touched distinct
+    ids ordered by last touch — so the state after a chunk can be
+    reconstructed *inside the unmodified engines* by replaying each
+    set's stack LRU-first as a synthetic priming prefix before the next
+    chunk, then discarding the prefix's depths.  The fast native and
+    vectorized kernels need no carried-state API at all.
+
+    ``n_sets == 1`` gives the fully-associative single-stack pass used
+    by the TLB study.  With ``track_flags=True`` a per-reference class
+    flag is accumulated alongside (the kernel/user miss split).
+    """
+
+    def __init__(
+        self,
+        n_sets: int,
+        max_assoc: int,
+        engine: str | None = None,
+        track_flags: bool = False,
+    ):
+        if n_sets < 1 or n_sets & (n_sets - 1):
+            raise ValueError("n_sets must be a positive power of two")
+        if max_assoc < 1:
+            raise ValueError("max_assoc must be >= 1")
+        self.n_sets = n_sets
+        self.max_assoc = max_assoc
+        self.engine = engine
+        self._mask = n_sets - 1
+        self._track_flags = track_flags
+        # Stack state, grouped by set in rank (MRU-first) order.
+        self._stack_ids = np.empty(0, dtype=np.int64)
+        self._stack_sets = np.empty(0, dtype=np.int64)
+        self._hist = np.zeros(max_assoc, dtype=np.int64)
+        self._flag_hist = np.zeros(max_assoc, dtype=np.int64)
+        self._counted = 0
+        self._flagged_counted = 0
+
+    @staticmethod
+    def _ranks(sets: np.ndarray) -> np.ndarray:
+        """Position of each element within its (contiguous) set group."""
+        fresh = np.empty(len(sets), dtype=bool)
+        fresh[0] = True
+        np.not_equal(sets[1:], sets[:-1], out=fresh[1:])
+        starts = np.flatnonzero(fresh)
+        group = np.cumsum(fresh) - 1
+        return np.arange(len(sets), dtype=np.int64) - starts[group]
+
+    def _prefix(self) -> np.ndarray:
+        """The priming prefix: every set's stack replayed LRU-first."""
+        if not len(self._stack_ids):
+            return np.empty(0, dtype=np.int64)
+        rank = self._ranks(self._stack_sets)
+        order = np.lexsort((-rank, self._stack_sets))
+        return self._stack_ids[order]
+
+    def _update_stacks(self, ids: np.ndarray) -> None:
+        # Distinct chunk ids, most recently touched first.
+        rev = ids[::-1]
+        uniq, rev_idx = np.unique(rev, return_index=True)
+        last_pos = len(ids) - 1 - rev_idx
+        new_sets = uniq & self._mask
+        if len(self._stack_ids):
+            survive = np.isin(self._stack_ids, uniq, invert=True)
+            old_ids = self._stack_ids[survive]
+            old_sets = self._stack_sets[survive]
+        else:
+            old_ids = old_sets = np.empty(0, dtype=np.int64)
+        merged_sets = np.concatenate([new_sets, old_sets])
+        merged_ids = np.concatenate([uniq, old_ids])
+        # Chunk-touched ids outrank survivors; within each class the
+        # order is by recency (new) / preserved rank (old).
+        priority = np.concatenate(
+            [np.zeros(len(uniq), dtype=np.int8), np.ones(len(old_ids), dtype=np.int8)]
+        )
+        sequence = np.concatenate(
+            [-last_pos, np.arange(len(old_ids), dtype=np.int64)]
+        )
+        order = np.lexsort((sequence, priority, merged_sets))
+        sorted_sets = merged_sets[order]
+        sorted_ids = merged_ids[order]
+        keep = self._ranks(sorted_sets) < self.max_assoc
+        self._stack_sets = sorted_sets[keep]
+        self._stack_ids = sorted_ids[keep]
+
+    def feed(
+        self,
+        ids: np.ndarray,
+        flags: np.ndarray | None = None,
+        count_from: int = 0,
+    ) -> np.ndarray:
+        """Consume one chunk; returns the chunk's per-reference depths.
+
+        ``count_from`` is chunk-relative: references before it warm the
+        stacks without being counted in the accumulated histograms.
+        The returned depths cover the whole chunk (a depth equal to
+        ``max_assoc`` is a miss at every tracked associativity), so
+        callers that need per-reference miss flags — the timing unit —
+        can derive them without a second pass.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) == 0:
+            return np.empty(0, dtype=np.int16)
+        prefix = self._prefix()
+        full = np.concatenate([prefix, ids]) if len(prefix) else ids
+        depths = lru_depths(full, self.n_sets, self.max_assoc, engine=self.engine)
+        chunk_depths = depths[len(prefix):]
+        window = chunk_depths[count_from:]
+        self._hist += np.bincount(window, minlength=self.max_assoc + 1)[
+            : self.max_assoc
+        ]
+        self._counted += len(window)
+        if self._track_flags:
+            if flags is None:
+                raise ValueError("flags required when track_flags=True")
+            flag_window = np.asarray(flags, dtype=bool)[count_from:]
+            self._flag_hist += np.bincount(
+                window[flag_window], minlength=self.max_assoc + 1
+            )[: self.max_assoc]
+            self._flagged_counted += int(flag_window.sum())
+        self._update_stacks(ids)
+        return chunk_depths
+
+    @property
+    def counted(self) -> int:
+        """Counted (post-warmup) references fed so far."""
+        return self._counted
+
+    @property
+    def flagged_counted(self) -> int:
+        """Counted references with the class flag set."""
+        return self._flagged_counted
+
+    def hit_counts(self) -> np.ndarray:
+        """``hits[k-1]`` = counted references hitting k-way (≙ batch)."""
+        return np.cumsum(self._hist)
+
+    def miss_counts(self) -> np.ndarray:
+        """Counted misses per associativity 1..max_assoc."""
+        return self._counted - self.hit_counts()
+
+    def flagged_miss_counts(self) -> np.ndarray:
+        """Counted flagged-class misses per associativity."""
+        return self._flagged_counted - np.cumsum(self._flag_hist)
+
+
 def set_associative_miss_split(
     ids: np.ndarray,
     n_sets: int,

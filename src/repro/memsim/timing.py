@@ -24,9 +24,9 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.memsim.multiconfig import line_ids_for, miss_flags_lru
+from repro.memsim.multiconfig import StreamingMissFlags, line_ids_for, miss_flags_lru
 from repro.memsim.types import AccessKind
-from repro.memsim.write_buffer import simulate_write_buffer
+from repro.memsim.write_buffer import StreamingWriteBuffer, simulate_write_buffer
 from repro.units import PAGE_SHIFT, VPN_BITS, WORD_BYTES
 
 if TYPE_CHECKING:  # avoid a circular import; traces import memsim types
@@ -232,5 +232,141 @@ def simulate_system(
             "dcache": dcache_cycles * per_instr,
             "write_buffer": wb_result.stall_cycles * per_instr,
             "other": trace.other_cpi,
+        },
+    )
+
+
+def simulate_system_stream(
+    chunks,
+    total_references: int,
+    other_cpi: float,
+    config: SystemConfig,
+    warmup_fraction: float = 0.0,
+) -> SystemTimingResult:
+    """Chunk-streaming twin of :func:`simulate_system`.
+
+    ``chunks`` yields dicts with the six reference-field arrays
+    (``addresses``/``physical``/``kinds``/``asids``/``mapped``/
+    ``kernel``) in program order, their lengths summing to
+    ``total_references``; only one chunk is held at a time.  All
+    carried state — per-structure LRU stacks, the completion-time
+    cursor and the write buffer's occupancy/slip — makes the result
+    bit-identical to the batch pass.
+    """
+    n = int(total_references)
+    warm = int(n * warmup_fraction)
+
+    i_sets = config.icache_bytes // (
+        config.icache_line_words * WORD_BYTES * config.icache_assoc
+    )
+    d_sets = config.dcache_bytes // (
+        config.dcache_line_words * WORD_BYTES * config.dcache_assoc
+    )
+    if config.tlb_assoc == "full":
+        t_sets, t_ways = 1, config.tlb_entries
+    else:
+        t_ways = int(config.tlb_assoc)
+        t_sets = config.tlb_entries // t_ways
+    i_sim = StreamingMissFlags(i_sets, config.icache_assoc)
+    d_sim = StreamingMissFlags(d_sets, config.dcache_assoc)
+    t_sim = StreamingMissFlags(t_sets, t_ways)
+    wb_sim = StreamingWriteBuffer(
+        depth=config.wb_depth, retire_cycles=config.wb_retire_cycles
+    )
+    i_penalty = config.cache_penalty(config.icache_line_words)
+    d_penalty = config.cache_penalty(config.dcache_line_words)
+
+    instructions = 0
+    icache_misses = dcache_misses = 0
+    tlb_user_misses = tlb_kernel_misses = 0
+    completion_carry = 0
+    consumed = 0
+
+    for chunk in chunks:
+        kinds = chunk["kinds"]
+        size = len(kinds)
+        if size == 0:
+            continue
+        start = consumed
+        consumed += size
+        physical = chunk["physical"]
+        ifetch_mask = kinds == AccessKind.IFETCH
+        load_mask = kinds == AccessKind.LOAD
+        store_mask = kinds == AccessKind.STORE
+        penalties = np.zeros(size, dtype=np.int64)
+
+        ifetch_idx = np.flatnonzero(ifetch_mask)
+        i_miss = i_sim.feed(
+            line_ids_for(physical[ifetch_idx], config.icache_line_words)
+        )
+        penalties[ifetch_idx[i_miss]] += i_penalty
+        measured_i = start + ifetch_idx >= warm
+        instructions += int(measured_i.sum())
+        icache_misses += int(i_miss[measured_i].sum())
+
+        load_idx = np.flatnonzero(load_mask)
+        d_miss = d_sim.feed(
+            line_ids_for(physical[load_idx], config.dcache_line_words)
+        )
+        penalties[load_idx[d_miss]] += d_penalty
+        dcache_misses += int(d_miss[start + load_idx >= warm].sum())
+
+        mapped_idx = np.flatnonzero(chunk["mapped"])
+        if len(mapped_idx):
+            vpns = np.asarray(chunk["addresses"], dtype=np.int64)[mapped_idx] >> PAGE_SHIFT
+            ids = _tlb_ids(vpns, np.asarray(chunk["asids"])[mapped_idx])
+            t_miss = t_sim.feed(ids)
+            kernel = np.asarray(chunk["kernel"], dtype=bool)[mapped_idx]
+            tlb_pen = np.where(
+                kernel, config.tlb_kernel_penalty, config.tlb_user_penalty
+            )
+            penalties[mapped_idx] += t_miss * tlb_pen
+            measured = start + mapped_idx >= warm
+            tlb_kernel_misses += int((t_miss & kernel & measured).sum())
+            tlb_user_misses += int((t_miss & ~kernel & measured).sum())
+
+        base = ifetch_mask.astype(np.int64)
+        completion = completion_carry + np.cumsum(base + penalties)
+        completion_carry = int(completion[-1])
+        store_idx = np.flatnonzero(store_mask)
+        wb_sim.feed(
+            completion[store_idx],
+            count_from=int((start + store_idx < warm).sum()),
+        )
+
+    if consumed != n:
+        raise ValueError(f"chunks supplied {consumed} references, expected {n}")
+
+    wb_result = wb_sim.result()
+    other_cycles = other_cpi * instructions
+    tlb_cycles = (
+        tlb_user_misses * config.tlb_user_penalty
+        + tlb_kernel_misses * config.tlb_kernel_penalty
+    )
+    icache_cycles = icache_misses * i_penalty
+    dcache_cycles = dcache_misses * d_penalty
+    total_cycles = (
+        instructions
+        + icache_cycles
+        + dcache_cycles
+        + tlb_cycles
+        + wb_result.stall_cycles
+        + other_cycles
+    )
+    per_instr = 1.0 / instructions if instructions else 0.0
+    return SystemTimingResult(
+        instructions=instructions,
+        cycles=float(total_cycles),
+        icache_misses=icache_misses,
+        dcache_misses=dcache_misses,
+        tlb_user_misses=tlb_user_misses,
+        tlb_kernel_misses=tlb_kernel_misses,
+        wb_stall_cycles=wb_result.stall_cycles,
+        cpi_components={
+            "tlb": tlb_cycles * per_instr,
+            "icache": icache_cycles * per_instr,
+            "dcache": dcache_cycles * per_instr,
+            "write_buffer": wb_result.stall_cycles * per_instr,
+            "other": other_cpi,
         },
     )

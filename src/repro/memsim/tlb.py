@@ -139,3 +139,15 @@ class Tlb:
         if flags is not None:
             self.result.miss_flags = flags
         return self.result
+
+    def simulate_stream(self, chunks) -> TlbResult:
+        """Run chunked ``(vpns, asids, kernel_flags)`` batches through.
+
+        The TLB's entire state lives on ``self``, so feeding a stream
+        chunk by chunk is bit-identical to one :meth:`simulate` call
+        over the concatenated arrays while holding only one chunk in
+        memory at a time.
+        """
+        for vpns, asids, kernel_flags in chunks:
+            self.simulate(vpns, asids, kernel_flags)
+        return self.result

@@ -65,6 +65,38 @@ class WriteBuffer:
         return stall
 
 
+class StreamingWriteBuffer:
+    """Write-buffer simulation fed store arrival times chunk by chunk.
+
+    Carries the buffer occupancy and the accumulated *slip* (stall
+    cycles that push every later arrival back) between chunks, so a
+    chunked run is bit-identical to one :func:`simulate_write_buffer`
+    call over the concatenated arrival times.
+    """
+
+    def __init__(self, depth: int = 4, retire_cycles: int = 6):
+        self._buffer = WriteBuffer(depth=depth, retire_cycles=retire_cycles)
+        self._slip = 0
+        self._counted_stalls = 0
+        self._counted_stores = 0
+
+    def feed(self, store_times: np.ndarray, count_from: int = 0) -> None:
+        """Present one chunk of arrival times; ``count_from`` is
+        chunk-relative (earlier stores warm the buffer uncounted)."""
+        for i, t in enumerate(np.asarray(store_times).tolist()):
+            stall = self._buffer.store(int(t) + self._slip)
+            self._slip += stall
+            if i >= count_from:
+                self._counted_stalls += stall
+        self._counted_stores += max(len(store_times) - count_from, 0)
+
+    def result(self) -> WriteBufferResult:
+        """Aggregate result over the counted stores fed so far."""
+        return WriteBufferResult(
+            stores=self._counted_stores, stall_cycles=self._counted_stalls
+        )
+
+
 def simulate_write_buffer(
     store_times: np.ndarray,
     depth: int = 4,
@@ -85,15 +117,6 @@ def simulate_write_buffer(
     Returns:
         Aggregate :class:`WriteBufferResult` covering the counted stores.
     """
-    buffer = WriteBuffer(depth=depth, retire_cycles=retire_cycles)
-    slip = 0
-    counted_stalls = 0
-    for i, t in enumerate(store_times.tolist()):
-        stall = buffer.store(int(t) + slip)
-        slip += stall
-        if i >= count_from:
-            counted_stalls += stall
-    result = buffer.result
-    result.stall_cycles = counted_stalls
-    result.stores = max(len(store_times) - count_from, 0)
-    return result
+    sim = StreamingWriteBuffer(depth=depth, retire_cycles=retire_cycles)
+    sim.feed(store_times, count_from=count_from)
+    return sim.result()

@@ -46,11 +46,19 @@ class GenerationContext:
         seed: seed for the private random generator.
         target_references: generation stops soon after the builder holds
             this many references.
+        builder: optional pre-built trace builder (the streaming path
+            injects a :class:`~repro.trace.events.ChunkedTraceBuilder`
+            here); defaults to an in-memory :class:`TraceChunkBuilder`.
     """
 
-    def __init__(self, seed: int, target_references: int):
+    def __init__(
+        self,
+        seed: int,
+        target_references: int,
+        builder: TraceChunkBuilder | None = None,
+    ):
         self.rng = np.random.default_rng(seed)
-        self.builder = TraceChunkBuilder()
+        self.builder = TraceChunkBuilder() if builder is None else builder
         self.target_references = target_references
         self.page_faults = 0
 

@@ -35,33 +35,20 @@ FRAME_CHUNK_MEAN_PAGES = 6
 cache-colour conflicts between regions."""
 
 
-def assign_physical_frames(
-    addresses: np.ndarray, seed: int = 0, mapped: np.ndarray | None = None
+def frames_for_pages(
+    unique_pages: np.ndarray, page_mapped: np.ndarray, seed: int = 0
 ) -> np.ndarray:
-    """Map virtual byte addresses to physical byte addresses.
+    """Assign a physical frame to every page of a sorted unique-page set.
 
-    Two regimes, as on the modelled MIPS machine:
-
-    * Unmapped (k0seg) pages are identity-mapped — kernel text and the
-      buffer cache sit at fixed, contiguous physical addresses, so the
-      kernel's cache-colour layout is under the kernel's control.
-    * Mapped pages model a mid-90s allocator without cache colouring:
-      runs of consecutive virtual pages (text segments, buffers) get
-      runs of consecutive physical frames at a random base, so
-      sequential code never conflicts with itself, while unrelated
-      segments land at uncorrelated colours.
-
-    Page-offset bits are preserved.
+    This is the core of :func:`assign_physical_frames`, factored out so
+    the streaming generator can collect the page set incrementally (one
+    chunk at a time) and still draw *bit-identical* frames: the result
+    depends only on the sorted unique pages, their first-occurrence
+    mapped flags and the seed — never on how many references touched
+    each page or in what order.
     """
-    addresses = np.asarray(addresses, dtype=np.int64)
-    pages = addresses >> PAGE_SHIFT
-    unique_pages, first_index, inverse = np.unique(
-        pages, return_index=True, return_inverse=True
-    )
-    if mapped is None:
-        page_mapped = np.ones(len(unique_pages), dtype=bool)
-    else:
-        page_mapped = np.asarray(mapped, dtype=bool)[first_index]
+    unique_pages = np.asarray(unique_pages, dtype=np.int64)
+    page_mapped = np.asarray(page_mapped, dtype=bool)
     rng = np.random.default_rng(seed)
     frames = np.empty(len(unique_pages), dtype=np.int64)
     used_bases: set[int] = set()
@@ -104,8 +91,93 @@ def assign_physical_frames(
             place_run(chunk_start, chunk_start + chunk_len)
             chunk_start += chunk_len
         run_start = i
+    return frames
+
+
+def assign_physical_frames(
+    addresses: np.ndarray, seed: int = 0, mapped: np.ndarray | None = None
+) -> np.ndarray:
+    """Map virtual byte addresses to physical byte addresses.
+
+    Two regimes, as on the modelled MIPS machine:
+
+    * Unmapped (k0seg) pages are identity-mapped — kernel text and the
+      buffer cache sit at fixed, contiguous physical addresses, so the
+      kernel's cache-colour layout is under the kernel's control.
+    * Mapped pages model a mid-90s allocator without cache colouring:
+      runs of consecutive virtual pages (text segments, buffers) get
+      runs of consecutive physical frames at a random base, so
+      sequential code never conflicts with itself, while unrelated
+      segments land at uncorrelated colours.
+
+    Page-offset bits are preserved.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    pages = addresses >> PAGE_SHIFT
+    unique_pages, first_index, inverse = np.unique(
+        pages, return_index=True, return_inverse=True
+    )
+    if mapped is None:
+        page_mapped = np.ones(len(unique_pages), dtype=bool)
+    else:
+        page_mapped = np.asarray(mapped, dtype=bool)[first_index]
+    frames = frames_for_pages(unique_pages, page_mapped, seed=seed)
     phys_pages = frames[inverse]
     return (phys_pages << PAGE_SHIFT) | (addresses & (PAGE_BYTES - 1))
+
+
+class PageFrameTable:
+    """Incrementally collected virtual-page → physical-frame mapping.
+
+    The streaming generator cannot see all addresses at once, so it
+    observes virtual pages chunk by chunk, then finalizes a frame
+    assignment that is bit-identical to the batch path: the per-page
+    mapped flag recorded is the flag of the page's *first occurrence*
+    in stream order (matching ``np.unique(..., return_index=True)``),
+    and :func:`frames_for_pages` depends only on the sorted unique
+    page set, those flags, and the seed.
+    """
+
+    def __init__(self) -> None:
+        self._page_mapped: dict[int, bool] = {}
+        self._frames: dict[int, int] | None = None
+
+    def observe(self, addresses: np.ndarray, mapped: np.ndarray) -> None:
+        """Record the pages touched by one chunk (first flag wins)."""
+        if self._frames is not None:
+            raise TraceError("PageFrameTable already finalized")
+        pages = np.asarray(addresses, dtype=np.int64) >> PAGE_SHIFT
+        unique, first_index = np.unique(pages, return_index=True)
+        flags = np.asarray(mapped, dtype=bool)[first_index]
+        table = self._page_mapped
+        for page, flag in zip(unique.tolist(), flags.tolist()):
+            if page not in table:
+                table[page] = flag
+
+    def finalize(self, seed: int) -> None:
+        """Assign frames; afterwards :meth:`physical_for` is usable."""
+        unique_pages = np.fromiter(
+            sorted(self._page_mapped), dtype=np.int64, count=len(self._page_mapped)
+        )
+        page_mapped = np.fromiter(
+            (self._page_mapped[p] for p in unique_pages.tolist()),
+            dtype=bool,
+            count=len(unique_pages),
+        )
+        frames = frames_for_pages(unique_pages, page_mapped, seed=seed)
+        self._lookup_pages = unique_pages
+        self._lookup_frames = frames
+        self._frames = {}
+
+    def physical_for(self, addresses: np.ndarray) -> np.ndarray:
+        """Physical byte addresses for one chunk of virtual addresses."""
+        if self._frames is None:
+            raise TraceError("PageFrameTable not finalized")
+        addresses = np.asarray(addresses, dtype=np.int64)
+        pages = addresses >> PAGE_SHIFT
+        idx = np.searchsorted(self._lookup_pages, pages)
+        phys_pages = self._lookup_frames[idx]
+        return (phys_pages << PAGE_SHIFT) | (addresses & (PAGE_BYTES - 1))
 
 
 @dataclass
@@ -373,3 +445,70 @@ class TraceChunkBuilder:
             workload=workload,
             os_name=os_name,
         )
+
+
+_CHUNK_FIELDS = ("addresses", "kinds", "asids", "mapped", "kernel")
+
+
+class ChunkedTraceBuilder(TraceChunkBuilder):
+    """A builder that drains fixed-size chunks to a sink as it fills.
+
+    Generation models use the normal ``append``/``append_raw`` API;
+    whenever at least ``chunk_references`` references are pending they
+    are concatenated and handed to ``sink(addresses, kinds, asids,
+    mapped, kernel)`` as full fixed-size chunks (the trailing partial
+    chunk is emitted by :meth:`flush`).  Drained chunks are dropped, so
+    generation RSS stays bounded by one chunk regardless of the target
+    trace length.  ``count`` stays cumulative (the generation context
+    uses it to decide when the target is reached).
+    """
+
+    def __init__(self, sink, chunk_references: int) -> None:
+        super().__init__()
+        if chunk_references <= 0:
+            raise TraceError("chunk_references must be positive")
+        self._sink = sink
+        self._chunk_references = chunk_references
+        self._pending = 0
+
+    def append(self, addresses, kind, asid, mapped, kernel) -> None:
+        before = self.count
+        super().append(addresses, kind, asid, mapped, kernel)
+        self._pending += self.count - before
+        self._drain()
+
+    def append_raw(self, addresses, kinds, asids, mapped, kernel) -> None:
+        before = self.count
+        super().append_raw(addresses, kinds, asids, mapped, kernel)
+        self._pending += self.count - before
+        self._drain()
+
+    def flush(self) -> None:
+        """Emit whatever is pending as one final (possibly short) chunk."""
+        self._drain(final=True)
+
+    def build(self, *args, **kwargs):
+        raise TraceError(
+            "ChunkedTraceBuilder streams to its sink; call flush(), not build()"
+        )
+
+    def _drain(self, final: bool = False) -> None:
+        limit = self._chunk_references
+        total = self._pending
+        stop_at = total if final else (total // limit) * limit
+        if stop_at == 0:
+            return
+        joined = {}
+        for name in _CHUNK_FIELDS:
+            parts = getattr(self, name)
+            joined[name] = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        start = 0
+        while start < stop_at:
+            end = min(start + limit, stop_at)
+            self._sink(*(joined[name][start:end] for name in _CHUNK_FIELDS))
+            start = end
+        for name in _CHUNK_FIELDS:
+            rest = joined[name][stop_at:]
+            # Copy so the remainder does not pin the drained chunk alive.
+            setattr(self, name, [rest.copy()] if len(rest) else [])
+        self._pending = total - stop_at

@@ -11,7 +11,7 @@ from repro.osmodel.base import OperatingSystemModel
 from repro.osmodel.context import GenerationContext
 from repro.osmodel.mach import MachModel
 from repro.osmodel.ultrix import UltrixModel
-from repro.trace.events import ReferenceTrace
+from repro.trace.events import ChunkedTraceBuilder, ReferenceTrace
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.registry import get_workload
 
@@ -73,6 +73,49 @@ class TraceGenerator:
             os_name=self.os_name,
             physical_seed=self.seed + 104729,
         )
+
+    def generate_stream(
+        self, target_references: int, sink, chunk_references: int
+    ) -> dict:
+        """Stream a trace to ``sink`` in fixed-size virtual-field chunks.
+
+        ``sink(addresses, kinds, asids, mapped, kernel)`` is called with
+        full ``chunk_references``-sized chunks (plus one trailing partial
+        chunk), in program order.  Only the virtual fields are streamed
+        here: physical addresses need the complete page set, so the
+        caller (``tracestore.generate_stream``) collects pages during
+        this pass and derives physical/ifetch/load streams in a second
+        pass over the chunks it stored.
+
+        The emitted reference stream is bit-identical to
+        :meth:`generate` for the same arguments — the same
+        ``GenerationContext`` seed and models run, only the builder
+        drains instead of accumulating.
+
+        Returns a meta dict with ``page_faults``, ``other_cpi``,
+        ``workload``, ``os_name``, ``references`` (actual count) and
+        ``physical_seed`` (the seed the physical pass must use to stay
+        bit-identical with the batch path).
+        """
+        builder = ChunkedTraceBuilder(sink, chunk_references)
+        ctx = GenerationContext(
+            seed=self.seed + 7919,
+            target_references=target_references,
+            builder=builder,
+        )
+        self.model.generate(ctx)
+        builder.flush()
+        other_cpi = self.workload.other_cpi
+        if self.os_name == "mach":
+            other_cpi *= MACH_OTHER_CPI_DILUTION
+        return {
+            "page_faults": ctx.page_faults,
+            "other_cpi": other_cpi,
+            "workload": self.workload.name,
+            "os_name": self.os_name,
+            "references": builder.count,
+            "physical_seed": self.seed + 104729,
+        }
 
 
 def generate_trace(

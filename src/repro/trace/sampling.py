@@ -38,8 +38,16 @@ class SampledEstimate:
 
     @property
     def relative_error(self) -> float:
-        """Standard error as a fraction of the mean."""
-        return self.std_error / self.mean if self.mean else 0.0
+        """Standard error as a fraction of the mean's magnitude.
+
+        Uses ``abs(mean)`` so the ratio is never negative, and returns
+        NaN when the mean is zero: a zero-miss estimate carries no
+        scale to normalize by, and the old ``0.0`` answer read as
+        "perfect estimate" when it really meant "undefined".
+        """
+        if self.mean == 0.0:
+            return float("nan")
+        return self.std_error / abs(self.mean)
 
 
 def sample_intervals(
@@ -50,6 +58,12 @@ def sample_intervals(
 ) -> list[tuple[int, int]]:
     """Choose random non-overlapping (start, stop) sampling intervals.
 
+    Starts lie on a ``sample_length`` grid shifted by a random offset
+    drawn from the leftover ``total_references % sample_length`` refs,
+    so intervals never overlap yet every reference — including the
+    trailing partial slot a fixed grid could never reach — has a
+    chance of being sampled.
+
     Raises:
         ValueError: if the requested samples cannot fit in the trace.
     """
@@ -58,12 +72,15 @@ def sample_intervals(
             f"{samples} samples x {sample_length} refs exceed trace of "
             f"{total_references}"
         )
-    # Place samples by choosing starts on a shuffled grid of candidate
-    # slots so intervals never overlap.
     slots = total_references // sample_length
+    leftover = total_references - slots * sample_length
+    offset = int(rng.integers(0, leftover + 1))
     chosen = rng.choice(slots, size=samples, replace=False)
     return sorted(
-        (int(s) * sample_length, int(s) * sample_length + sample_length)
+        (
+            offset + int(s) * sample_length,
+            offset + int(s) * sample_length + sample_length,
+        )
         for s in chosen
     )
 
@@ -97,9 +114,49 @@ def sampled_miss_ratio(
     rng = np.random.default_rng(seed)
     intervals = sample_intervals(len(trace), samples, sample_length, rng)
     warmup = int(sample_length * warmup_fraction)
+    return _estimate_over_windows(
+        (trace.slice(start, stop) for start, stop in intervals),
+        simulate_sample,
+        warmup,
+        sample_length,
+    )
+
+
+def sampled_miss_ratio_stream(
+    stream,
+    simulate_sample,
+    samples: int = 35,
+    sample_length: int = 20_000,
+    warmup_fraction: float = 0.3,
+    seed: int = 0,
+) -> SampledEstimate:
+    """Streaming twin of :func:`sampled_miss_ratio`.
+
+    Draws the same intervals from the same seed, but takes an on-disk
+    :class:`~repro.trace.tracestore.TraceStream` and materializes only
+    one ``sample_length`` window at a time (via ``window_trace``), so
+    sampling a trace never costs more memory than one sample —
+    regardless of trace length.  Estimates are bit-identical to the
+    in-memory sampler on the same trace.
+    """
+    rng = np.random.default_rng(seed)
+    intervals = sample_intervals(stream.references, samples, sample_length, rng)
+    warmup = int(sample_length * warmup_fraction)
+    return _estimate_over_windows(
+        (stream.window_trace(start, stop) for start, stop in intervals),
+        simulate_sample,
+        warmup,
+        sample_length,
+    )
+
+
+def _estimate_over_windows(
+    windows, simulate_sample, warmup: int, sample_length: int
+) -> SampledEstimate:
+    """Fold per-sample miss ratios into a :class:`SampledEstimate`."""
     ratios = []
-    for start, stop in intervals:
-        misses, accesses = simulate_sample(trace.slice(start, stop), warmup)
+    for window in windows:
+        misses, accesses = simulate_sample(window, warmup)
         if accesses:
             ratios.append(misses / accesses)
     ratios = np.array(ratios)

@@ -1,34 +1,50 @@
-"""Zero-copy trace plane: an mmap-backed on-disk cache of traces.
+"""Zero-copy trace plane: a chunk-streaming on-disk cache of traces.
 
 Trace *generation* — not simulation — dominates the cold path since the
 simulation kernels went native: every measurement worker used to
 re-synthesize the same multi-hundred-thousand-reference trace from
 scratch.  This module generates each (workload, OS, length, seed) trace
-once, serializes it as raw little-endian numpy arrays behind a JSON
-header, and loads it back with ``np.memmap`` so any number of
+once, serializes it as raw little-endian per-field files behind a JSON
+header, and loads it back with ``np.memmap`` (whole-trace consumers) or
+windowed ``np.fromfile`` reads (:class:`TraceStream`) so any number of
 measurement workers share one physical copy of the bytes through the
 OS page cache — no regeneration, no pickling, no per-process copies.
+
+Format 2 entries are *directories* so they can be built by streaming
+appends with bounded RSS:
+
+* ``<field>.bin`` — one contiguous raw little-endian array per field
+  (the six reference arrays plus the derived physical ifetch/load
+  streams).  The streaming generator appends fixed-size chunks whose
+  reference count is a multiple of 64, so every chunk boundary lands on
+  a 64-byte-aligned file offset in every field.
+* ``header.json`` — written *last*, via tmp+rename inside the entry:
+  it is the commit record.  A directory without a valid header (e.g. a
+  writer killed mid-append) is an incomplete entry; readers evict it
+  and regenerate rather than serve short data.
 
 Entries are content-addressed by a :class:`TraceKey` covering
 everything that determines the bytes: workload, OS model, reference
 count, seed, the generator's ``TRACE_FORMAT_VERSION`` (so cache keys
 invalidate automatically when generation semantics change) and
-``REPRO_SCALE``.  Alongside the six reference arrays the entry stores
-the two derived streams the cache-grid units consume (physical ifetch
-and load addresses), materialized once per trace instead of once per
-measurement unit.
+``REPRO_SCALE``.
 
-Publishes are crash-safe (unique temp file + atomic ``os.replace``,
-the same protocol as ``repro.store``); loads validate the header,
-format version and every array extent against the file size, and any
-torn or corrupt entry is evicted and regenerated rather than served
-short.  Knobs:
+Whole entries are published crash-safely (unique temp directory +
+atomic ``os.replace``); loads validate the header, format version and
+every array extent against the file sizes, and any torn or corrupt
+entry is evicted and regenerated rather than served short.  Loading an
+entry touches its directory mtime, so the entry cap evicts in true
+least-recently-*used* order, not publish order.  Knobs:
 
 * ``REPRO_TRACE_CACHE`` — cache directory (default
   ``.repro-trace-cache``); ``off``/``0``/``none``/``false`` disables
   the plane entirely (every call regenerates in-process).
 * ``REPRO_TRACE_CACHE_MAX`` — entry cap (default 64); publishing
-  beyond it prunes the oldest entries by mtime.
+  beyond it prunes the least-recently-used entries.
+* ``REPRO_STREAM_CHUNK`` — references per streamed chunk (default
+  1048576, must be a positive multiple of 64).  Generation and
+  simulation of traces longer than one chunk hold at most ~one chunk
+  per field in memory at a time.
 """
 
 from __future__ import annotations
@@ -36,7 +52,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import struct
+import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,21 +60,22 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ConfigError, TraceError
+from repro.memsim.types import AccessKind
 from repro.trace import generator as _generator
-from repro.trace.events import ReferenceTrace
+from repro.trace.events import PageFrameTable, ReferenceTrace
 
 MAGIC = "repro-tracestore"
-STORE_FORMAT = 1
-"""On-disk layout version of this module (header/array framing)."""
+STORE_FORMAT = 2
+"""On-disk layout version of this module (directory entry framing)."""
 
 DEFAULT_CACHE_DIR = ".repro-trace-cache"
 DEFAULT_MAX_ENTRIES = 64
+DEFAULT_STREAM_CHUNK = 1_048_576
 SUFFIX = ".trace"
+HEADER_NAME = "header.json"
 
 _DISABLED_VALUES = frozenset({"off", "0", "none", "false", "disabled"})
 
-_HEADER_PREFIX = struct.Struct("<Q")  # header-JSON byte length
-_ALIGN = 64  # arrays start on cache-line boundaries
 _MAX_HEADER_BYTES = 1 << 20  # sanity bound when reading foreign files
 
 # (name, little-endian dtype) of every serialized array.  The first six
@@ -74,6 +91,12 @@ _FIELDS: tuple[tuple[str, str], ...] = (
     ("ifetch_physical", "<i8"),
     ("load_physical", "<i8"),
 )
+_DTYPES: dict[str, str] = dict(_FIELDS)
+
+#: Fields with one element per reference (the ReferenceTrace arrays).
+REFERENCE_FIELDS = ("addresses", "physical", "kinds", "asids", "mapped", "kernel")
+#: Fields the generator can emit before physical frames are known.
+VIRTUAL_FIELDS = ("addresses", "kinds", "asids", "mapped", "kernel")
 
 
 def trace_cache_dir() -> Path | None:
@@ -104,6 +127,29 @@ def max_entries() -> int:
         ) from None
     if value < 1:
         raise ConfigError(f"REPRO_TRACE_CACHE_MAX must be >= 1, got {value}")
+    return value
+
+
+def stream_chunk_references() -> int:
+    """References per streamed chunk: ``REPRO_STREAM_CHUNK`` or 1048576.
+
+    Must be a positive multiple of 64 so that every chunk boundary is a
+    64-byte-aligned offset in every field file (the widest field is 8
+    bytes per reference).
+    """
+    raw = os.environ.get("REPRO_STREAM_CHUNK", "")
+    if not raw:
+        return DEFAULT_STREAM_CHUNK
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_STREAM_CHUNK must be an integer, got {raw!r}"
+        ) from None
+    if value < 64 or value % 64:
+        raise ConfigError(
+            f"REPRO_STREAM_CHUNK must be a positive multiple of 64, got {value}"
+        )
     return value
 
 
@@ -165,197 +211,326 @@ def entry_path(key: TraceKey) -> Path | None:
 
 def _evict(path: Path) -> None:
     try:
-        path.unlink()
+        if path.is_dir() and not path.is_symlink():
+            shutil.rmtree(path, ignore_errors=True)
+        else:
+            path.unlink()
     except OSError:
         pass
 
 
-def _serialize(trace: ReferenceTrace, key: TraceKey) -> bytes:
-    """Frame a trace as length-prefixed JSON header + aligned raw arrays."""
-    arrays = {
-        "addresses": np.ascontiguousarray(trace.addresses, dtype="<i8"),
-        "physical": np.ascontiguousarray(trace.physical, dtype="<i8"),
-        "kinds": np.ascontiguousarray(trace.kinds, dtype="|u1"),
-        "asids": np.ascontiguousarray(trace.asids, dtype="|u1"),
-        "mapped": np.ascontiguousarray(trace.mapped, dtype="|b1"),
-        "kernel": np.ascontiguousarray(trace.kernel, dtype="|b1"),
-        "ifetch_physical": np.ascontiguousarray(
-            trace.ifetch_physical(), dtype="<i8"
-        ),
-        "load_physical": np.ascontiguousarray(
-            trace.load_physical(), dtype="<i8"
-        ),
-    }
-    # Array offsets are relative to the aligned start of the data
-    # block, so the header can describe them before its own length is
-    # known.
-    specs = []
-    cursor = 0
-    for name, dtype in _FIELDS:
-        arr = arrays[name]
-        cursor = -(-cursor // _ALIGN) * _ALIGN
-        specs.append(
-            {
-                "name": name,
-                "dtype": dtype,
-                "count": int(arr.shape[0]),
-                "offset": cursor,
-            }
-        )
-        cursor += arr.nbytes
-    data_bytes = cursor
-    header = {
-        "magic": MAGIC,
-        "format": STORE_FORMAT,
-        "key": key.canonical(),
-        "meta": {
-            "page_faults": int(trace.page_faults),
-            "other_cpi": float(trace.other_cpi),
-            "workload": trace.workload,
-            "os_name": trace.os_name,
-        },
-        "arrays": specs,
-        "data_bytes": data_bytes,
-    }
-    header_blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
-    data_start = -(-(_HEADER_PREFIX.size + len(header_blob)) // _ALIGN) * _ALIGN
-    out = bytearray(data_start + data_bytes)
-    out[: _HEADER_PREFIX.size] = _HEADER_PREFIX.pack(len(header_blob))
-    out[_HEADER_PREFIX.size : _HEADER_PREFIX.size + len(header_blob)] = header_blob
-    for spec, (name, _) in zip(specs, _FIELDS):
-        start = data_start + spec["offset"]
-        out[start : start + arrays[name].nbytes] = arrays[name].tobytes()
-    return bytes(out)
+def _touch(path: Path) -> None:
+    """Best-effort last-use stamp so pruning is LRU, not publish order."""
+    try:
+        os.utime(path)
+    except OSError:
+        pass
 
 
-def publish(trace: ReferenceTrace, key: TraceKey) -> Path | None:
-    """Write one entry crash-safely; returns its path (None if disabled).
+# ---------------------------------------------------------------------------
+# Streaming writer
 
-    A unique temp file in the cache directory is renamed into place,
-    so concurrent publishers of the same key are idempotent and readers
-    never observe a torn entry under ``os.replace`` semantics.
+
+class StreamingTraceWriter:
+    """Builds one entry directory by appending fixed-size chunks.
+
+    The writer owns the eight field files of an entry; chunks are
+    appended in program order with :meth:`append_virtual` (the five
+    generation-time fields) and :meth:`append_physical` (the
+    physical address stream plus the two derived streams), and
+    :meth:`finalize` commits the entry by writing ``header.json`` last.
+    Until finalize succeeds the directory has no header and every
+    reader treats it as an incomplete entry to evict — that is what
+    makes a writer killed mid-append crash-safe.
+
+    The writer itself accepts any positive chunk size (tests stream odd
+    shapes); the module-level generation path always uses
+    :func:`stream_chunk_references`, keeping chunk boundaries
+    64-byte-aligned in every field file.
     """
-    path = entry_path(key)
-    if path is None:
+
+    def __init__(self, path: Path, key: TraceKey, chunk_references: int):
+        if chunk_references < 1:
+            raise TraceError("chunk_references must be positive")
+        self.path = Path(path)
+        self.key = key
+        self.chunk_references = int(chunk_references)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._counts: dict[str, int] = {name: 0 for name, _ in _FIELDS}
+        self._handles = {
+            name: open(self.path / f"{name}.bin", "wb") for name, _ in _FIELDS
+        }
+        self._closed = False
+
+    def _write(self, name: str, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array, dtype=_DTYPES[name])
+        self._handles[name].write(array.tobytes())
+        self._counts[name] += len(array)
+
+    def append_virtual(self, addresses, kinds, asids, mapped, kernel) -> None:
+        """Append one chunk of generation-time (pre-physical) fields."""
+        for name, array in zip(
+            VIRTUAL_FIELDS, (addresses, kinds, asids, mapped, kernel)
+        ):
+            self._write(name, array)
+
+    def append_physical(self, physical, ifetch_physical, load_physical) -> None:
+        """Append one chunk of the physical and derived streams."""
+        self._write("physical", physical)
+        self._write("ifetch_physical", ifetch_physical)
+        self._write("load_physical", load_physical)
+
+    def flush(self) -> None:
+        """Flush field buffers so the bytes are readable from the files."""
+        for handle in self._handles.values():
+            handle.flush()
+
+    def finalize(
+        self,
+        page_faults: int = 0,
+        other_cpi: float = 0.0,
+        workload: str = "",
+        os_name: str = "",
+    ) -> None:
+        """Commit the entry: close field files, then publish the header."""
+        counts = {name: self._counts[name] for name in REFERENCE_FIELDS}
+        if len(set(counts.values())) != 1:
+            raise TraceError(f"unbalanced field counts at finalize: {counts}")
+        self.close()
+        header = {
+            "magic": MAGIC,
+            "format": STORE_FORMAT,
+            "key": self.key.canonical(),
+            "meta": {
+                "page_faults": int(page_faults),
+                "other_cpi": float(other_cpi),
+                "workload": str(workload),
+                "os_name": str(os_name),
+            },
+            "chunk_references": self.chunk_references,
+            "arrays": [
+                {"name": name, "dtype": dtype, "count": self._counts[name]}
+                for name, dtype in _FIELDS
+            ],
+        }
+        blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".header-", suffix=".tmp", dir=self.path
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, self.path / HEADER_NAME)
+        except BaseException:
+            _evict(Path(tmp_name))
+            raise
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles.values():
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Header validation + streaming reader
+
+
+def _read_header(path: Path) -> dict | None:
+    """The header dict of a structurally valid entry, else None.
+
+    Validates the commit record and every field file's extent, so a
+    header-bearing entry is guaranteed to serve full-length arrays.
+    """
+    if not path.is_dir():
         return None
-    path.parent.mkdir(parents=True, exist_ok=True)
-    blob = _serialize(trace, key)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.stem}-", suffix=".tmp", dir=path.parent
-    )
     try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(blob)
-        os.replace(tmp_name, path)
-    except BaseException:
-        _evict(Path(tmp_name))
-        raise
-    _prune(path.parent, keep=path.name)
-    return path
-
-
-def _prune(root: Path, keep: str) -> None:
-    """Drop the oldest entries (by mtime) beyond the configured cap."""
-    cap = max_entries()
-    try:
-        entries = [
-            (p.stat().st_mtime_ns, p.name, p) for p in root.glob(f"*{SUFFIX}")
-        ]
+        blob = (path / HEADER_NAME).read_bytes()
     except OSError:
-        return
-    if len(entries) <= cap:
-        return
-    entries.sort()
-    for _, name, path in entries[: len(entries) - cap]:
-        if name != keep:
-            _evict(path)
-
-
-def _read_header(path: Path) -> tuple[dict, int] | None:
-    """(header, data_start) for a structurally valid entry, else None."""
-    try:
-        size = path.stat().st_size
-        with open(path, "rb") as handle:
-            prefix = handle.read(_HEADER_PREFIX.size)
-            if len(prefix) != _HEADER_PREFIX.size:
-                return None
-            (header_len,) = _HEADER_PREFIX.unpack(prefix)
-            if header_len == 0 or header_len > min(_MAX_HEADER_BYTES, size):
-                return None
-            header_blob = handle.read(header_len)
-    except OSError:
         return None
-    if len(header_blob) != header_len:
+    if not blob or len(blob) > _MAX_HEADER_BYTES:
         return None
     try:
-        header = json.loads(header_blob)
+        header = json.loads(blob)
     except ValueError:
         return None
     if not isinstance(header, dict) or header.get("magic") != MAGIC:
         return None
     if header.get("format") != STORE_FORMAT:
         return None
-    data_start = -(-(_HEADER_PREFIX.size + header_len) // _ALIGN) * _ALIGN
     try:
-        if size != data_start + int(header["data_bytes"]):
-            return None  # truncated (or over-long) data block
         specs = header["arrays"]
         if [s["name"] for s in specs] != [name for name, _ in _FIELDS] or any(
             s["dtype"] != dtype for s, (_, dtype) in zip(specs, _FIELDS)
         ):
             return None
+        counts = {s["name"]: int(s["count"]) for s in specs}
+        if any(c < 0 for c in counts.values()):
+            return None
+        if len({counts[name] for name in REFERENCE_FIELDS}) != 1:
+            return None
+        references = counts["addresses"]
+        if counts["ifetch_physical"] + counts["load_physical"] > references:
+            return None
+        if int(header["chunk_references"]) < 1:
+            return None
         for spec in specs:
-            count, offset = int(spec["count"]), int(spec["offset"])
-            nbytes = count * np.dtype(spec["dtype"]).itemsize
-            if count < 0 or offset < 0 or offset + nbytes > header["data_bytes"]:
+            nbytes = counts[spec["name"]] * np.dtype(spec["dtype"]).itemsize
+            if (path / f"{spec['name']}.bin").stat().st_size != nbytes:
                 return None
         meta = header["meta"]
         int(meta["page_faults"]), float(meta["other_cpi"])
         str(meta["workload"]), str(meta["os_name"])
-    except (KeyError, TypeError, ValueError):
+    except (KeyError, TypeError, ValueError, OSError):
         return None
-    return header, data_start
+    return header
+
+
+class TraceStream:
+    """Windowed reader over one published entry.
+
+    Reads are plain ``np.fromfile`` windows (not whole-file memmaps),
+    so a full pass over a multi-hundred-million-reference entry keeps
+    RSS bounded by one chunk per field instead of faulting the whole
+    file resident.
+    """
+
+    def __init__(self, path: Path, header: dict):
+        self.path = Path(path)
+        self._counts = {s["name"]: int(s["count"]) for s in header["arrays"]}
+        self._dtypes = {
+            s["name"]: np.dtype(s["dtype"]) for s in header["arrays"]
+        }
+        self.references: int = self._counts["addresses"]
+        self.chunk_references: int = int(header["chunk_references"])
+        meta = header["meta"]
+        self.page_faults: int = int(meta["page_faults"])
+        self.other_cpi: float = float(meta["other_cpi"])
+        self.workload: str = str(meta["workload"])
+        self.os_name: str = str(meta["os_name"])
+
+    def __len__(self) -> int:
+        return self.references
+
+    def count(self, field: str) -> int:
+        """Element count of one field (derived streams are shorter)."""
+        return self._counts[field]
+
+    def read(self, field: str, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """One window of one field as an in-memory array."""
+        total = self._counts[field]
+        if stop is None:
+            stop = total
+        start = max(0, min(int(start), total))
+        stop = max(start, min(int(stop), total))
+        dtype = self._dtypes[field]
+        array = np.fromfile(
+            self.path / f"{field}.bin",
+            dtype=dtype,
+            count=stop - start,
+            offset=start * dtype.itemsize,
+        )
+        if len(array) != stop - start:
+            raise TraceError(
+                f"short read of {field} [{start}:{stop}) in {self.path}"
+            )
+        return array
+
+    def chunks(self, fields, chunk_references: int | None = None):
+        """Iterate reference-aligned windows of the given fields.
+
+        Yields ``(start, stop, {field: array})`` in order; the chunk
+        size defaults to the writer's but any positive value works —
+        windows are plain file offsets.
+        """
+        step = chunk_references or self.chunk_references
+        if step < 1:
+            raise TraceError("chunk_references must be positive")
+        for start in range(0, self.references, step):
+            stop = min(start + step, self.references)
+            yield start, stop, {f: self.read(f, start, stop) for f in fields}
+
+    def window_trace(self, start: int, stop: int) -> ReferenceTrace:
+        """Materialize one reference window as a ReferenceTrace.
+
+        Used by the sampling machinery: only the window's bytes are
+        read.  Derived streams are recomputed from the window (matching
+        ``ReferenceTrace.slice`` semantics).
+        """
+        return ReferenceTrace(
+            addresses=self.read("addresses", start, stop),
+            physical=self.read("physical", start, stop),
+            kinds=self.read("kinds", start, stop),
+            asids=self.read("asids", start, stop),
+            mapped=self.read("mapped", start, stop),
+            kernel=self.read("kernel", start, stop),
+            page_faults=self.page_faults,
+            other_cpi=self.other_cpi,
+            workload=self.workload,
+            os_name=self.os_name,
+        )
+
+
+def open_stream(key: TraceKey) -> TraceStream | None:
+    """Open a windowed reader; None on miss or corrupt entry.
+
+    Structural corruption (missing/garbage header, short field file —
+    e.g. a streaming writer killed mid-append) evicts the entry so the
+    caller regenerates.  Success touches the entry for LRU pruning.
+    """
+    path = entry_path(key)
+    if path is None or not path.exists():
+        return None
+    header = _read_header(path)
+    if header is None or header["key"] != key.canonical():
+        _evict(path)
+        return None
+    _touch(path)
+    return TraceStream(path, header)
 
 
 def has(key: TraceKey) -> bool:
     """True when a structurally valid entry exists for this key.
 
-    Header-only validation (no memmaps built): cheap enough for a
+    Header-only validation (no data reads): cheap enough for a
     per-call check before deciding whether a warm-up fan-out is needed.
     A torn entry reports False and is handled by :func:`load`.
     """
     path = entry_path(key)
     if path is None or not path.exists():
         return False
-    parsed = _read_header(path)
-    return parsed is not None and parsed[0]["key"] == key.canonical()
+    header = _read_header(path)
+    return header is not None and header["key"] == key.canonical()
 
 
 def load(key: TraceKey) -> ReferenceTrace | None:
     """Memory-map one cached trace; None on miss or corrupt entry.
 
-    Anything structurally wrong — torn header, short array file, stale
+    Anything structurally wrong — torn header, short field file, stale
     format, key mismatch — evicts the entry and reports a miss, so the
     caller regenerates and re-publishes instead of crashing or working
-    on a short trace.
+    on a short trace.  Loading touches the entry, keeping the prune
+    order LRU.
     """
     path = entry_path(key)
     if path is None or not path.exists():
         return None
-    parsed = _read_header(path)
-    if parsed is None or parsed[0]["key"] != key.canonical():
+    header = _read_header(path)
+    if header is None or header["key"] != key.canonical():
         _evict(path)
         return None
-    header, data_start = parsed
     arrays: dict[str, np.ndarray] = {}
     try:
         for spec in header["arrays"]:
             arrays[spec["name"]] = np.memmap(
-                path,
+                path / f"{spec['name']}.bin",
                 mode="r",
                 dtype=np.dtype(spec["dtype"]),
-                offset=data_start + spec["offset"],
-                shape=(spec["count"],),
+                shape=(int(spec["count"]),),
             )
         meta = header["meta"]
         trace = ReferenceTrace(
@@ -377,7 +552,162 @@ def load(key: TraceKey) -> ReferenceTrace | None:
     # grid units never recompute the kind masks per unit.
     trace._derived["ifetch_physical"] = arrays["ifetch_physical"]
     trace._derived["load_physical"] = arrays["load_physical"]
+    _touch(path)
     return trace
+
+
+# ---------------------------------------------------------------------------
+# Publishing
+
+
+def _publish_dir(tmp: Path, path: Path) -> bool:
+    """Atomically move a finished temp entry into place.
+
+    Concurrent publishers of the same key are idempotent: if another
+    writer already installed a valid entry, ours is discarded.  An
+    invalid (incomplete/corrupt) existing entry is evicted first.
+    """
+    for _ in range(2):
+        try:
+            os.replace(tmp, path)
+            return True
+        except OSError:
+            if _read_header(path) is not None:
+                break  # a concurrent publisher won with a valid entry
+            _evict(path)
+    shutil.rmtree(tmp, ignore_errors=True)
+    return path.exists()
+
+
+def publish(trace: ReferenceTrace, key: TraceKey) -> Path | None:
+    """Write one entry crash-safely; returns its path (None if disabled).
+
+    A unique temp directory in the cache root is renamed into place, so
+    concurrent publishers of the same key are idempotent and readers
+    never observe a torn entry under ``os.replace`` semantics.
+    """
+    path = entry_path(key)
+    if path is None:
+        return None
+    root = path.parent
+    root.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(prefix=f".{path.stem}-", dir=root))
+    try:
+        writer = StreamingTraceWriter(tmp, key, stream_chunk_references())
+        writer.append_virtual(
+            trace.addresses, trace.kinds, trace.asids, trace.mapped, trace.kernel
+        )
+        writer.append_physical(
+            trace.physical, trace.ifetch_physical(), trace.load_physical()
+        )
+        writer.finalize(
+            page_faults=trace.page_faults,
+            other_cpi=trace.other_cpi,
+            workload=trace.workload,
+            os_name=trace.os_name,
+        )
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    _publish_dir(tmp, path)
+    _prune(root, keep=path.name)
+    return path
+
+
+def generate_stream(
+    workload: str, os_name: str, references: int, seed: int = 1
+) -> Path | None:
+    """Generate and publish one entry with bounded RSS; its path or None.
+
+    Two passes, both chunked: the generator streams virtual-field
+    chunks to a temp entry while the touched page set is collected
+    incrementally; then physical frames are assigned (bit-identical to
+    the batch mapper — see :class:`~repro.trace.events.PageFrameTable`)
+    and the physical + derived streams are appended by re-reading the
+    stored virtual chunks.  Peak memory is ~one chunk per field plus
+    the page table, regardless of trace length.
+    """
+    path = entry_path(key := key_for(workload, os_name, references, seed))
+    if path is None:
+        return None
+    root = path.parent
+    root.mkdir(parents=True, exist_ok=True)
+    chunk = stream_chunk_references()
+    tmp = Path(tempfile.mkdtemp(prefix=f".{path.stem}-", dir=root))
+    try:
+        writer = StreamingTraceWriter(tmp, key, chunk)
+        table = PageFrameTable()
+
+        def sink(addresses, kinds, asids, mapped, kernel):
+            table.observe(addresses, mapped)
+            writer.append_virtual(addresses, kinds, asids, mapped, kernel)
+
+        gen = _generator.TraceGenerator(workload, os_name, seed=seed)
+        meta = gen.generate_stream(references, sink, chunk)
+        writer.flush()
+        table.finalize(meta["physical_seed"])
+
+        addr_dtype = np.dtype(_DTYPES["addresses"])
+        kind_dtype = np.dtype(_DTYPES["kinds"])
+        total = meta["references"]
+        for start in range(0, total, chunk):
+            stop = min(start + chunk, total)
+            addresses = np.fromfile(
+                tmp / "addresses.bin",
+                dtype=addr_dtype,
+                count=stop - start,
+                offset=start * addr_dtype.itemsize,
+            )
+            kinds = np.fromfile(
+                tmp / "kinds.bin",
+                dtype=kind_dtype,
+                count=stop - start,
+                offset=start * kind_dtype.itemsize,
+            )
+            physical = table.physical_for(addresses)
+            writer.append_physical(
+                physical,
+                physical[kinds == AccessKind.IFETCH],
+                physical[kinds == AccessKind.LOAD],
+            )
+        writer.finalize(
+            page_faults=meta["page_faults"],
+            other_cpi=meta["other_cpi"],
+            workload=meta["workload"],
+            os_name=meta["os_name"],
+        )
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    _publish_dir(tmp, path)
+    _prune(root, keep=path.name)
+    return path
+
+
+def _prune(root: Path, keep: str) -> None:
+    """Drop the least-recently-used entries beyond the configured cap.
+
+    Entry mtimes are refreshed on every successful load/open (see
+    :func:`_touch`), so sorting by mtime evicts cold entries first —
+    publish order only breaks ties.
+    """
+    cap = max_entries()
+    try:
+        entries = [
+            (p.stat().st_mtime_ns, p.name, p) for p in root.glob(f"*{SUFFIX}")
+        ]
+    except OSError:
+        return
+    if len(entries) <= cap:
+        return
+    entries.sort()
+    for _, name, path in entries[: len(entries) - cap]:
+        if name != keep:
+            _evict(path)
+
+
+# ---------------------------------------------------------------------------
+# High-level access
 
 
 def ensure(
@@ -386,16 +716,44 @@ def ensure(
     """Make sure a key is published; True if this call generated it.
 
     A no-op (False) when the plane is disabled or the entry already
-    loads cleanly.
+    loads cleanly.  Traces longer than one stream chunk are generated
+    chunk-streaming (bounded RSS); shorter ones in one batch.
     """
     if not enabled():
         return False
     key = key_for(workload, os_name, references, seed)
-    if load(key) is not None:
+    if has(key):
         return False
-    trace = _generator.generate_trace(workload, os_name, references, seed=seed)
-    publish(trace, key)
+    if references > stream_chunk_references():
+        generate_stream(workload, os_name, references, seed=seed)
+    else:
+        trace = _generator.generate_trace(workload, os_name, references, seed=seed)
+        publish(trace, key)
     return True
+
+
+def stream(
+    workload: str, os_name: str, references: int, seed: int = 1
+) -> TraceStream:
+    """Open a windowed reader, generating and publishing on miss.
+
+    Streaming needs the on-disk plane: with ``REPRO_TRACE_CACHE`` off
+    there is nowhere to stage chunks, so this raises ``TraceError`` —
+    callers fall back to the materialized path (:func:`get_trace`).
+    """
+    if not enabled():
+        raise TraceError(
+            "chunk streaming requires the trace plane; REPRO_TRACE_CACHE is off"
+        )
+    key = key_for(workload, os_name, references, seed)
+    opened = open_stream(key)
+    if opened is not None:
+        return opened
+    generate_stream(workload, os_name, references, seed=seed)
+    opened = open_stream(key)
+    if opened is None:
+        raise TraceError(f"failed to publish streaming entry for {key}")
+    return opened
 
 
 def get_trace(
@@ -404,9 +762,11 @@ def get_trace(
     """Load a trace through the plane, generating and publishing on miss.
 
     Cache hits return memmap-backed traces (zero-copy across
-    processes); misses return the freshly generated in-memory trace —
+    processes); misses return the freshly generated trace —
     bit-identical either way — after best-effort publishing it for the
-    next reader.  With the plane disabled this is plain generation.
+    next reader.  Misses longer than one stream chunk are generated
+    chunk-streaming (bounded RSS) and served as memmaps of the new
+    entry.  With the plane disabled this is plain generation.
     """
     if not enabled():
         return _generator.generate_trace(workload, os_name, references, seed=seed)
@@ -414,6 +774,14 @@ def get_trace(
     trace = load(key)
     if trace is not None:
         return trace
+    if references > stream_chunk_references():
+        try:
+            generate_stream(workload, os_name, references, seed=seed)
+            trace = load(key)
+            if trace is not None:
+                return trace
+        except OSError:
+            pass  # read-only or full filesystem: fall back to in-memory
     trace = _generator.generate_trace(workload, os_name, references, seed=seed)
     try:
         publish(trace, key)

@@ -1,0 +1,83 @@
+"""Streaming measurement units must be bit-identical to batch units.
+
+Forces a stream chunk far smaller than the trace so every unit takes
+the chunked path, then compares each unit's output — and a whole
+``measure_workload`` — against the materialized batch path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import measure
+
+REFS = 40_000
+SEED = 1
+PAIR = ("mpeg_play", "mach")
+
+CAPS = (4096, 16384)
+LINES = (4, 16)
+ASSOCS = (1, 2)
+TLB_ENTRIES = (16, 64)
+TLB_ASSOCS = (1, 2)
+TLB_FULL_MAX = 64
+
+
+@pytest.fixture
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    measure._worker_traces.clear()
+    yield
+    measure._worker_traces.clear()
+
+
+def _unit_specs():
+    common = (*PAIR, REFS, SEED, 0.4)
+    specs = []
+    for lw in LINES:
+        specs.append(("icache", *common, (CAPS, lw, ASSOCS)))
+        specs.append(("dcache", *common, (CAPS, lw, ASSOCS)))
+    specs.append(("tlb", *common, (TLB_ENTRIES, TLB_ASSOCS, TLB_FULL_MAX)))
+    specs.append(("timing", *common, None))
+    return specs
+
+
+class TestStreamingUnits:
+    def test_streaming_dispatch_threshold(self, isolated, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_CHUNK", "4096")
+        assert measure._use_streaming(REFS)
+        monkeypatch.setenv("REPRO_STREAM_CHUNK", str(1 << 30))
+        assert not measure._use_streaming(REFS)
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        monkeypatch.setenv("REPRO_STREAM_CHUNK", "4096")
+        assert not measure._use_streaming(REFS)
+
+    def test_every_unit_bit_identical(self, isolated, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_CHUNK", str(1 << 30))
+        batch = [measure._measure_unit(s) for s in _unit_specs()]
+        measure._worker_traces.clear()
+        monkeypatch.setenv("REPRO_STREAM_CHUNK", "4096")
+        streamed = [measure._measure_unit(s) for s in _unit_specs()]
+        for spec, b, s in zip(_unit_specs(), batch, streamed):
+            assert b == s, spec[0]
+
+    def test_measure_workload_bit_identical(self, isolated, tmp_path, monkeypatch):
+        kwargs = dict(
+            capacities=CAPS,
+            lines=LINES,
+            assocs=ASSOCS,
+            tlb_entries=TLB_ENTRIES,
+            tlb_assocs=TLB_ASSOCS,
+            tlb_full_max=TLB_FULL_MAX,
+            references=REFS,
+            seed=SEED,
+        )
+        monkeypatch.setenv("REPRO_STREAM_CHUNK", str(1 << 30))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-batch"))
+        batch = measure.measure_workload(*PAIR, **kwargs)
+        measure._worker_traces.clear()
+        monkeypatch.setenv("REPRO_STREAM_CHUNK", "4096")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-stream"))
+        streamed = measure.measure_workload(*PAIR, **kwargs)
+        assert batch == streamed

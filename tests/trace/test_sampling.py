@@ -1,10 +1,17 @@
 """Tests for the Laha-style trace-sampling estimator."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.memsim.cache import Cache
-from repro.trace.sampling import sample_intervals, sampled_miss_ratio
+from repro.trace.sampling import (
+    SampledEstimate,
+    sample_intervals,
+    sampled_miss_ratio,
+    sampled_miss_ratio_stream,
+)
 
 
 class TestSampleIntervals:
@@ -20,6 +27,56 @@ class TestSampleIntervals:
     def test_lengths_exact(self, rng):
         intervals = sample_intervals(50_000, samples=5, sample_length=1_000, rng=rng)
         assert all(stop - start == 1_000 for start, stop in intervals)
+
+    def test_intervals_stay_in_bounds(self, rng):
+        # The jittered grid may shift starts forward, but never past
+        # the end of the trace.
+        total = 50_000 + 777  # ragged tail
+        for _ in range(50):
+            intervals = sample_intervals(total, samples=25, sample_length=2_000, rng=rng)
+            assert all(0 <= start and stop <= total for start, stop in intervals)
+
+    def test_trailing_references_are_sampleable(self):
+        # Regression: a fixed slot grid could never place a sample over
+        # the final total % sample_length references.  With the jittered
+        # grid the tail is reachable (and observed across seeds).
+        total, length = 10_000 + 500, 1_000
+        tail_start = (total // length) * length  # 10_000
+        covered_tail = False
+        for seed in range(64):
+            rng = np.random.default_rng(seed)
+            intervals = sample_intervals(total, samples=10, sample_length=length, rng=rng)
+            assert all(stop <= total for _, stop in intervals)
+            covered_tail |= any(stop > tail_start for _, stop in intervals)
+        assert covered_tail
+
+    def test_exact_fit_has_no_jitter(self, rng):
+        # total % sample_length == 0 leaves no room: the grid is fixed
+        # and all slots are reachable as before.
+        intervals = sample_intervals(10_000, samples=10, sample_length=1_000, rng=rng)
+        assert sorted(start for start, _ in intervals) == list(range(0, 10_000, 1_000))
+
+
+class TestRelativeError:
+    def test_zero_mean_is_nan_not_perfect(self):
+        # Regression: a zero-miss estimate used to report relative
+        # error 0.0 — indistinguishable from a perfect estimate.
+        estimate = SampledEstimate(
+            mean=0.0, std_error=0.01, samples=5, sample_length=100, warmup=10
+        )
+        assert math.isnan(estimate.relative_error)
+
+    def test_negative_mean_normalizes_by_magnitude(self):
+        estimate = SampledEstimate(
+            mean=-0.5, std_error=0.1, samples=5, sample_length=100, warmup=10
+        )
+        assert estimate.relative_error == pytest.approx(0.2)
+
+    def test_positive_mean_unchanged(self):
+        estimate = SampledEstimate(
+            mean=0.5, std_error=0.1, samples=5, sample_length=100, warmup=10
+        )
+        assert estimate.relative_error == pytest.approx(0.2)
 
 
 class TestSampledMissRatio:
@@ -80,3 +137,21 @@ class TestSampledMissRatio:
             assert estimate.relative_error == pytest.approx(
                 estimate.std_error / estimate.mean
             )
+
+    def test_stream_sampler_matches_in_memory(self, ultrix_trace):
+        # The streaming sampler draws the same intervals from the same
+        # seed and materializes one window at a time; its estimate is
+        # bit-identical to sampling the materialized trace.
+        from repro.trace import tracestore
+
+        stream = tracestore.stream(
+            "mpeg_play", "ultrix", len(ultrix_trace), seed=11
+        )
+        kwargs = dict(samples=8, sample_length=4_000, seed=3)
+        from_stream = sampled_miss_ratio_stream(
+            stream, self._cache_simulator(), **kwargs
+        )
+        from_memory = sampled_miss_ratio(
+            ultrix_trace, self._cache_simulator(), **kwargs
+        )
+        assert from_stream == from_memory
