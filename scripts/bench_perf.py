@@ -13,19 +13,29 @@ Times the four layers the fast path accelerates:
 4. Chunk-streaming scaling: references vs wall seconds vs peak RSS for
    streaming generation + simulation, one fresh subprocess per size so
    each row's ``resource.getrusage`` high-water mark is its own.
+5. Allocator scaling: the greedy marginal-utility optimizer vs
+   chunked-vectorized exhaustive search on the two-level (TLB, L1I,
+   L1D, L2) space — ~10^7 design points — over a sweep of area
+   budgets, with an optimum-equality check per budget.
+6. Write-buffer kernel: the vectorized carried-state timing pass vs
+   the scalar event loop on a multi-million-store arrival stream, with
+   a bit-identity check.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py [--output BENCH_perf.json]
-        [--section {all,grid,curves,trace_plane,streaming}]
+        [--section {all,grid,curves,trace_plane,streaming,alloc_scaling,
+                    write_buffer}]
         [--check-scaling] [--sizes N,N,...]
 
 ``--check-scaling`` exits non-zero when (a) the host has >= 4 cores and
 warm-cache ``jobs=4`` measurement is slower than serial (the
-parallel-measurement inversion the trace plane removed), or (b) any
+parallel-measurement inversion the trace plane removed), (b) any
 streaming-scaling row's peak RSS reaches 1 GiB — the bounded-RSS
 guarantee of the chunk-streaming trace plane (a >= 100M-reference trace
-must generate and simulate well under 1 GB).
+must generate and simulate well under 1 GB), or (c) the alloc_scaling
+section ran and greedy either missed an exhaustive optimum or came in
+under a 100x median speedup.
 
 ``REPRO_SCALE`` is ignored: the numbers are defined at full trace
 length so they are comparable across runs and machines.
@@ -356,6 +366,142 @@ def check_streaming_rss(streaming: dict) -> int:
     return failed
 
 
+ALLOC_BUDGET_COUNT = 8
+ALLOC_SPEEDUP_FLOOR = 100.0
+"""CI floor on the median greedy-vs-exhaustive speedup."""
+
+
+def bench_alloc_scaling() -> dict:
+    """Greedy vs exhaustive on the two-level space, per-budget.
+
+    The space is built from one measured (workload, OS) curve set on
+    the full Table 5 grid — ~10^7 points, the scale the paper's
+    exhaustive method was quoted as "a few minutes of workstation
+    time" *per level* and which an L2 axis multiplies out of reach.
+    Budgets sweep the feasible range; each row checks the greedy CPI
+    equals the exhaustive optimum (the area-only exactness contract of
+    :mod:`repro.core.multiopt`).
+    """
+    from repro.core.hierarchy import build_two_level_space
+
+    curves = measure_workload(
+        WORKLOAD, OS_NAME, references=BENCH_REFERENCES
+    )
+    space = build_two_level_space(curves)
+    areas = [s.areas for s in space.structures]
+    min_area = float(sum(a.min() for a in areas))
+    max_area = float(sum(a.max() for a in areas))
+    budgets = [
+        min_area + (max_area - min_area) * (i + 1) / (ALLOC_BUDGET_COUNT + 1)
+        for i in range(ALLOC_BUDGET_COUNT)
+    ]
+
+    rows = []
+    for budget in budgets:
+        greedy_s, greedy = best_of(lambda: space.best(budget))
+        t0 = time.perf_counter()
+        exact = space.best_exhaustive(budget)
+        exact_s = time.perf_counter() - t0
+        rows.append(
+            {
+                "budget_rbe": round(budget, 1),
+                "greedy_seconds": round(greedy_s, 5),
+                "exhaustive_seconds": round(exact_s, 3),
+                "speedup": round(exact_s / greedy_s, 1),
+                "greedy_cpi": greedy.cpi,
+                "exhaustive_cpi": exact.cpi,
+                "optimal": greedy.cpi == exact.cpi,
+            }
+        )
+    speedups = sorted(row["speedup"] for row in rows)
+    return {
+        "workload": WORKLOAD,
+        "os": OS_NAME,
+        "references": BENCH_REFERENCES,
+        "space_points": space.size,
+        "median_speedup": speedups[len(speedups) // 2],
+        "all_optimal": all(row["optimal"] for row in rows),
+        "rows": rows,
+    }
+
+
+WRITE_BUFFER_STORES = 2_000_000
+
+
+def bench_write_buffer() -> dict:
+    """Vectorized vs scalar write-buffer timing, bit-identity checked.
+
+    The arrival stream mimics what the timing pipeline feeds the
+    buffer: non-decreasing store times with bursty gaps (runs of
+    back-to-back stores that fill the buffer, separated by quiet
+    stretches that drain it), which exercises both the long clean
+    vector segments and the stall-cluster scalar runs.
+    """
+    from repro.memsim.write_buffer import (
+        simulate_write_buffer,
+        simulate_write_buffer_reference,
+    )
+
+    rng = np.random.default_rng(1)
+    streams = {
+        # Stall-heavy: a quarter of the stores arrive back-to-back, so
+        # the buffer fills constantly and the kernel spends much of its
+        # time in the post-stall scalar runs — its worst case.
+        "bursty": np.where(
+            rng.random(WRITE_BUFFER_STORES) < 0.25,
+            rng.integers(0, 3, WRITE_BUFFER_STORES),
+            rng.integers(6, 40, WRITE_BUFFER_STORES),
+        ),
+        # Typical pipeline output: stores mostly spaced past the retire
+        # time, occasional short bursts — long clean vector segments.
+        "sparse": np.where(
+            rng.random(WRITE_BUFFER_STORES) < 0.05,
+            rng.integers(0, 3, WRITE_BUFFER_STORES),
+            rng.integers(8, 60, WRITE_BUFFER_STORES),
+        ),
+    }
+    rows = {}
+    for name, gaps in streams.items():
+        times = np.cumsum(gaps, dtype=np.int64)
+        t0 = time.perf_counter()
+        reference = simulate_write_buffer_reference(times)
+        reference_s = time.perf_counter() - t0
+        vector_s, result = best_of(lambda: simulate_write_buffer(times))
+        rows[name] = {
+            "reference_seconds": round(reference_s, 3),
+            "vector_seconds": round(vector_s, 4),
+            "speedup": round(reference_s / vector_s, 1),
+            "bit_identical": (
+                result.stores == reference.stores
+                and result.stall_cycles == reference.stall_cycles
+            ),
+            "stall_cycles": int(result.stall_cycles),
+        }
+    return {"stores": WRITE_BUFFER_STORES, "streams": rows}
+
+
+def check_alloc_scaling(alloc: dict) -> int:
+    """CI tripwire: greedy must stay optimal and >= 100x faster."""
+    failed = 0
+    if not alloc["all_optimal"]:
+        bad = [r["budget_rbe"] for r in alloc["rows"] if not r["optimal"]]
+        print(f"alloc check FAILED: greedy missed the optimum at {bad}")
+        failed = 1
+    if alloc["median_speedup"] < ALLOC_SPEEDUP_FLOOR:
+        print(
+            f"alloc check FAILED: median speedup {alloc['median_speedup']}x "
+            f"below the {ALLOC_SPEEDUP_FLOOR:.0f}x floor"
+        )
+        failed = 1
+    if not failed:
+        print(
+            f"alloc check OK: optimal at all {len(alloc['rows'])} budgets, "
+            f"median speedup {alloc['median_speedup']}x over "
+            f"{alloc['space_points']:,} points"
+        )
+    return failed
+
+
 def check_scaling(plane: dict) -> int:
     """CI tripwire: warm jobs=4 must not lose to serial on big hosts."""
     cores = os.cpu_count() or 1
@@ -386,7 +532,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--section",
-        choices=("all", "grid", "curves", "trace_plane", "streaming"),
+        choices=(
+            "all", "grid", "curves", "trace_plane", "streaming",
+            "alloc_scaling", "write_buffer",
+        ),
         default="all",
         help="benchmark only one section (default: all)",
     )
@@ -414,7 +563,10 @@ def main(argv: list[str] | None = None) -> int:
     if not sizes or any(n < 1 for n in sizes):
         parser.error(f"--sizes needs positive reference counts: {args.sizes!r}")
     sections = (
-        {"grid", "curves", "trace_plane", "streaming"}
+        {
+            "grid", "curves", "trace_plane", "streaming",
+            "alloc_scaling", "write_buffer",
+        }
         if args.section == "all"
         else {args.section}
     )
@@ -485,6 +637,36 @@ def main(argv: list[str] | None = None) -> int:
             )
         payload["streaming_scaling"] = streaming
 
+    alloc = None
+    if "alloc_scaling" in sections:
+        print("benchmarking greedy vs exhaustive allocation ...")
+        alloc = bench_alloc_scaling()
+        print(
+            f"  two-level space: {alloc['space_points']:,} points   "
+            f"median speedup {alloc['median_speedup']}x   "
+            f"all optimal={alloc['all_optimal']}"
+        )
+        for row in alloc["rows"]:
+            print(
+                f"  budget {row['budget_rbe']:>12,.0f}: "
+                f"greedy {row['greedy_seconds']*1e3:.1f}ms   "
+                f"exhaustive {row['exhaustive_seconds']}s   "
+                f"({row['speedup']}x, optimal={row['optimal']})"
+            )
+        payload["alloc_scaling"] = alloc
+
+    if "write_buffer" in sections:
+        print("benchmarking write-buffer timing kernel ...")
+        wb = bench_write_buffer()
+        for name, row in wb["streams"].items():
+            print(
+                f"  {wb['stores']:,} {name} stores: "
+                f"scalar {row['reference_seconds']}s   "
+                f"vector {row['vector_seconds']}s   "
+                f"({row['speedup']}x, identical={row['bit_identical']})"
+            )
+        payload["write_buffer"] = wb
+
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -495,6 +677,8 @@ def main(argv: list[str] | None = None) -> int:
             status |= check_scaling(plane)
         if streaming is not None:
             status |= check_streaming_rss(streaming)
+        if alloc is not None:
+            status |= check_alloc_scaling(alloc)
     return status
 
 

@@ -19,6 +19,7 @@ from repro.areamodel.constants import AreaConstants, CALIBRATED_CONSTANTS
 from repro.areamodel.cache_area import CacheGeometry, cache_area_rbe
 from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE, TlbGeometry, tlb_area_rbe
 from repro.areamodel.access_time import cache_access_time_ns, tlb_access_time_ns
+from repro.areamodel.power import cache_power_mw, tlb_power_mw
 
 __all__ = [
     "AreaConstants",
@@ -30,4 +31,6 @@ __all__ = [
     "tlb_area_rbe",
     "cache_access_time_ns",
     "tlb_access_time_ns",
+    "cache_power_mw",
+    "tlb_power_mw",
 ]

@@ -1,0 +1,61 @@
+"""First-order power model for on-chip memory structures.
+
+The ISCA paper budgets die *area*; the natural second budget on a
+modern die is power.  This module provides a deliberately first-order
+dynamic-power estimate in the same spirit as
+:mod:`repro.areamodel.access_time`: per-access energy grows with the
+bits swung on a lookup (all ways of one set read in parallel, plus tag
+compares), CAM TLBs pay a match-line term across every entry, and a
+fixed leakage-like floor scales with storage bits.  The absolute scale
+is nominal milliwatts at a fixed reference frequency — the allocator
+only ever *ranks* configurations and tests *budget* feasibility, so
+relative ordering is what matters, exactly how the access-time
+extension is used.
+
+Monotonicity properties the optimizer relies on (held by tests):
+power is non-decreasing in capacity/entries at fixed geometry, and
+higher associativity costs more power at fixed capacity (more ways
+read per access; CAMs most of all).
+"""
+
+from __future__ import annotations
+
+from repro.areamodel.cache_area import CacheGeometry
+from repro.areamodel.tlb_area import TlbGeometry
+
+# Nominal coefficients (mW at the reference frequency).
+_BASE_MW = 0.8
+_DYNAMIC_MW_PER_KBIT_READ = 1.6
+"""Per-access read energy: all ways of one set swing their bitlines."""
+_TAG_COMPARE_MW_PER_WAY = 0.35
+_DECODE_MW_PER_KROW = 0.5
+_LEAKAGE_MW_PER_KBIT = 0.012
+"""Storage floor: retention/leakage proportional to total bits."""
+_CAM_MATCH_MW_PER_KENTRY = 9.0
+"""CAM TLBs drive every match line on every lookup."""
+
+
+def cache_power_mw(capacity_bytes: int, line_words: int, assoc: int) -> float:
+    """First-order per-access power estimate for a cache, in mW."""
+    geom = CacheGeometry.from_config(capacity_bytes, line_words, assoc)
+    bits_read = geom.bits_per_line * geom.assoc
+    dynamic = _DYNAMIC_MW_PER_KBIT_READ * bits_read / 1024.0
+    compare = _TAG_COMPARE_MW_PER_WAY * geom.assoc
+    decode = _DECODE_MW_PER_KROW * geom.sets / 1024.0
+    leakage = _LEAKAGE_MW_PER_KBIT * geom.storage_bits / 1024.0
+    return _BASE_MW + dynamic + compare + decode + leakage
+
+
+def tlb_power_mw(entries: int, assoc: int | str) -> float:
+    """First-order per-access power estimate for a TLB, in mW."""
+    geom = TlbGeometry.from_config(entries, assoc)
+    leakage = _LEAKAGE_MW_PER_KBIT * geom.storage_bits / 1024.0
+    if geom.fully_associative:
+        match = _CAM_MATCH_MW_PER_KENTRY * geom.entries / 1024.0
+        read = _DYNAMIC_MW_PER_KBIT_READ * geom.bits_per_entry / 1024.0
+        return _BASE_MW + match + read + leakage
+    bits_read = geom.bits_per_entry * geom.assoc
+    dynamic = _DYNAMIC_MW_PER_KBIT_READ * bits_read / 1024.0
+    compare = _TAG_COMPARE_MW_PER_WAY * geom.assoc
+    decode = _DECODE_MW_PER_KROW * geom.sets / 1024.0
+    return _BASE_MW + dynamic + compare + decode + leakage

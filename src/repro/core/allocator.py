@@ -68,6 +68,12 @@ class PricedSpace:
     fixed_cpi: float
     area_grid: np.ndarray
     cpi_grid: np.ndarray
+    # Per-structure CPI contributions in enumeration order; the greedy
+    # marginal-utility path (repro.core.multiopt) optimizes over these
+    # instead of the raveled grids.
+    t_cpi: np.ndarray | None = None
+    i_cpi: np.ndarray | None = None
+    d_cpi: np.ndarray | None = None
 
     @property
     def size(self) -> int:
@@ -95,6 +101,67 @@ class PricedSpace:
     def budget_index(self) -> "BudgetIndex":
         """The precomputed budget index (built once per priced space)."""
         return build_budget_index(self)
+
+    @cached_property
+    def power_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-structure power (mW) in enumeration order (computed once)."""
+        from repro.areamodel.power import cache_power_mw, tlb_power_mw
+
+        t_power = np.array(
+            [tlb_power_mw(t.entries, t.assoc) for t in self.tlb_keys],
+            dtype=np.float64,
+        )
+        i_power = np.array(
+            [
+                cache_power_mw(c.capacity_bytes, c.line_words, c.assoc)
+                for c in self.icache_keys
+            ],
+            dtype=np.float64,
+        )
+        d_power = np.array(
+            [
+                cache_power_mw(c.capacity_bytes, c.line_words, c.assoc)
+                for c in self.dcache_keys
+            ],
+            dtype=np.float64,
+        )
+        return t_power, i_power, d_power
+
+    @cached_property
+    def power_grid(self) -> np.ndarray:
+        """Raveled total-power grid, same float order as ``area_grid``."""
+        t_power, i_power, d_power = self.power_arrays
+        return (
+            (t_power[:, None] + i_power[None, :])[:, :, None] + d_power
+        ).ravel()
+
+    def structure_curves(self, with_power: bool = False) -> list:
+        """The three per-structure curves in (tlb, icache, dcache) order.
+
+        This is the view :mod:`repro.core.multiopt` optimizes over.
+        Requires the per-structure CPI arrays (spaces priced by
+        :meth:`Allocator.price`; spaces built by hand without them
+        raise).
+        """
+        from repro.core.multiopt import StructureCurve
+
+        if self.t_cpi is None or self.i_cpi is None or self.d_cpi is None:
+            raise ValueError(
+                "priced space lacks per-structure CPI arrays; "
+                "re-price with Allocator.price"
+            )
+        powers = self.power_arrays if with_power else (None, None, None)
+        return [
+            StructureCurve(
+                "tlb", self.t_area, self.t_cpi, self.tlb_keys, powers[0]
+            ),
+            StructureCurve(
+                "icache", self.i_area, self.i_cpi, self.icache_keys, powers[1]
+            ),
+            StructureCurve(
+                "dcache", self.d_area, self.d_cpi, self.dcache_keys, powers[2]
+            ),
+        ]
 
 
 def rank_priced(
@@ -394,6 +461,135 @@ def pareto_indexed(
     return allocations_from_flat(priced, priced.sorted_order[ranks])
 
 
+# ---------------------------------------------------------------------------
+# Ordering contract (tie-breaks at exact-budget boundaries)
+#
+# Every ranking path — rank_priced, rank_indexed, batch_best_indexed,
+# pareto_indexed, and the exact fallbacks below — orders allocations by
+# ascending (cpi, area_rbe, flat enumeration index), where the flat
+# index is (tlb, icache, dcache) position in the priced space's key
+# tuples.  Feasibility at a budget B uses the *reference predicate*
+# ``budget_left = (B - t_area) - i_area; budget_left >= 0 and d_area <=
+# budget_left`` — float subtraction order included — so a budget equal
+# to a configuration's area to the ULP admits exactly the entries the
+# interpreted triple loop admits.  rank_indexed reproduces that
+# predicate through the ULP-walked thresholds of BudgetIndex, which is
+# why the two paths are bit-identical even one ULP either side of a
+# boundary (tests/core/test_tie_breaks.py holds this).
+#
+# The greedy/power paths below use mathematical sums (area_grid /
+# power_grid) instead of the reference predicate: rankings are the same
+# except possibly at budgets within a few ULPs of an entry's area.
+# Callers needing exact boundary semantics use rank_indexed.
+# ---------------------------------------------------------------------------
+
+
+def flat_index(priced: PricedSpace, t: int, i: int, d: int) -> int:
+    """The flat grid index of a (tlb, icache, dcache) key triple."""
+    return (t * len(priced.icache_keys) + i) * len(priced.dcache_keys) + d
+
+
+def rank_greedy(
+    priced: PricedSpace,
+    budget_rbes: float,
+    power_budget_mw: float | None = None,
+) -> list[Allocation]:
+    """The greedy marginal-utility best allocation (top-1).
+
+    Runs :func:`repro.core.multiopt.greedy_allocate` over the space's
+    per-structure curves and materializes the winner straight out of
+    the priced grids, so its (area, cpi) is bit-identical to the
+    exhaustive path picking the same configuration.  The differential
+    suite holds the *choice* identical to :func:`rank_priced`'s top-1
+    across the paper grid (see multiopt's exactness contract).  With a
+    ``power_budget_mw`` the answer is a fast feasible upper bound, not
+    a guaranteed optimum — prefer :func:`rank_auto` for exact
+    semantics.
+
+    Raises:
+        BudgetError: if no combination fits the budget(s).
+    """
+    from repro.core.multiopt import greedy_allocate
+
+    curves = priced.structure_curves(with_power=power_budget_mw is not None)
+    # Pass the space's fixed CPI so greedy's internal totals accumulate
+    # ((fixed + t) + i) + d — bitwise the cpi_grid entries — and its
+    # comparisons resolve ULP-close candidates exactly as the grid does.
+    result = greedy_allocate(
+        curves,
+        budget_rbes,
+        fixed_cpi=priced.fixed_cpi,
+        power_budget=power_budget_mw,
+    )
+    flat = flat_index(priced, *result.choice)
+    return allocations_from_flat(priced, np.asarray([flat], dtype=np.intp))
+
+
+def rank_priced_power(
+    priced: PricedSpace,
+    budget_rbes: float,
+    power_budget_mw: float,
+    limit: int | None = None,
+) -> list[Allocation]:
+    """Exact ranking under a joint area x power budget.
+
+    Same (cpi, area, enumeration) order as :func:`rank_priced`;
+    feasibility is the mathematical ``area_grid <= budget and
+    power_grid <= power_budget`` (see the ordering contract above —
+    the power axis has no ULP-walked index, so this is the exact-rank
+    fallback the greedy path validates against).
+
+    Raises:
+        BudgetError: if no combination fits the budgets.
+    """
+    feasible = (priced.area_grid <= budget_rbes) & (
+        priced.power_grid <= power_budget_mw
+    )
+    order_all = priced.sorted_order
+    ranked = order_all[feasible[order_all]]
+    if ranked.size == 0:
+        raise BudgetError(
+            f"no configuration fits within {budget_rbes} rbes "
+            f"and {power_budget_mw} mW"
+        )
+    if limit is not None:
+        ranked = ranked[:limit]
+    return allocations_from_flat(priced, ranked)
+
+
+def rank_auto(
+    priced: PricedSpace,
+    budget_rbes: float,
+    limit: int | None = None,
+    power_budget_mw: float | None = None,
+    method: str = "auto",
+) -> list[Allocation]:
+    """Dispatch a ranking to the right backend.
+
+    * no power budget -> :func:`rank_indexed` (ULP-exact, vectorized;
+      ``method="greedy"`` with ``limit == 1`` forces the greedy path,
+      which the differential suite holds identical on the paper grid);
+    * power budget -> :func:`rank_priced_power` (exact).  Greedy under
+      a *joint* area x power budget is a two-constraint knapsack — the
+      hull walk plus repair is a fast upper bound, not an optimum — so
+      it only answers when explicitly forced with ``method="greedy"``
+      and ``limit == 1``.
+
+    ``method`` is "auto" (exact semantics everywhere, greedy only
+    where validated identical), "greedy" (force the heuristic,
+    raising if the query shape doesn't support it), or "exact".
+    """
+    if method not in ("auto", "greedy", "exact"):
+        raise ValueError(f"unknown ranking method {method!r}")
+    if method == "greedy":
+        if limit != 1:
+            raise ValueError("greedy ranking answers top-1 queries only")
+        return rank_greedy(priced, budget_rbes, power_budget_mw)
+    if power_budget_mw is None:
+        return rank_indexed(priced, budget_rbes, limit=limit)
+    return rank_priced_power(priced, budget_rbes, power_budget_mw, limit=limit)
+
+
 class Allocator:
     """Cost/benefit allocator over the Table 5 space.
 
@@ -507,6 +703,9 @@ class Allocator:
             fixed_cpi=fixed_cpi,
             area_grid=area_grid,
             cpi_grid=cpi_grid,
+            t_cpi=t_cpi,
+            i_cpi=i_cpi,
+            d_cpi=d_cpi,
         )
 
     def rank(

@@ -22,6 +22,7 @@ EXPERIMENT_NAMES = (
     "table5",
     "table6",
     "table7",
+    "table8",
     "dcache_study",
     "seed_stability",
 )

@@ -49,9 +49,13 @@ from repro.core.allocator import (
     batch_best_indexed,
     pareto_indexed,
     rank_indexed,
+    rank_priced_power,
 )
+from repro.core.configs import CacheConfig, TlbConfig
 from repro.core.cpi import CpiModel
+from repro.core.hierarchy import TwoLevelSpace, build_two_level_space
 from repro.core.measure import BenefitCurves
+from repro.core.multiopt import GreedyResult, SurfacePoint, pareto_surface
 from repro.errors import BudgetError, StoreError
 from repro.obs.tracing import trace_span
 from repro.service.requests import validate_request
@@ -68,6 +72,29 @@ def allocation_entry(rank: int, allocation: Allocation) -> dict:
         **allocation.row(),
         "area_rbe": allocation.area_rbe,
         "cpi": allocation.cpi,
+    }
+
+
+def two_level_entry(result: GreedyResult) -> dict:
+    """One JSON-ready row for a two-level (TLB, L1I, L1D, L2) answer."""
+    tlb_key, l1i_key, l1d_key, l2_key = result.keys
+    return {
+        "tlb": TlbConfig(*tlb_key).label(),
+        "l1i": CacheConfig(*l1i_key).label(),
+        "l1d": CacheConfig(*l1d_key).label(),
+        "l2": CacheConfig(*l2_key).label(),
+        "area_rbe": result.area,
+        "cpi": result.cpi,
+        "power_mw": result.power,
+    }
+
+
+def surface_entry(cell: SurfacePoint) -> dict:
+    """One JSON-ready cell of an (area x power) Pareto surface."""
+    return {
+        "area_budget": cell.area_budget,
+        "power_budget": cell.power_budget,
+        **two_level_entry(cell.result),
     }
 
 
@@ -123,6 +150,7 @@ class QueryEngine:
     def _init_runtime_state(self, result_cache_size: int) -> None:
         self._curves: dict[str, BenefitCurves] = {}
         self._priced: dict[tuple, PricedSpace] = {}
+        self._two_level: dict[str, TwoLevelSpace] = {}
         self._results: OrderedDict[str, dict] = OrderedDict()
         self._result_bytes: OrderedDict[str, tuple[bytes, str]] = OrderedDict()
         self._binary_bytes: OrderedDict[bytes, tuple[bytes, str]] = (
@@ -173,7 +201,11 @@ class QueryEngine:
         """
         flight_key = (kind, key)
         with self._lock:
-            cache = self._curves if kind == "curves" else self._priced
+            cache = {
+                "curves": self._curves,
+                "priced": self._priced,
+                "two_level": self._two_level,
+            }[kind]
             value = cache.get(key)
             if value is not None:
                 return value
@@ -238,6 +270,23 @@ class QueryEngine:
 
         return self._single_flight("priced", key, _price)
 
+    def two_level_space(self, os_name: str) -> TwoLevelSpace:
+        """The two-level (TLB, L1I, L1D, L2) space for one OS.
+
+        Built once per OS from the same measured curves the
+        single-level pricing uses (see :mod:`repro.core.hierarchy` for
+        the separability model) and answered by the greedy
+        marginal-utility optimizer — the space's cross product is far
+        past what exhaustive ranking could precompute.
+        """
+
+        def _build() -> TwoLevelSpace:
+            curves = self.curves_for(os_name)
+            with trace_span("engine.two_level", os=os_name):
+                return build_two_level_space(curves, self.cpi_model)
+
+        return self._single_flight("two_level", os_name, _build)
+
     # -- python-level query API ---------------------------------------
 
     def point(
@@ -247,17 +296,40 @@ class QueryEngine:
         limit: int | None = None,
         max_cache_assoc: int | None = None,
         max_access_time_ns: float | None = None,
+        power_budget: float | None = None,
     ) -> list[Allocation]:
         """Ranked allocations under one budget (best first).
 
-        Answered off the priced space's :class:`~repro.core.allocator.
-        BudgetIndex`: a ``limit=1`` query is a binary search plus one
-        lookup, and every answer is bit-identical to
-        :meth:`Allocator.rank` (the differential tests hold this).
+        Without a power budget, answered off the priced space's
+        :class:`~repro.core.allocator.BudgetIndex`: a ``limit=1`` query
+        is a binary search plus one lookup, and every answer is
+        bit-identical to :meth:`Allocator.rank` (the differential
+        tests hold this).  With ``power_budget`` set the exact joint
+        area x power ranking answers (:func:`rank_priced_power`).
         """
         priced = self.priced_space(os_name, max_cache_assoc, max_access_time_ns)
+        if power_budget is not None:
+            with trace_span("engine.rank_power", os=os_name, budget=budget):
+                return rank_priced_power(
+                    priced, budget, power_budget, limit=limit
+                )
         with trace_span("engine.rank_indexed", os=os_name, budget=budget):
             return rank_indexed(priced, budget, limit=limit)
+
+    def point_two_level(
+        self,
+        os_name: str,
+        budget: float,
+        power_budget: float | None = None,
+    ) -> GreedyResult:
+        """Greedy best two-level allocation under the budget(s).
+
+        Raises:
+            BudgetError: nothing fits.
+        """
+        space = self.two_level_space(os_name)
+        with trace_span("engine.two_level_best", os=os_name, budget=budget):
+            return space.best(budget, power_budget_mw=power_budget)
 
     def batch(
         self,
@@ -266,14 +338,17 @@ class QueryEngine:
         limit: int | None = 1,
         max_cache_assoc: int | None = None,
         max_access_time_ns: float | None = None,
+        power_budget: float | None = None,
     ) -> list[tuple[str, float, list[Allocation]]]:
         """A budget x OS sweep against warm priced spaces.
 
         The default ``limit=1`` sweep is answered in one vectorized
         pass per OS (``searchsorted`` over all budgets at once) instead
-        of one ranking per point; deeper limits fall back to per-budget
-        index lookups.  Infeasible (os, budget) points yield an empty
-        allocation list rather than failing the whole sweep.
+        of one ranking per point; deeper limits — and any sweep with a
+        ``power_budget``, whose feasibility masking the budget index
+        does not precompute — fall back to per-budget rankings.
+        Infeasible (os, budget) points yield an empty allocation list
+        rather than failing the whole sweep.
         """
         out = []
         for os_name in os_names:
@@ -283,7 +358,18 @@ class QueryEngine:
             with trace_span(
                 "engine.batch_indexed", os=os_name, budgets=len(budgets)
             ):
-                if limit == 1:
+                if power_budget is not None:
+                    per_budget = []
+                    for budget in budgets:
+                        try:
+                            per_budget.append(
+                                rank_priced_power(
+                                    priced, budget, power_budget, limit=limit
+                                )
+                            )
+                        except BudgetError:
+                            per_budget.append([])
+                elif limit == 1:
                     per_budget = batch_best_indexed(priced, budgets)
                 else:
                     per_budget = []
@@ -299,6 +385,54 @@ class QueryEngine:
                 for budget, ranked in zip(budgets, per_budget)
             )
         return out
+
+    def batch_two_level(
+        self,
+        os_names: list[str],
+        budgets: list[float],
+        power_budget: float | None = None,
+    ) -> list[tuple[str, float, GreedyResult | None]]:
+        """A budget x OS sweep over warm two-level spaces (greedy).
+
+        Each point is one greedy query; infeasible points yield None
+        instead of failing the sweep.
+        """
+        out = []
+        for os_name in os_names:
+            space = self.two_level_space(os_name)
+            with trace_span(
+                "engine.batch_two_level", os=os_name, budgets=len(budgets)
+            ):
+                for budget in budgets:
+                    try:
+                        result = space.best(
+                            budget, power_budget_mw=power_budget
+                        )
+                    except BudgetError:
+                        result = None
+                    out.append((os_name, budget, result))
+        return out
+
+    def surface(
+        self,
+        os_name: str,
+        budgets: list[float],
+        power_budgets: list[float],
+    ) -> list[SurfacePoint]:
+        """The (area budget x power budget) Pareto surface, greedy per
+        cell, dominated and infeasible cells dropped."""
+        space = self.two_level_space(os_name)
+        with trace_span(
+            "engine.surface",
+            os=os_name,
+            cells=len(budgets) * len(power_budgets),
+        ):
+            return pareto_surface(
+                list(space.structures),
+                budgets,
+                power_budgets,
+                fixed_cpi=space.fixed_cpi,
+            )
 
     def pareto(
         self,
@@ -497,13 +631,19 @@ class QueryEngine:
         return body, etag
 
     def _answer(self, req: dict) -> dict:
+        if req["space"] == "two_level":
+            return self._answer_two_level(req)
         kwargs = dict(
             max_cache_assoc=req["max_cache_assoc"],
             max_access_time_ns=req["max_access_time_ns"],
         )
         if req["type"] == "point":
             ranked = self.point(
-                req["os"], req["budget"], limit=req["limit"], **kwargs
+                req["os"],
+                req["budget"],
+                limit=req["limit"],
+                power_budget=req["power_budget"],
+                **kwargs,
             )
             return {
                 "type": "point",
@@ -516,7 +656,11 @@ class QueryEngine:
             }
         if req["type"] == "batch":
             results = self.batch(
-                req["os_names"], req["budgets"], limit=req["limit"], **kwargs
+                req["os_names"],
+                req["budgets"],
+                limit=req["limit"],
+                power_budget=req["power_budget"],
+                **kwargs,
             )
             return {
                 "type": "batch",
@@ -543,6 +687,63 @@ class QueryEngine:
             "frontier": [
                 allocation_entry(i, a) for i, a in enumerate(frontier, 1)
             ],
+        }
+
+    def _answer_two_level(self, req: dict) -> dict:
+        """Two-level responses: greedy point/batch, or a Pareto surface.
+
+        Response rows carry the four structure labels plus exact area,
+        CPI and power; a ``point`` query that fits nothing raises
+        :class:`BudgetError` just like the single-level path, while
+        batch points degrade to ``feasible: false`` rows.
+        """
+        if req["type"] == "point":
+            result = self.point_two_level(
+                req["os"], req["budget"], power_budget=req["power_budget"]
+            )
+            return {
+                "type": "point",
+                "space": "two_level",
+                "os": req["os"],
+                "budget": req["budget"],
+                "power_budget": req["power_budget"],
+                "count": 1,
+                "allocations": [{"rank": 1, **two_level_entry(result)}],
+            }
+        if req["type"] == "batch":
+            results = self.batch_two_level(
+                req["os_names"],
+                req["budgets"],
+                power_budget=req["power_budget"],
+            )
+            return {
+                "type": "batch",
+                "space": "two_level",
+                "count": len(results),
+                "power_budget": req["power_budget"],
+                "results": [
+                    {
+                        "os": os_name,
+                        "budget": budget,
+                        "feasible": result is not None,
+                        "allocations": (
+                            [{"rank": 1, **two_level_entry(result)}]
+                            if result is not None
+                            else []
+                        ),
+                    }
+                    for os_name, budget, result in results
+                ],
+            }
+        cells = self.surface(req["os"], req["budgets"], req["power_budgets"])
+        return {
+            "type": "pareto",
+            "space": "two_level",
+            "os": req["os"],
+            "budgets": req["budgets"],
+            "power_budgets": req["power_budgets"],
+            "count": len(cells),
+            "surface": [surface_entry(c) for c in cells],
         }
 
 

@@ -15,19 +15,26 @@ from repro.errors import RequestError
 
 REQUEST_TYPES = ("point", "batch", "pareto")
 
+SPACES = ("single", "two_level")
+
 _FIELDS = {
     "point": {"type", "os", "budget", "limit", "max_cache_assoc",
-              "max_access_time_ns", "request_id"},
+              "max_access_time_ns", "space", "power_budget", "request_id"},
     "batch": {"type", "os", "os_names", "budgets", "limit",
-              "max_cache_assoc", "max_access_time_ns", "request_id"},
+              "max_cache_assoc", "max_access_time_ns", "space",
+              "power_budget", "request_id"},
     "pareto": {"type", "os", "max_budget", "max_cache_assoc",
-               "max_access_time_ns", "request_id"},
+               "max_access_time_ns", "space", "budgets", "power_budgets",
+               "request_id"},
 }
 
 MAX_REQUEST_ID_CHARS = 128
 
 MAX_BATCH_POINTS = 10_000
 """Upper bound on |os_names| x |budgets| for one batch request."""
+
+MAX_SURFACE_CELLS = 2_048
+"""Upper bound on |budgets| x |power_budgets| for one surface request."""
 
 
 def _require_str(request: dict, field: str) -> str:
@@ -99,19 +106,46 @@ def validate_request(request) -> dict:
                 f"field 'request_id' exceeds {MAX_REQUEST_ID_CHARS} characters"
             )
 
+    space = request.get("space", "single")
+    if space not in SPACES:
+        raise RequestError(
+            f"field 'space' must be one of {', '.join(SPACES)}; got {space!r}"
+        )
+
     common = {
         "max_cache_assoc": _optional_positive_int(request, "max_cache_assoc"),
         "max_access_time_ns": _optional_positive_number(
             request, "max_access_time_ns"
         ),
+        "space": space,
     }
+    if space == "two_level" and (
+        common["max_cache_assoc"] is not None
+        or common["max_access_time_ns"] is not None
+    ):
+        # The assoc/access-time restrictions parameterize the
+        # single-level pricing; the two-level space has its own
+        # capacity-split knobs and takes the measured grid whole.
+        raise RequestError(
+            "fields 'max_cache_assoc'/'max_access_time_ns' do not apply "
+            "to the two_level space"
+        )
 
     if req_type == "point":
+        limit = _optional_positive_int(request, "limit")
+        if space == "two_level" and limit not in (None, 1):
+            raise RequestError(
+                "two_level queries answer the single best allocation; "
+                "field 'limit' must be 1 or omitted"
+            )
         return {
             "type": "point",
             "os": _require_str(request, "os"),
             "budget": _positive_number(request.get("budget"), "budget"),
-            "limit": _optional_positive_int(request, "limit"),
+            "limit": limit,
+            "power_budget": _optional_positive_number(
+                request, "power_budget"
+            ),
             **common,
         }
 
@@ -138,14 +172,59 @@ def validate_request(request) -> dict:
                 f"exceeds the {MAX_BATCH_POINTS}-point limit"
             )
         limit = _optional_positive_int(request, "limit")
+        if space == "two_level" and limit not in (None, 1):
+            raise RequestError(
+                "two_level queries answer the single best allocation; "
+                "field 'limit' must be 1 or omitted"
+            )
         return {
             "type": "batch",
             "os_names": os_names,
             "budgets": budgets,
             "limit": limit if limit is not None else 1,
+            "power_budget": _optional_positive_number(
+                request, "power_budget"
+            ),
             **common,
         }
 
+    # pareto: the single-level frontier, or — on the two_level space —
+    # an (area budget x power budget) Pareto *surface*.
+    if space == "two_level":
+        if "max_budget" in request:
+            raise RequestError(
+                "field 'max_budget' does not apply to a two_level "
+                "surface; pass 'budgets' and 'power_budgets' grids"
+            )
+        budgets = request.get("budgets")
+        power_budgets = request.get("power_budgets")
+        for name, values in (("budgets", budgets),
+                             ("power_budgets", power_budgets)):
+            if not isinstance(values, list) or not values:
+                raise RequestError(
+                    f"a two_level pareto request needs field {name!r} "
+                    "as a non-empty list"
+                )
+        budgets = [_positive_number(b, "budgets") for b in budgets]
+        power_budgets = [
+            _positive_number(p, "power_budgets") for p in power_budgets
+        ]
+        if len(budgets) * len(power_budgets) > MAX_SURFACE_CELLS:
+            raise RequestError(
+                f"surface too large: {len(budgets)} x {len(power_budgets)} "
+                f"cells exceeds the {MAX_SURFACE_CELLS}-cell limit"
+            )
+        return {
+            "type": "pareto",
+            "os": _require_str(request, "os"),
+            "budgets": budgets,
+            "power_budgets": power_budgets,
+            **common,
+        }
+    if "budgets" in request or "power_budgets" in request:
+        raise RequestError(
+            "fields 'budgets'/'power_budgets' require space='two_level'"
+        )
     return {
         "type": "pareto",
         "os": _require_str(request, "os"),

@@ -1,0 +1,77 @@
+"""Unit tests for the first-order power model.
+
+The optimizer relies only on the documented monotonicity properties —
+power non-decreasing in capacity/entries at fixed geometry, and
+costlier with associativity at fixed capacity — not on the nominal
+absolute scale.
+"""
+
+import pytest
+
+from repro.areamodel.power import cache_power_mw, tlb_power_mw
+from repro.areamodel.tlb_area import FULLY_ASSOCIATIVE
+from repro.units import KB
+
+CAPACITIES = [2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB]
+TLB_SIZES = [16, 32, 64, 128, 256, 512]
+
+
+class TestCachePower:
+    def test_positive(self):
+        for cap in CAPACITIES:
+            assert cache_power_mw(cap, 4, 1) > 0
+
+    @pytest.mark.parametrize("line,assoc", [(4, 1), (8, 2), (16, 4)])
+    def test_monotone_in_capacity(self, line, assoc):
+        powers = [cache_power_mw(cap, line, assoc) for cap in CAPACITIES]
+        assert powers == sorted(powers)
+
+    @pytest.mark.parametrize("cap", [8 * KB, 32 * KB])
+    def test_higher_assoc_costs_more(self, cap):
+        powers = [cache_power_mw(cap, 4, a) for a in (1, 2, 4, 8)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_longer_lines_read_more_bits(self):
+        # At fixed capacity and ways, a longer line swings more
+        # bitlines per access.
+        assert cache_power_mw(8 * KB, 16, 2) > cache_power_mw(8 * KB, 4, 2)
+
+
+class TestTlbPower:
+    def test_positive(self):
+        for n in TLB_SIZES:
+            assert tlb_power_mw(n, 1) > 0
+        assert tlb_power_mw(64, FULLY_ASSOCIATIVE) > 0
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4])
+    def test_monotone_in_entries(self, assoc):
+        powers = [tlb_power_mw(n, assoc) for n in TLB_SIZES]
+        assert powers == sorted(powers)
+
+    def test_monotone_in_entries_cam(self):
+        powers = [tlb_power_mw(n, FULLY_ASSOCIATIVE) for n in TLB_SIZES]
+        assert powers == sorted(powers)
+
+    @pytest.mark.parametrize("entries", [64, 256])
+    def test_higher_assoc_costs_more(self, entries):
+        powers = [tlb_power_mw(entries, a) for a in (1, 2, 4, 8)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    @pytest.mark.parametrize("entries", [64, 128, 512])
+    def test_cam_costs_more_than_direct_mapped(self, entries):
+        cam = tlb_power_mw(entries, FULLY_ASSOCIATIVE)
+        assert cam > tlb_power_mw(entries, 1)
+
+    def test_cam_match_term_overtakes_wide_sa(self):
+        """The per-entry match-line term grows with size: at 64
+        entries an 8-way SA organisation out-draws the CAM, but by 512
+        entries the CAM costs more than any way count."""
+        assert tlb_power_mw(64, FULLY_ASSOCIATIVE) < tlb_power_mw(64, 8)
+        assert tlb_power_mw(512, FULLY_ASSOCIATIVE) > tlb_power_mw(512, 8)
+
+    def test_cam_match_term_scales_with_entries(self):
+        """Doubling CAM entries more than doubles the above-floor
+        draw of the biggest set-associative organisation's gap."""
+        gap_small = tlb_power_mw(64, FULLY_ASSOCIATIVE) - tlb_power_mw(64, 1)
+        gap_large = tlb_power_mw(512, FULLY_ASSOCIATIVE) - tlb_power_mw(512, 1)
+        assert gap_large > gap_small

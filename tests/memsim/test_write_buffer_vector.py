@@ -1,0 +1,170 @@
+"""Differential tests: vectorized write-buffer path vs scalar spec.
+
+:func:`simulate_write_buffer` routes monotone streams through the
+vectorized ``StreamingWriteBuffer`` kernel; these tests assert
+bit-identity against :func:`simulate_write_buffer_reference` (the
+scalar event loop) across stream shapes, chunkings, ``count_from``
+values, and the non-monotone fallback.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.write_buffer import (
+    StreamingWriteBuffer,
+    simulate_write_buffer,
+    simulate_write_buffer_reference,
+)
+
+
+def _streams():
+    rng = np.random.default_rng(17)
+    n = 5_000
+    return {
+        "dense": np.arange(n, dtype=np.int64),
+        "sparse": np.cumsum(rng.integers(8, 60, size=n).astype(np.int64)),
+        "bursty": np.cumsum(
+            np.where(
+                rng.random(n) < 0.25,
+                rng.integers(0, 3, size=n),
+                rng.integers(6, 40, size=n),
+            ).astype(np.int64)
+        ),
+        "mixed": np.cumsum(rng.integers(0, 14, size=n).astype(np.int64)),
+        "plateaus": np.repeat(
+            np.cumsum(rng.integers(0, 25, size=n // 8).astype(np.int64)), 8
+        ),
+    }
+
+
+def _assert_identical(vec, ref):
+    assert vec.stores == ref.stores
+    assert vec.stall_cycles == ref.stall_cycles
+
+
+class TestVectorMatchesScalar:
+    @pytest.mark.parametrize("name", sorted(_streams()))
+    @pytest.mark.parametrize("depth,retire", [(1, 6), (4, 6), (4, 1), (8, 13)])
+    def test_stream_shapes(self, name, depth, retire):
+        times = _streams()[name]
+        vec = simulate_write_buffer(times, depth=depth, retire_cycles=retire)
+        ref = simulate_write_buffer_reference(
+            times, depth=depth, retire_cycles=retire
+        )
+        _assert_identical(vec, ref)
+
+    @pytest.mark.parametrize("count_from", [0, 1, 7, 500, 4_999, 5_000])
+    def test_count_from(self, count_from):
+        times = _streams()["bursty"]
+        vec = simulate_write_buffer(times, count_from=count_from)
+        ref = simulate_write_buffer_reference(times, count_from=count_from)
+        _assert_identical(vec, ref)
+
+    @pytest.mark.parametrize("chunk", [1, 3, 64, 1_000, 4_096])
+    def test_chunked_equals_whole(self, chunk):
+        """Feeding chunk by chunk carries slip and occupancy exactly."""
+        times = _streams()["mixed"]
+        sim = StreamingWriteBuffer()
+        for i in range(0, times.size, chunk):
+            sim.feed(times[i : i + chunk])
+        _assert_identical(sim.result(), simulate_write_buffer(times))
+
+    def test_chunked_count_from_is_chunk_relative(self):
+        times = _streams()["dense"][:200]
+        sim = StreamingWriteBuffer()
+        sim.feed(times[:100], count_from=50)
+        sim.feed(times[100:])
+        ref = simulate_write_buffer_reference(times, count_from=50)
+        _assert_identical(sim.result(), ref)
+
+    def test_empty_chunks_are_noops(self):
+        times = _streams()["sparse"][:300]
+        sim = StreamingWriteBuffer()
+        sim.feed(times[:0])
+        sim.feed(times[:150])
+        sim.feed(times[150:150])
+        sim.feed(times[150:])
+        _assert_identical(sim.result(), simulate_write_buffer(times))
+
+
+class TestNonMonotoneFallback:
+    def test_out_of_order_stream_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        times = rng.integers(0, 2_000, size=1_000).astype(np.int64)
+        assert not bool((times[1:] >= times[:-1]).all())
+        vec = simulate_write_buffer(times)
+        ref = simulate_write_buffer_reference(times)
+        _assert_identical(vec, ref)
+
+    def test_fallback_is_sticky_across_chunks(self):
+        """One out-of-order chunk drops the instance into the scalar
+        loop permanently; later monotone chunks stay bit-identical."""
+        rng = np.random.default_rng(9)
+        mono1 = np.cumsum(rng.integers(0, 10, size=400).astype(np.int64))
+        disorder = mono1[-1] + rng.integers(0, 100, size=100).astype(np.int64)
+        mono2 = disorder.max() + np.cumsum(
+            rng.integers(0, 10, size=400).astype(np.int64)
+        )
+        sim = StreamingWriteBuffer()
+        sim.feed(mono1)
+        sim.feed(disorder)
+        assert sim._scalar is not None
+        sim.feed(mono2)
+        whole = np.concatenate([mono1, disorder, mono2])
+        _assert_identical(sim.result(), simulate_write_buffer_reference(whole))
+
+    def test_backwards_step_across_chunk_boundary(self):
+        """A chunk that is internally monotone but starts before the
+        previous chunk's last presented arrival must also fall back."""
+        sim = StreamingWriteBuffer(depth=2, retire_cycles=9)
+        sim.feed(np.array([0, 1, 2, 50], dtype=np.int64))
+        sim.feed(np.array([10, 11, 60], dtype=np.int64))
+        whole = np.array([0, 1, 2, 50, 10, 11, 60], dtype=np.int64)
+        ref = simulate_write_buffer_reference(whole, depth=2, retire_cycles=9)
+        _assert_identical(sim.result(), ref)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        gaps=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=300
+        ),
+        depth=st.integers(min_value=1, max_value=6),
+        retire=st.integers(min_value=1, max_value=12),
+        data=st.data(),
+    )
+    def test_random_monotone_streams(self, gaps, depth, retire, data):
+        times = np.cumsum(np.array(gaps, dtype=np.int64))
+        count_from = data.draw(
+            st.integers(min_value=0, max_value=len(gaps)), label="count_from"
+        )
+        vec = simulate_write_buffer(
+            times, depth=depth, retire_cycles=retire, count_from=count_from
+        )
+        ref = simulate_write_buffer_reference(
+            times, depth=depth, retire_cycles=retire, count_from=count_from
+        )
+        _assert_identical(vec, ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        gaps=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=2, max_size=200
+        ),
+        splits=st.lists(
+            st.integers(min_value=1, max_value=199), max_size=4, unique=True
+        ),
+    )
+    def test_random_chunkings(self, gaps, splits):
+        times = np.cumsum(np.array(gaps, dtype=np.int64))
+        cuts = sorted(s for s in splits if s < times.size)
+        sim = StreamingWriteBuffer()
+        prev = 0
+        for cut in cuts + [int(times.size)]:
+            sim.feed(times[prev:cut])
+            prev = cut
+        _assert_identical(
+            sim.result(), simulate_write_buffer_reference(times)
+        )
