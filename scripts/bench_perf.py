@@ -13,29 +13,39 @@ Times the four layers the fast path accelerates:
 4. Chunk-streaming scaling: references vs wall seconds vs peak RSS for
    streaming generation + simulation, one fresh subprocess per size so
    each row's ``resource.getrusage`` high-water mark is its own.
-5. Allocator scaling: the greedy marginal-utility optimizer vs
+5. Compressed trace entries: the format-3 zlib layout vs raw format 2
+   — on-disk bytes, decode bit-identity, and warm-load-vs-regenerate
+   speedup.
+6. Allocator scaling: the greedy marginal-utility optimizer vs
    chunked-vectorized exhaustive search on the two-level (TLB, L1I,
    L1D, L2) space — ~10^7 design points — over a sweep of area
    budgets, with an optimum-equality check per budget.
-6. Write-buffer kernel: the vectorized carried-state timing pass vs
+7. Write-buffer kernel: the vectorized carried-state timing pass vs
    the scalar event loop on a multi-million-store arrival stream, with
    a bit-identity check.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py [--output BENCH_perf.json]
-        [--section {all,grid,curves,trace_plane,streaming,alloc_scaling,
-                    write_buffer}]
+        [--section {all,grid,curves,trace_plane,streaming,
+                    trace_compression,alloc_scaling,write_buffer}]
         [--check-scaling] [--sizes N,N,...]
+
+The streaming sizes default to ``REPRO_BENCH_SIZES`` (comma-separated
+reference counts) when set, so CI points and the 1B-reference run
+share one code path; the streaming rows write compressed entries
+unless ``REPRO_TRACE_COMPRESS=off``.
 
 ``--check-scaling`` exits non-zero when (a) the host has >= 4 cores and
 warm-cache ``jobs=4`` measurement is slower than serial (the
 parallel-measurement inversion the trace plane removed), (b) any
 streaming-scaling row's peak RSS reaches 1 GiB — the bounded-RSS
 guarantee of the chunk-streaming trace plane (a >= 100M-reference trace
-must generate and simulate well under 1 GB), or (c) the alloc_scaling
-section ran and greedy either missed an exhaustive optimum or came in
-under a 100x median speedup.
+must generate and simulate well under 1 GB), (c) the trace_compression
+section ran and compressed entries are larger than 0.6x raw, decode
+differently, or warm-load less than 10x faster than regenerating, or
+(d) the alloc_scaling section ran and greedy either missed an
+exhaustive optimum or came in under a 100x median speedup.
 
 ``REPRO_SCALE`` is ignored: the numbers are defined at full trace
 length so they are comparable across runs and machines.
@@ -272,12 +282,27 @@ def bench_trace_plane() -> dict:
 STREAMING_SIZES = (2_097_152, 16_777_216, 104_857_600)
 PEAK_RSS_LIMIT = 1 << 30  # the streaming plane's bounded-RSS guarantee
 
+
+def default_sizes() -> tuple[int, ...]:
+    """Streaming sizes: ``REPRO_BENCH_SIZES`` (comma-separated) beats
+    the built-in CI triple — so the 1B-reference run and the CI points
+    share one code path, differing only in this knob / ``--sizes``."""
+    env = os.environ.get("REPRO_BENCH_SIZES", "").strip()
+    if not env:
+        return STREAMING_SIZES
+    return tuple(int(n) for n in env.split(",") if n.strip())
+
+
 # Runs in a fresh interpreter per trace size: generates the trace
 # chunk-streaming into a throwaway plane, simulates a representative
-# cache grid over the stored chunks, and reports its own wall times and
-# getrusage peak-RSS high-water mark as JSON on stdout.
+# cache grid over the stored chunks, and reports its own wall times,
+# on-disk footprint (raw logical bytes vs what the store holds, which
+# differ exactly when REPRO_TRACE_COMPRESS is on), a timed re-read of
+# the stored stream (cold load vs regenerate), and the getrusage
+# peak-RSS high-water mark as JSON on stdout.
 _STREAMING_CHILD = """
-import json, resource, sys, time
+import json, os, resource, sys, time
+import numpy as np
 from repro.memsim.multiconfig import cache_miss_ratio_grid_chunked
 from repro.trace import tracestore
 
@@ -292,12 +317,34 @@ grid = cache_miss_ratio_grid_chunked(
     [4096, 65536], [4], [1, 2], warmup_fraction=0.4,
 )
 simulate_s = time.perf_counter() - t0
+key = tracestore.key_for(workload, os_name, references, 1)
+entry = tracestore.entry_path(key)
+header = json.loads((entry / "header.json").read_text())
+raw_bytes = sum(
+    spec["count"] * np.dtype(spec["dtype"]).itemsize
+    for spec in header["arrays"]
+)
+disk_bytes = tracestore.entry_nbytes(entry)
+t0 = time.perf_counter()
+reread = tracestore.open_stream(key)
+count = reread.count("ifetch_physical")
+total = 0
+for start in range(0, count, reread.chunk_references):
+    stop = min(start + reread.chunk_references, count)
+    total += int(reread.read("ifetch_physical", start, stop)[-1])
+reload_s = time.perf_counter() - t0
 rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 print(json.dumps({
     "references": stream.references,
     "chunk_references": stream.chunk_references,
+    "codec": header.get("codec"),
     "generate_seconds": round(generate_s, 2),
     "simulate_seconds": round(simulate_s, 2),
+    "reload_seconds": round(reload_s, 2),
+    "reload_speedup": round(generate_s / reload_s, 1) if reload_s else None,
+    "raw_bytes": raw_bytes,
+    "disk_bytes": disk_bytes,
+    "compression_ratio": round(disk_bytes / raw_bytes, 4),
     "peak_rss_bytes": rss_kib * 1024,
     "design_points": len(grid),
 }))
@@ -317,6 +364,10 @@ def bench_streaming(sizes: tuple[int, ...]) -> dict:
         cache_dir = tempfile.mkdtemp(prefix="repro-stream-bench-")
         env = dict(os.environ)
         env["REPRO_TRACE_CACHE"] = cache_dir
+        # The scaling rows exercise the compressed plane by default
+        # (that is what runs at 1B-reference scale); REPRO_TRACE_COMPRESS=off
+        # in the caller's environment reverts to raw format-2 rows.
+        env.setdefault("REPRO_TRACE_COMPRESS", "zlib")
         env.pop("REPRO_SCALE", None)
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in ("src", env.get("PYTHONPATH", "")) if p
@@ -363,6 +414,137 @@ def check_streaming_rss(streaming: dict) -> int:
                 f"peak-RSS check OK: {row['references']:,} refs "
                 f"peaked at {rss_mib:.0f} MiB"
             )
+    return failed
+
+
+COMPRESSION_RATIO_LIMIT = 0.6
+"""CI ceiling on compressed-vs-raw on-disk bytes for the default codec."""
+WARM_SPEEDUP_FLOOR = 10.0
+"""CI floor on the warm serving read vs cold regeneration."""
+
+
+def bench_trace_compression() -> dict:
+    """Format-3 compressed entries vs the raw layout, same trace.
+
+    Publishes the benchmark trace twice — once raw (format 2), once
+    through ``REPRO_TRACE_COMPRESS=zlib`` (format 3) — into separate
+    throwaway planes, then checks the three contracts the compressed
+    plane ships under: decoded arrays bit-identical to the raw
+    layout's, on-disk bytes at most ``COMPRESSION_RATIO_LIMIT`` of
+    raw, and the warm serving read at least ``WARM_SPEEDUP_FLOOR``
+    times faster than regenerating.
+
+    Two warm timings are reported.  ``warm_load_seconds`` materializes
+    every field (inflate-bound end to end — zlib holds it to roughly
+    4-7x of regeneration, and at 1B references a full materialization
+    would need ~36 GB so it is not the at-scale path at all).
+    ``warm_stream_seconds`` is how the plane is actually consumed at
+    scale and is what the speedup gate runs on: a chunked
+    :class:`~repro.trace.tracestore.TraceStream` pass over the
+    simulated stream, decoding only the field the grid sweep reads —
+    the compressed analogue of format 2's lazy memmap paging, which
+    likewise never faults in untouched fields.
+    """
+    saved = {
+        name: os.environ.get(name)
+        for name in ("REPRO_TRACE_CACHE", "REPRO_TRACE_COMPRESS")
+    }
+    raw_dir = tempfile.mkdtemp(prefix="repro-comp-raw-")
+    comp_dir = tempfile.mkdtemp(prefix="repro-comp-zlib-")
+    key = tracestore.key_for(WORKLOAD, OS_NAME, BENCH_REFERENCES, 1)
+    try:
+        os.environ["REPRO_TRACE_CACHE"] = raw_dir
+        os.environ.pop("REPRO_TRACE_COMPRESS", None)
+        t0 = time.perf_counter()
+        raw_trace = tracestore.get_trace(
+            WORKLOAD, OS_NAME, BENCH_REFERENCES, seed=1
+        )
+        cold_s = time.perf_counter() - t0
+        raw_bytes = tracestore.entry_nbytes(tracestore.entry_path(key))
+
+        os.environ["REPRO_TRACE_CACHE"] = comp_dir
+        os.environ["REPRO_TRACE_COMPRESS"] = "zlib"
+        t0 = time.perf_counter()
+        tracestore.get_trace(WORKLOAD, OS_NAME, BENCH_REFERENCES, seed=1)
+        cold_compressed_s = time.perf_counter() - t0
+        comp_bytes = tracestore.entry_nbytes(tracestore.entry_path(key))
+        warm_s, loaded = best_of(lambda: tracestore.load(key))
+
+        def stream_pass() -> int:
+            reader = tracestore.open_stream(key)
+            count = reader.count("ifetch_physical")
+            step = reader.chunk_references
+            total = 0
+            for start in range(0, count, step):
+                stop = min(start + step, count)
+                total += int(reader.read("ifetch_physical", start, stop)[-1])
+            return total
+
+        stream_s, _ = best_of(stream_pass)
+        identical = all(
+            np.array_equal(getattr(raw_trace, name), getattr(loaded, name))
+            for name in (
+                "addresses", "physical", "kinds", "asids", "mapped", "kernel"
+            )
+        ) and np.array_equal(
+            raw_trace.ifetch_physical(), loaded.ifetch_physical()
+        ) and np.array_equal(
+            raw_trace.load_physical(), loaded.load_physical()
+        )
+        return {
+            "workload": WORKLOAD,
+            "os": OS_NAME,
+            "references": BENCH_REFERENCES,
+            "codec": "zlib",
+            "raw_bytes": raw_bytes,
+            "compressed_bytes": comp_bytes,
+            "compression_ratio": round(comp_bytes / raw_bytes, 4),
+            "ratio_limit": COMPRESSION_RATIO_LIMIT,
+            "cold_generate_seconds": round(cold_s, 3),
+            "cold_generate_compressed_seconds": round(cold_compressed_s, 3),
+            "warm_load_seconds": round(warm_s, 4),
+            "warm_load_speedup": round(cold_s / warm_s, 1),
+            "warm_stream_seconds": round(stream_s, 4),
+            "warm_speedup": round(cold_s / stream_s, 1),
+            "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
+            "bit_identical": identical,
+        }
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        shutil.rmtree(raw_dir, ignore_errors=True)
+        shutil.rmtree(comp_dir, ignore_errors=True)
+
+
+def check_trace_compression(comp: dict) -> int:
+    """CI tripwire: ratio <= 0.6x, decode bit-identical, warm >= 10x."""
+    failed = 0
+    if not comp["bit_identical"]:
+        print("compression check FAILED: decoded arrays differ from raw")
+        failed = 1
+    if comp["compression_ratio"] > COMPRESSION_RATIO_LIMIT:
+        print(
+            f"compression check FAILED: ratio {comp['compression_ratio']} "
+            f"above the {COMPRESSION_RATIO_LIMIT} ceiling"
+        )
+        failed = 1
+    if comp["warm_speedup"] < WARM_SPEEDUP_FLOOR:
+        print(
+            f"compression check FAILED: warm serving read only "
+            f"{comp['warm_speedup']}x faster than regeneration "
+            f"(floor {WARM_SPEEDUP_FLOOR:.0f}x)"
+        )
+        failed = 1
+    if not failed:
+        print(
+            f"compression check OK: ratio {comp['compression_ratio']} "
+            f"(<= {COMPRESSION_RATIO_LIMIT}), bit-identical, warm "
+            f"serving read {comp['warm_speedup']}x faster than "
+            f"regeneration"
+        )
     return failed
 
 
@@ -534,7 +716,7 @@ def main(argv: list[str] | None = None) -> int:
         "--section",
         choices=(
             "all", "grid", "curves", "trace_plane", "streaming",
-            "alloc_scaling", "write_buffer",
+            "trace_compression", "alloc_scaling", "write_buffer",
         ),
         default="all",
         help="benchmark only one section (default: all)",
@@ -543,14 +725,16 @@ def main(argv: list[str] | None = None) -> int:
         "--check-scaling",
         action="store_true",
         help="exit non-zero if warm jobs=4 measurement is slower than "
-        "serial on a >= 4-core host, or if any streaming-scaling row "
-        "peaks at >= 1 GiB RSS (gates only the sections that ran)",
+        "serial on a >= 4-core host, if any streaming-scaling row "
+        "peaks at >= 1 GiB RSS, or if the trace_compression section "
+        "breaks its ratio / bit-identity / warm-speedup contracts "
+        "(gates only the sections that ran)",
     )
     parser.add_argument(
         "--sizes",
-        default=",".join(str(n) for n in STREAMING_SIZES),
+        default=",".join(str(n) for n in default_sizes()),
         help="comma-separated reference counts for the streaming "
-        "scaling section",
+        "scaling section (default: REPRO_BENCH_SIZES or the CI triple)",
     )
     args = parser.parse_args(argv)
     out_dir = os.path.dirname(os.path.abspath(args.output))
@@ -565,7 +749,7 @@ def main(argv: list[str] | None = None) -> int:
     sections = (
         {
             "grid", "curves", "trace_plane", "streaming",
-            "alloc_scaling", "write_buffer",
+            "trace_compression", "alloc_scaling", "write_buffer",
         }
         if args.section == "all"
         else {args.section}
@@ -630,12 +814,33 @@ def main(argv: list[str] | None = None) -> int:
         streaming = bench_streaming(sizes)
         for row in streaming["rows"]:
             print(
-                f"  {row['references']:>12,} refs: "
+                f"  {row['references']:>13,} refs: "
                 f"generate {row['generate_seconds']}s   "
                 f"simulate {row['simulate_seconds']}s   "
+                f"reload {row['reload_seconds']}s   "
+                f"disk {row['disk_bytes'] / (1 << 20):.0f}/"
+                f"{row['raw_bytes'] / (1 << 20):.0f} MiB "
+                f"(ratio {row['compression_ratio']})   "
                 f"peak RSS {row['peak_rss_bytes'] / (1 << 20):.0f} MiB"
             )
         payload["streaming_scaling"] = streaming
+
+    compression = None
+    if "trace_compression" in sections:
+        print("benchmarking compressed trace entries ...")
+        compression = bench_trace_compression()
+        print(
+            f"  raw {compression['raw_bytes'] / (1 << 20):.1f} MiB -> "
+            f"zlib {compression['compressed_bytes'] / (1 << 20):.1f} MiB "
+            f"(ratio {compression['compression_ratio']})   "
+            f"cold {compression['cold_generate_seconds']}s   "
+            f"warm load {compression['warm_load_seconds']}s "
+            f"({compression['warm_load_speedup']}x)   "
+            f"warm stream {compression['warm_stream_seconds']}s "
+            f"({compression['warm_speedup']}x, "
+            f"identical={compression['bit_identical']})"
+        )
+        payload["trace_compression"] = compression
 
     alloc = None
     if "alloc_scaling" in sections:
@@ -677,6 +882,8 @@ def main(argv: list[str] | None = None) -> int:
             status |= check_scaling(plane)
         if streaming is not None:
             status |= check_streaming_rss(streaming)
+        if compression is not None:
+            status |= check_trace_compression(compression)
         if alloc is not None:
             status |= check_alloc_scaling(alloc)
     return status

@@ -33,7 +33,12 @@ Exercises the whole subsystem the way a user would:
    the retrying client to see zero failed and zero wrong answers —
    every response bit-identical to the direct ``Allocator.rank`` rows
    — plus per-node labels in the router's merged metrics and no
-   unstructured 5xx from the router.
+   unstructured 5xx from the router;
+9. runs the fleet in trace warm-up mode against an isolated,
+   compressing trace plane: one warm-up pass must publish every
+   ring-assigned entry, a re-warm must publish zero, and the merged
+   metrics must show exactly one trace generation — warm restarts
+   never regenerate.
 
 Usage::
 
@@ -383,6 +388,76 @@ def fleet_phase(store_path: str, os_name: str,
         fleet.stop()
 
 
+def warm_phase(store_path: str, os_name: str) -> None:
+    """Fleet trace warm-up gate: every assigned entry published once,
+    re-warm publishes nothing, no trace generation after warm-up."""
+    import os
+    import shutil
+    import tempfile
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-smoke-traces-")
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_TRACE_CACHE", "REPRO_TRACE_COMPRESS")
+    }
+    # Set before start() so the forked shards inherit an isolated,
+    # compressing trace plane.
+    os.environ["REPRO_TRACE_CACHE"] = cache_dir
+    os.environ["REPRO_TRACE_COMPRESS"] = "zlib"
+    fleet = FleetSupervisor(store_path, nodes=2, replicas=1)
+    try:
+        fleet.start()
+        warm_kwargs = dict(
+            references=40_000, workloads=("ousterhout",),
+            os_names=(os_name,),
+        )
+        report = fleet.warm_traces(**warm_kwargs)
+        if report["errors"]:
+            raise SystemExit(f"warm-up reported errors: {report['errors']}")
+        if report["published"] != 1 or report["entries"] != 1:
+            raise SystemExit(f"expected exactly one warmed entry: {report}")
+
+        from repro.trace import tracestore
+        key = tracestore.key_for("ousterhout", os_name, 40_000, 1)
+        if not tracestore.has(key):
+            raise SystemExit(
+                f"warmed entry missing from the shared cache: {key}"
+            )
+
+        again = fleet.warm_traces(**warm_kwargs)
+        if again["published"] != 0 or again["entries"] != 1:
+            raise SystemExit(f"re-warm regenerated entries: {again}")
+
+        with urllib.request.urlopen(
+            fleet.base_url + "/v1/metrics", timeout=30
+        ) as response:
+            view = json.loads(response.read())["result"]
+        generations = (
+            view.get("counters", {})
+            .get("trace_plane_generations", {})
+            .get("total", 0)
+        )
+        if generations != 1:
+            raise SystemExit(
+                "trace plane generated "
+                f"{generations} times across warm-up + re-warm "
+                "(want exactly 1: warm restarts must not regenerate)"
+            )
+        print(
+            f"    warm-up: {report['published']} entry published, "
+            f"re-warm published 0, generations={generations}",
+            flush=True,
+        )
+    finally:
+        fleet.stop()
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--store", default=".repro-store-smoke")
@@ -396,14 +471,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     store_args = ["--store", args.store]
 
-    print(f"[1/8] building store at {args.store} ...", flush=True)
+    print(f"[1/9] building store at {args.store} ...", flush=True)
     build_args = ["build", "--os", args.os_name, *store_args]
     if args.jobs is not None:
         build_args += ["--jobs", str(args.jobs)]
     built = run_cli(*build_args)
     assert built["ok"] and built["built"], f"build failed: {built}"
 
-    print("[2/8] CLI query batch ...", flush=True)
+    print("[2/9] CLI query batch ...", flush=True)
     point = run_cli(
         "query", *store_args, "--request",
         json.dumps({"type": "point", "os": args.os_name,
@@ -429,7 +504,7 @@ def main(argv: list[str] | None = None) -> int:
     info = run_cli("info", *store_args)
     assert info["exists"] and len(info["entries"]) == 1, info
 
-    print("[3/8] HTTP round-trip ...", flush=True)
+    print("[3/9] HTTP round-trip ...", flush=True)
     server = make_server(QueryEngine(CurveStore(args.store)), port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -451,7 +526,7 @@ def main(argv: list[str] | None = None) -> int:
     if http_payload["result"] != point["result"]:
         raise SystemExit("HTTP and CLI answers differ for the same query")
 
-    print("[4/8] differential check vs direct Allocator path ...", flush=True)
+    print("[4/9] differential check vs direct Allocator path ...", flush=True)
     store = CurveStore(args.store)
     curves = store.load(store.find_current(args.os_name))
     direct = Allocator(curves, budget_rbes=DEFAULT_BUDGET_RBES).rank(limit=10)
@@ -467,23 +542,26 @@ def main(argv: list[str] | None = None) -> int:
 
     want_rows = [(a["area_rbe"], a["cpi"], a["tlb"]) for a in served]
     if args.faults != "none":
-        print(f"[5/8] chaos phase with faults: {args.faults} ...", flush=True)
+        print(f"[5/9] chaos phase with faults: {args.faults} ...", flush=True)
         chaos_phase(args.store, args.os_name, args.faults, want_rows)
     else:
-        print("[5/8] chaos phase skipped (--faults none)", flush=True)
+        print("[5/9] chaos phase skipped (--faults none)", flush=True)
 
-    print(f"[6/8] 2-worker pre-fork fleet (faults: {args.faults}) ...",
+    print(f"[6/9] 2-worker pre-fork fleet (faults: {args.faults}) ...",
           flush=True)
     prefork_phase(args.store, args.os_name, args.faults)
 
-    print("[7/8] open-loop burst ...", flush=True)
+    print("[7/9] open-loop burst ...", flush=True)
     openloop_phase(args.store, args.os_name)
 
-    print(f"[8/8] fleet chaos gate (3 shards, R=2, faults: "
+    print(f"[8/9] fleet chaos gate (3 shards, R=2, faults: "
           f"{FLEET_FAULT_SPEC}) ...", flush=True)
     fleet_phase(args.store, args.os_name, want_rows)
+
+    print("[9/9] fleet trace warm-up ...", flush=True)
+    warm_phase(args.store, args.os_name)
     print("service smoke OK: CLI, HTTP, direct, chaos, pre-fork, "
-          "open-loop and fleet paths agree")
+          "open-loop, fleet and warm-up paths agree")
     return 0
 
 

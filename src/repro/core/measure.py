@@ -425,6 +425,9 @@ _POOL_ENV_KEYS = (
     "REPRO_SCALE",
     "REPRO_ENGINE",
     "REPRO_STREAM_CHUNK",
+    "REPRO_TRACE_COMPRESS",
+    "REPRO_TRACE_COMPRESS_LEVEL",
+    "REPRO_TRACE_COMPRESS_BLOCK",
 )
 
 _pool: ProcessPoolExecutor | None = None

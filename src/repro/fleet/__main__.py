@@ -14,6 +14,14 @@ router unchanged.  Node and replica counts also honour the
 ``REPRO_FLEET_NODES`` / ``REPRO_FLEET_REPLICAS`` environment knobs
 (flags win).
 
+``--warm-traces`` runs the fleet in one-shot warm-up mode instead of
+serving: each shard is asked (in parallel, via ``POST
+/v1/warm_traces``) to pre-generate exactly the trace-plane entries the
+consistent-hash ring assigns to it, the JSON report is printed, and
+the fleet exits — so a subsequent cold start serves without paying
+trace generation.  ``--warm-references``, ``--warm-seed``, and
+``--workloads`` narrow what gets warmed.
+
 Failure semantics: a query is retried on the next replica of its shard
 key after a connect error, 429, or any 5xx; only when *every* replica
 fails does the client see a 503 (code ``no_shard_available``) carrying
@@ -77,7 +85,46 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress JSON request logs",
     )
+    parser.add_argument(
+        "--warm-traces", action="store_true",
+        help="start the fleet, fan trace warm-up out to every shard "
+             "(each pre-generates the trace entries consistent hashing "
+             "assigns it), print the JSON report, and exit",
+    )
+    parser.add_argument(
+        "--warm-references", type=int, default=None,
+        help="references per warmed trace (default: the measurement "
+             "default scaled by REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--warm-seed", type=int, default=1,
+        help="trace seed to warm (default 1)",
+    )
+    parser.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload names to warm (default: all)",
+    )
     return parser
+
+
+def _run_warm(fleet: FleetSupervisor, args) -> int:
+    workloads = None
+    if args.workloads:
+        workloads = tuple(
+            name.strip() for name in args.workloads.split(",") if name.strip()
+        )
+    fleet.start()
+    try:
+        report = fleet.warm_traces(
+            references=args.warm_references,
+            seed=args.warm_seed,
+            workloads=workloads,
+        )
+    finally:
+        fleet.stop()
+    json.dump(report, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 1 if report["errors"] else 0
 
 
 def main(argv=None) -> int:
@@ -98,6 +145,8 @@ def main(argv=None) -> int:
         verbose=not args.quiet,
     )
     try:
+        if args.warm_traces:
+            return _run_warm(fleet, args)
         fleet.serve_until_interrupted()
     except ConfigError as exc:
         return _emit_error("invalid_config", str(exc), 2)

@@ -29,6 +29,8 @@ kills never change answers — only which node serves them.
 from __future__ import annotations
 
 import errno
+import http.client
+import json
 import os
 import shutil
 import signal
@@ -42,7 +44,7 @@ from repro.fleet.health import (
     DEFAULT_PROBE_INTERVAL_S,
     HealthChecker,
 )
-from repro.fleet.ring import Ring
+from repro.fleet.ring import Ring, shard_key
 from repro.fleet.router import (
     DEFAULT_REPLICAS,
     RouterHTTPServer,
@@ -325,6 +327,117 @@ class FleetSupervisor:
         for shard in self._shards.values():
             shutil.rmtree(shard.metrics_dir, ignore_errors=True)
         self._shards.clear()
+
+    # -- trace warm-up -------------------------------------------------
+
+    def warm_traces(
+        self,
+        references: int | None = None,
+        seed: int = 1,
+        workloads: tuple[str, ...] | None = None,
+        os_names: tuple[str, ...] | None = None,
+        jobs: int | None = None,
+        timeout_s: float = 600.0,
+    ) -> dict:
+        """Pre-populate each shard's trace plane with *its* entries.
+
+        Every OS model's traces live on the replica set that serves its
+        queries (the ring's preference list for the OS's shard key —
+        budgets and associativity caps share that node, see
+        :func:`~repro.fleet.ring.shard_key`), so each shard is asked to
+        warm exactly the OS names consistent hashing will route to it.
+        Warming every replica, not just the owner, means failover hits
+        a warm plane too.  The per-shard ``POST /v1/warm_traces``
+        requests run in parallel — shards generate independently.
+
+        Returns a report: per-shard assignments and outcomes plus
+        fleet-wide entry/published totals.  Shards that fail to answer
+        carry an ``"error"`` entry instead of a result.
+        """
+        if self.ring is None:
+            raise RuntimeError("fleet is not started")
+        if os_names is None:
+            from repro.trace.generator import OS_MODELS
+
+            os_names = tuple(sorted(OS_MODELS))
+        topology = self.topology
+        assignments: dict[str, list[str]] = {label: [] for label in topology}
+        for os_name in os_names:
+            key = shard_key(
+                {
+                    "os": os_name,
+                    "max_cache_assoc": None,
+                    "max_access_time_ns": None,
+                }
+            )
+            for label in self.ring.preference(key, self.replicas):
+                assignments[label].append(os_name)
+        body_base = {"seed": seed}
+        if references is not None:
+            body_base["references"] = references
+        if workloads is not None:
+            body_base["workloads"] = list(workloads)
+        if jobs is not None:
+            body_base["jobs"] = jobs
+        results: dict[str, dict] = {}
+
+        def _warm_one(label: str) -> None:
+            host, port = topology[label]
+            payload = json.dumps(
+                {**body_base, "os_names": assignments[label]}
+            ).encode()
+            conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+            try:
+                conn.request(
+                    "POST", "/v1/warm_traces", body=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                answer = json.loads(response.read())
+                if response.status == 200 and answer.get("ok"):
+                    results[label] = answer["result"]
+                else:
+                    results[label] = {
+                        "error": answer.get("error")
+                        or {"code": "bad_status", "status": response.status}
+                    }
+            except (OSError, ValueError) as exc:
+                results[label] = {
+                    "error": {"code": "unreachable", "message": str(exc)}
+                }
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(
+                target=_warm_one, args=(label,), daemon=True,
+                name=f"repro-warm-{label}",
+            )
+            for label, assigned in assignments.items()
+            if assigned
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=timeout_s)
+        return {
+            "os_names": list(os_names),
+            "assignments": {
+                label: assigned
+                for label, assigned in sorted(assignments.items())
+                if assigned
+            },
+            "shards": dict(sorted(results.items())),
+            "entries": sum(
+                r.get("entries", 0) for r in results.values()
+            ),
+            "published": sum(
+                r.get("published", 0) for r in results.values()
+            ),
+            "errors": sorted(
+                label for label, r in results.items() if "error" in r
+            ),
+        }
 
     def serve_until_interrupted(self) -> None:
         """The CLI loop: start, report, park until Ctrl-C, stop."""

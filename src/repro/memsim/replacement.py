@@ -58,6 +58,15 @@ class LruPolicy(ReplacementPolicy):
     def contents(self) -> list[int]:
         return list(self._stack)
 
+    def set_contents(self, tags: list[int]) -> None:
+        """Replace the stack wholesale (MRU-first, truncated to capacity).
+
+        Lets the vectorized TLB path push post-batch state back into
+        the reference policy so scalar and batched accesses interleave
+        bit-identically.
+        """
+        self._stack = list(tags)[: self.ways]
+
     def invalidate(self, tag: int) -> bool:
         try:
             self._stack.remove(tag)

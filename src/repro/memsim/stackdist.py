@@ -286,6 +286,43 @@ class StreamingStackDistance:
         self._update_stacks(ids)
         return chunk_depths
 
+    def export_stacks(self) -> dict[int, list[int]]:
+        """Carried per-set LRU stacks, MRU-first (stateful sets only).
+
+        Together with :meth:`import_stacks` this lets a caller that
+        owns equivalent per-set state in another representation — the
+        reference :class:`~repro.memsim.tlb.Tlb`'s move-to-front lists
+        — round-trip it through the vectorized engine and back, so
+        interleaving scalar and batched accesses stays bit-identical.
+        """
+        stacks: dict[int, list[int]] = {}
+        for set_index, ident in zip(
+            self._stack_sets.tolist(), self._stack_ids.tolist()
+        ):
+            stacks.setdefault(set_index, []).append(ident)
+        return stacks
+
+    def import_stacks(self, stacks: dict[int, list[int]]) -> None:
+        """Replace the carried state with per-set MRU-first stacks.
+
+        Each id must map to its claimed set (``id & (n_sets - 1)``);
+        stacks deeper than ``max_assoc`` are truncated to the tracked
+        depth, exactly as feeding would have capped them.
+        """
+        sets: list[int] = []
+        ids: list[int] = []
+        for set_index in sorted(stacks):
+            stack = stacks[set_index][: self.max_assoc]
+            for ident in stack:
+                if ident & self._mask != set_index:
+                    raise ValueError(
+                        f"id {ident} does not belong to set {set_index}"
+                    )
+            sets.extend([set_index] * len(stack))
+            ids.extend(stack)
+        self._stack_sets = np.asarray(sets, dtype=np.int64)
+        self._stack_ids = np.asarray(ids, dtype=np.int64)
+
     @property
     def counted(self) -> int:
         """Counted (post-warmup) references fed so far."""

@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.memsim.replacement import ReplacementPolicy, make_policy
-from repro.units import is_pow2, log2i
+from repro.memsim.stackdist import StreamingStackDistance
+from repro.units import VPN_BITS, is_pow2, log2i
 
 FULLY_ASSOCIATIVE = "full"
 
@@ -84,7 +85,9 @@ class Tlb:
             raise ConfigurationError(f"bad associativity {assoc!r}")
         self.entries = entries
         self.assoc = assoc
+        self.policy = policy
         self.sets = entries // ways
+        self.ways = ways
         self._set_mask = self.sets - 1
         self._index_bits = log2i(self.sets)
         self._sets: list[ReplacementPolicy] = [
@@ -115,6 +118,17 @@ class Tlb:
     ) -> TlbResult:
         """Run a stream of mapped references through the TLB.
 
+        LRU TLBs take the vectorized stack-distance path: the batch's
+        ``(asid << VPN_BITS) | vpn`` ids go through one
+        :class:`~repro.memsim.stackdist.StreamingStackDistance` pass
+        whose carried state is seeded from — and written back into —
+        the per-set move-to-front lists, so interleaving with scalar
+        :meth:`access` calls (and chunked :meth:`simulate_stream`
+        feeds) stays bit-identical to the reference loop
+        (:meth:`simulate_scalar`, kept as the differential oracle).
+        FIFO/random policies, and inputs the id packing cannot
+        represent, fall back to that loop.
+
         Args:
             vpns: virtual page numbers.
             asids: per-reference address-space identifiers (zeros when
@@ -131,6 +145,41 @@ class Tlb:
             asids = np.zeros(n, dtype=np.uint8)
         if kernel_flags is None:
             kernel_flags = np.zeros(n, dtype=bool)
+        if n and self.policy == "lru" and self._index_bits <= VPN_BITS:
+            vp = np.asarray(vpns, dtype=np.int64)
+            ids = np.asarray(asids, dtype=np.int64)
+            if (
+                bool((vp >= 0).all())
+                and bool((vp < (1 << VPN_BITS)).all())
+                and bool((ids >= 0).all())
+                and bool((ids < 256).all())
+            ):
+                return self._simulate_lru(
+                    vp,
+                    ids,
+                    np.asarray(kernel_flags, dtype=bool),
+                    record_flags,
+                )
+        return self.simulate_scalar(vpns, asids, kernel_flags, record_flags)
+
+    def simulate_scalar(
+        self,
+        vpns: np.ndarray,
+        asids: np.ndarray | None = None,
+        kernel_flags: np.ndarray | None = None,
+        record_flags: bool = False,
+    ) -> TlbResult:
+        """Reference per-reference loop over :meth:`access`.
+
+        The oracle the vectorized :meth:`simulate` is held
+        bit-identical to in the differential tests, and the live path
+        for non-LRU policies.
+        """
+        n = len(vpns)
+        if asids is None:
+            asids = np.zeros(n, dtype=np.uint8)
+        if kernel_flags is None:
+            kernel_flags = np.zeros(n, dtype=bool)
         flags = np.zeros(n, dtype=bool) if record_flags else None
         for i in range(n):
             hit = self.access(int(vpns[i]), int(asids[i]), bool(kernel_flags[i]))
@@ -138,6 +187,67 @@ class Tlb:
                 flags[i] = not hit
         if flags is not None:
             self.result.miss_flags = flags
+        return self.result
+
+    # -- vectorized LRU path -------------------------------------------
+
+    def _packed_id(self, vpn: int, asid: int) -> int:
+        return (asid << VPN_BITS) | vpn
+
+    def _export_stacks(self) -> dict[int, list[int]]:
+        """Per-set policy stacks as packed ids (MRU-first)."""
+        stacks: dict[int, list[int]] = {}
+        for set_index, policy in enumerate(self._sets):
+            stack = policy.contents()
+            if not stack:
+                continue
+            # Invert the tag packing: tag = ((vpn >> index) << 8) | asid
+            # and the set index carries vpn's low bits.
+            stacks[set_index] = [
+                self._packed_id(
+                    ((tag >> 8) << self._index_bits) | set_index, tag & 0xFF
+                )
+                for tag in stack
+            ]
+        return stacks
+
+    def _import_stacks(self, stacks: dict[int, list[int]]) -> None:
+        """Write post-batch stacks back into the per-set policies."""
+        vpn_mask = (1 << VPN_BITS) - 1
+        for set_index, policy in enumerate(self._sets):
+            ids = stacks.get(set_index)
+            if not ids:
+                policy.set_contents([])
+                continue
+            policy.set_contents(
+                [
+                    (((ident & vpn_mask) >> self._index_bits) << 8)
+                    | (ident >> VPN_BITS)
+                    for ident in ids
+                ]
+            )
+
+    def _simulate_lru(
+        self,
+        vpns: np.ndarray,
+        asids: np.ndarray,
+        kernel_flags: np.ndarray,
+        record_flags: bool,
+    ) -> TlbResult:
+        sim = StreamingStackDistance(self.sets, self.ways)
+        sim.import_stacks(self._export_stacks())
+        ids = (asids << VPN_BITS) | vpns
+        depths = sim.feed(ids)
+        missed = depths >= self.ways
+        misses = int(missed.sum())
+        kernel_misses = int(np.count_nonzero(missed & kernel_flags))
+        self.result.accesses += len(ids)
+        self.result.misses += misses
+        self.result.kernel_misses += kernel_misses
+        self.result.user_misses += misses - kernel_misses
+        if record_flags:
+            self.result.miss_flags = missed
+        self._import_stacks(sim.export_stacks())
         return self.result
 
     def simulate_stream(self, chunks) -> TlbResult:

@@ -96,6 +96,8 @@ _KNOWN_ROUTES = {
     "/metrics": "metrics",
     "/v1/query": "query",
     "/query": "query",
+    "/v1/warm_traces": "warm_traces",
+    "/warm_traces": "warm_traces",
 }
 
 _REASONS = {
@@ -750,6 +752,9 @@ class EventLoopHTTPServer:
         )
 
     def _do_post(self, conn: _Connection, req: _Request, body: bytes) -> None:
+        if req.path in ("/v1/warm_traces", "/warm_traces"):
+            self._do_warm_traces(conn, req, body)
+            return
         if req.path not in ("/v1/query", "/query"):
             self._respond_error(
                 conn, req, 404, "not_found", f"unknown path {req.path}"
@@ -836,6 +841,57 @@ class EventLoopHTTPServer:
 
         self._executor.submit(_run)
 
+    def _do_warm_traces(self, conn: _Connection, req: _Request, body: bytes) -> None:
+        """Pre-populate this shard's trace-plane entries (blocking, off-loop).
+
+        Trace generation is minutes of CPU at fleet scale, so it runs on
+        the executor like a cold query and is subject to the same
+        in-flight shedding; the loop keeps serving cached queries while
+        the plane warms.
+        """
+        if req.reject is not None:
+            status, code, message = req.reject
+            self._respond_error(conn, req, status, code, message, close=True)
+            return
+        if len(body) == 0:
+            request: dict = {}
+        else:
+            try:
+                request = json.loads(body)
+            except ValueError as exc:
+                self._respond_error(
+                    conn, req, 400, "invalid_json", f"body is not JSON: {exc}"
+                )
+                return
+        if not isinstance(request, dict):
+            self._respond_error(
+                conn, req, 400, "invalid_request",
+                "warm_traces body must be a JSON object",
+            )
+            return
+        if self._inflight_count >= self.max_inflight:
+            self.metrics.counter("http_overload_rejections").inc()
+            self._respond_error(
+                conn, req, 429, "overloaded",
+                f"server is at its {self.max_inflight}-request "
+                f"concurrency limit; retry after {RETRY_AFTER_S}s",
+            )
+            return
+        self._inflight_count += 1
+        self.metrics.gauge("http_inflight").add(1)
+        conn.pending = True
+        self._update_interest(conn)
+
+        def _run(request=request, conn=conn, req=req):
+            try:
+                outcome = ("warm", _warm_traces_result(request), False, b"")
+            except BaseException as exc:
+                outcome = ("err", exc, False, b"")
+            self._completions.append((conn, req, outcome))
+            self._wake()
+
+        self._executor.submit(_run)
+
     def _memoize_raw(self, body: bytes, entry: tuple[bytes, str]) -> None:
         memo = self._raw_memo
         if body not in memo:
@@ -862,6 +918,10 @@ class EventLoopHTTPServer:
                 if not binary:
                     self._memoize_raw(raw, value)
                 self._respond_query(conn, req, value, binary)
+            elif kind == "warm":
+                self._respond_json(
+                    conn, req, 200, {"ok": True, "result": value}
+                )
             else:
                 self._respond_mapped_error(conn, req, value)
             if not conn.closed:
@@ -1038,6 +1098,62 @@ class EventLoopHTTPServer:
             export_worker_metrics(self)
 
 
+def _warm_traces_result(request: dict) -> dict:
+    """Run a ``/v1/warm_traces`` body through :func:`measure.warm_traces`.
+
+    Executes on an executor thread.  A disabled trace plane is the
+    caller's mistake (there is nowhere to warm), so ``ConfigError``
+    maps to a 400 via :class:`RequestError`.
+    """
+    from repro.core import measure
+    from repro.errors import ConfigError
+
+    allowed = {"os_names", "workloads", "references", "seed", "jobs"}
+    unknown = set(request) - allowed
+    if unknown:
+        raise RequestError(
+            f"unknown warm_traces fields: {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    os_names = request.get("os_names")
+    workloads = request.get("workloads")
+    for name, value in (("os_names", os_names), ("workloads", workloads)):
+        if value is not None and (
+            not isinstance(value, list)
+            or not all(isinstance(item, str) for item in value)
+        ):
+            raise RequestError(f"{name} must be a list of strings")
+    references = request.get("references")
+    if references is not None and (
+        not isinstance(references, int) or references < 1
+    ):
+        raise RequestError("references must be a positive integer")
+    seed = request.get("seed", 1)
+    if not isinstance(seed, int):
+        raise RequestError("seed must be an integer")
+    jobs = request.get("jobs")
+    if jobs is not None and (not isinstance(jobs, int) or jobs < 1):
+        raise RequestError("jobs must be a positive integer")
+    try:
+        outcomes = measure.warm_traces(
+            os_names=tuple(os_names) if os_names is not None else None,
+            workloads=tuple(workloads) if workloads is not None else None,
+            references=references,
+            seed=seed,
+            jobs=jobs,
+        )
+    except ConfigError as exc:
+        raise RequestError(str(exc)) from exc
+    return {
+        "warmed": [
+            {"workload": workload, "os": os_name, "published": published}
+            for workload, os_name, published in outcomes
+        ],
+        "entries": len(outcomes),
+        "published": sum(1 for _, _, published in outcomes if published),
+    }
+
+
 # -- fleet metrics plumbing (shared with the pre-fork master) ----------
 
 
@@ -1058,7 +1174,7 @@ def _metrics_view(server) -> dict:
         stats = engine.stats
         view["engine_cache"] = _with_hit_rate(stats)
         view["faults"] = server.faults.trip_counts()
-        view.update(server.metrics.snapshot())
+        view.update(_instrument_snapshot(server))
         return view
 
     export_worker_metrics(server, force=True)
@@ -1090,13 +1206,28 @@ def _with_hit_rate(stats: dict) -> dict:
     }
 
 
+def _instrument_snapshot(server) -> dict:
+    """The server's registry merged with the trace plane's counters.
+
+    The tracestore keeps its own module-level registry (it is used far
+    from any server), so the trace_plane_* counters — hits,
+    generations, evictions, compactions — ride along in every metrics
+    export and scrape rather than needing their own endpoint.
+    """
+    from repro.trace import tracestore
+
+    return merge_registry_snapshots(
+        [server.metrics.snapshot(), tracestore.METRICS.snapshot()]
+    )
+
+
 def _worker_snapshot(server) -> dict:
     return {
         "worker": server.worker_label,
         "pid": os.getpid(),
         "engine_cache": server.engine.stats,
         "faults": server.faults.trip_counts(),
-        "instruments": server.metrics.snapshot(),
+        "instruments": _instrument_snapshot(server),
     }
 
 

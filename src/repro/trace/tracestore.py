@@ -34,7 +34,24 @@ atomic ``os.replace``); loads validate the header, format version and
 every array extent against the file sizes, and any torn or corrupt
 entry is evicted and regenerated rather than served short.  Loading an
 entry touches its directory mtime, so the entry cap evicts in true
-least-recently-*used* order, not publish order.  Knobs:
+least-recently-*used* order, not publish order.
+
+Format 3 entries are the *compressed columnar* variant: each field
+file holds a sequence of independently-decompressible blocks (a fixed
+reference count per block), with the per-field block index carried in
+``header.json``.  The near-monotone ``<i8`` address columns are
+delta-encoded per block before stdlib ``zlib``/``lzma`` compression,
+which is what makes synthetic address streams compress far below the
+0.6x ratio the benchmarks gate on.  Decoding is bit-identical to
+format 2; commit semantics (header written last) and crash safety are
+unchanged.  Readers hold a small decompressed-block LRU so windowed
+and chunked reads stay O(chunk) RSS.  :func:`compact` recompresses
+LRU-cold entries in place, safely against concurrent readers: the new
+entry is built in a temp directory and swapped in by rename, so an
+open ``np.memmap``/file handle keeps the old inode and a reader that
+hits the brief swap window sees a plain miss and regenerates.
+
+Knobs:
 
 * ``REPRO_TRACE_CACHE`` — cache directory (default
   ``.repro-trace-cache``); ``off``/``0``/``none``/``false`` disables
@@ -45,15 +62,26 @@ least-recently-*used* order, not publish order.  Knobs:
   1048576, must be a positive multiple of 64).  Generation and
   simulation of traces longer than one chunk hold at most ~one chunk
   per field in memory at a time.
+* ``REPRO_TRACE_COMPRESS`` — ``zlib`` or ``lzma`` writes new entries
+  in format 3; off (the default) writes raw format 2, which keeps
+  whole-trace loads zero-copy memmaps.
+* ``REPRO_TRACE_COMPRESS_LEVEL`` — codec level (default 1: delta
+  encoding does the heavy lifting, so low levels already compress far
+  below the gate at several times the speed of high ones).
+* ``REPRO_TRACE_COMPRESS_BLOCK`` — references per compressed block
+  (default 262144); the unit of independent decompression, and
+  therefore the granularity (and RSS cost) of windowed reads.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import lzma
 import os
 import shutil
 import tempfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -61,22 +89,46 @@ import numpy as np
 
 from repro.errors import ConfigError, TraceError
 from repro.memsim.types import AccessKind
+from repro.obs import MetricsRegistry
 from repro.trace import generator as _generator
 from repro.trace.events import PageFrameTable, ReferenceTrace
 
 MAGIC = "repro-tracestore"
 STORE_FORMAT = 2
-"""On-disk layout version of this module (directory entry framing)."""
+"""On-disk layout version of raw (uncompressed) directory entries."""
+
+STORE_FORMAT_COMPRESSED = 3
+"""On-disk layout version of compressed columnar entries."""
 
 DEFAULT_CACHE_DIR = ".repro-trace-cache"
 DEFAULT_MAX_ENTRIES = 64
 DEFAULT_STREAM_CHUNK = 1_048_576
+DEFAULT_COMPRESS_LEVEL = 1
+DEFAULT_COMPRESS_BLOCK = 262_144
+DEFAULT_COMPACT_HOT = 4
 SUFFIX = ".trace"
 HEADER_NAME = "header.json"
 
+CODECS = ("zlib", "lzma")
+
 _DISABLED_VALUES = frozenset({"off", "0", "none", "false", "disabled"})
 
-_MAX_HEADER_BYTES = 1 << 20  # sanity bound when reading foreign files
+# A 1B-reference entry indexes ~4k blocks per field across 8 fields;
+# the block index dominates header size, so the bound is generous.
+_MAX_HEADER_BYTES = 8 << 20
+
+_BLOCK_CACHE_BLOCKS = 16
+"""Decompressed blocks a TraceStream keeps hot (per-field-agnostic
+LRU).  Bounds reader RSS at cache_blocks * block_references * 8 bytes
+while letting repeated small windows (the sampling path) skip
+re-decompression."""
+
+#: Counters for the plane's cold/warm behaviour, exported through the
+#: service's ``/v1/metrics`` (per-process; the pre-fork merge sums
+#: worker snapshots).  ``trace_plane_generations`` staying flat across
+#: a serving window is the "no trace-generation misses" signal the
+#: fleet warm-up exists to guarantee.
+METRICS = MetricsRegistry()
 
 # (name, little-endian dtype) of every serialized array.  The first six
 # are the ReferenceTrace fields; the last two are the derived physical
@@ -153,6 +205,130 @@ def stream_chunk_references() -> int:
     return value
 
 
+def compress_codec() -> str | None:
+    """The configured entry codec, or None for raw format-2 entries.
+
+    ``REPRO_TRACE_COMPRESS`` names a stdlib codec (``zlib`` or
+    ``lzma``); empty or an off-value means uncompressed.  Reading is
+    format-driven — this knob only selects what new entries are
+    written as, so mixed caches are fine.
+    """
+    raw = os.environ.get("REPRO_TRACE_COMPRESS", "")
+    value = raw.strip().lower()
+    if not value or value in _DISABLED_VALUES:
+        return None
+    if value not in CODECS:
+        raise ConfigError(
+            f"REPRO_TRACE_COMPRESS must be one of {list(CODECS)} or off, "
+            f"got {raw!r}"
+        )
+    return value
+
+
+def compress_level() -> int:
+    """Codec level for new entries: ``REPRO_TRACE_COMPRESS_LEVEL`` or 1."""
+    raw = os.environ.get("REPRO_TRACE_COMPRESS_LEVEL", "")
+    if not raw:
+        return DEFAULT_COMPRESS_LEVEL
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_TRACE_COMPRESS_LEVEL must be an integer, got {raw!r}"
+        ) from None
+    if not 0 <= value <= 9:
+        raise ConfigError(
+            f"REPRO_TRACE_COMPRESS_LEVEL must be in 0..9, got {value}"
+        )
+    return value
+
+
+def compress_block_references() -> int:
+    """References per compressed block: ``REPRO_TRACE_COMPRESS_BLOCK``."""
+    raw = os.environ.get("REPRO_TRACE_COMPRESS_BLOCK", "")
+    if not raw:
+        return DEFAULT_COMPRESS_BLOCK
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_TRACE_COMPRESS_BLOCK must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigError(
+            f"REPRO_TRACE_COMPRESS_BLOCK must be >= 1, got {value}"
+        )
+    return value
+
+
+#: int64 columns that are near-monotone (addresses walk regions
+#: sequentially; frame assignment is first-touch ordered), so per-block
+#: delta encoding turns them into tiny-magnitude streams the byte-level
+#: codecs collapse.  Deltas wrap mod 2**64 and decode via cumsum, so
+#: the round trip is exact for any values.
+_DELTA_FIELDS = frozenset(
+    ("addresses", "physical", "ifetch_physical", "load_physical")
+)
+
+
+def _encode_block(array: np.ndarray, delta: bool, codec: str, level: int) -> bytes:
+    """One block's compressed payload (delta first for address columns)."""
+    if delta and len(array):
+        encoded = np.empty_like(array)
+        encoded[0] = array[0]
+        np.subtract(array[1:], array[:-1], out=encoded[1:])
+        raw = encoded.tobytes()
+    else:
+        raw = array.tobytes()
+    if codec == "zlib":
+        return zlib.compress(raw, level)
+    return lzma.compress(raw, preset=level)
+
+
+def _decode_block(
+    payload: bytes, codec: str, dtype: np.dtype, count: int, delta: bool
+) -> np.ndarray:
+    """Inverse of :func:`_encode_block`; validates the element count."""
+    try:
+        raw = zlib.decompress(payload) if codec == "zlib" else lzma.decompress(payload)
+    except (zlib.error, lzma.LZMAError) as exc:
+        raise TraceError(f"corrupt compressed block: {exc}") from None
+    if len(raw) != count * dtype.itemsize:
+        raise TraceError(
+            f"compressed block decoded to {len(raw)} bytes, "
+            f"expected {count * dtype.itemsize}"
+        )
+    array = np.frombuffer(raw, dtype=dtype)
+    if delta:
+        array = np.cumsum(array, dtype=np.int64)
+    return array
+
+
+class _BlockIndex:
+    """Element and byte offsets of one field's compressed blocks."""
+
+    __slots__ = ("ends", "starts", "byte_ends", "byte_starts")
+
+    def __init__(self, blocks: list):
+        counts = np.asarray([b[0] for b in blocks], dtype=np.int64)
+        nbytes = np.asarray([b[1] for b in blocks], dtype=np.int64)
+        self.ends = np.cumsum(counts)
+        self.starts = self.ends - counts
+        self.byte_ends = np.cumsum(nbytes)
+        self.byte_starts = self.byte_ends - nbytes
+
+    def __len__(self) -> int:
+        return len(self.ends)
+
+    def covering(self, start: int, stop: int) -> range:
+        """Indices of the blocks overlapping elements [start, stop)."""
+        if stop <= start:
+            return range(0)
+        first = int(np.searchsorted(self.ends, start, side="right"))
+        last = int(np.searchsorted(self.starts, stop, side="left"))
+        return range(first, last)
+
+
 @dataclass(frozen=True)
 class TraceKey:
     """Everything that determines a generated trace's bytes."""
@@ -210,6 +386,8 @@ def entry_path(key: TraceKey) -> Path | None:
 
 
 def _evict(path: Path) -> None:
+    if path.name.endswith(SUFFIX) and path.exists():
+        METRICS.counter("trace_plane_evictions").inc()
     try:
         if path.is_dir() and not path.is_symlink():
             shutil.rmtree(path, ignore_errors=True)
@@ -247,25 +425,103 @@ class StreamingTraceWriter:
     shapes); the module-level generation path always uses
     :func:`stream_chunk_references`, keeping chunk boundaries
     64-byte-aligned in every field file.
+
+    With a ``codec`` (explicit, or defaulted from
+    ``REPRO_TRACE_COMPRESS``) the entry is written in format 3:
+    appended data is buffered per field until a full
+    ``block_references``-sized block accumulates, which is
+    delta-encoded (address columns), compressed, and appended to the
+    field file; the per-block ``(raw_count, compressed_bytes)`` index
+    goes into the header at finalize.  Crash semantics are identical
+    to raw entries — no header, no entry.
     """
 
-    def __init__(self, path: Path, key: TraceKey, chunk_references: int):
+    def __init__(
+        self,
+        path: Path,
+        key: TraceKey,
+        chunk_references: int,
+        codec: str | None = None,
+        level: int | None = None,
+        block_references: int | None = None,
+    ):
         if chunk_references < 1:
             raise TraceError("chunk_references must be positive")
         self.path = Path(path)
         self.key = key
         self.chunk_references = int(chunk_references)
+        self.codec = codec if codec is not None else compress_codec()
+        if self.codec is not None and self.codec not in CODECS:
+            raise TraceError(f"unknown trace codec {self.codec!r}")
+        self.level = level if level is not None else compress_level()
+        self.block_references = int(
+            block_references
+            if block_references is not None
+            else compress_block_references()
+        )
+        if self.block_references < 1:
+            raise TraceError("block_references must be positive")
         self.path.mkdir(parents=True, exist_ok=True)
         self._counts: dict[str, int] = {name: 0 for name, _ in _FIELDS}
         self._handles = {
             name: open(self.path / f"{name}.bin", "wb") for name, _ in _FIELDS
         }
+        self._pending: dict[str, list[np.ndarray]] = {
+            name: [] for name, _ in _FIELDS
+        }
+        self._pending_counts: dict[str, int] = {name: 0 for name, _ in _FIELDS}
+        self._blocks: dict[str, list[list[int]]] = {
+            name: [] for name, _ in _FIELDS
+        }
         self._closed = False
+
+    def _emit_block(self, name: str, block: np.ndarray) -> None:
+        payload = _encode_block(
+            block, name in _DELTA_FIELDS, self.codec, self.level
+        )
+        self._handles[name].write(payload)
+        self._blocks[name].append([len(block), len(payload)])
 
     def _write(self, name: str, array: np.ndarray) -> None:
         array = np.ascontiguousarray(array, dtype=_DTYPES[name])
-        self._handles[name].write(array.tobytes())
         self._counts[name] += len(array)
+        if self.codec is None:
+            self._handles[name].write(array.tobytes())
+            return
+        pending = self._pending[name]
+        pending.append(array)
+        self._pending_counts[name] += len(array)
+        size = self.block_references
+        if self._pending_counts[name] < size:
+            return
+        whole = pending[0] if len(pending) == 1 else np.concatenate(pending)
+        full = len(whole) // size
+        for i in range(full):
+            self._emit_block(name, whole[i * size : (i + 1) * size])
+        tail = whole[full * size :]
+        # Copy the tail so the concatenated buffer can be collected.
+        self._pending[name] = [tail.copy()] if len(tail) else []
+        self._pending_counts[name] = len(tail)
+
+    def _flush_pending(self, name: str) -> None:
+        pending = self._pending[name]
+        if not pending:
+            return
+        whole = pending[0] if len(pending) == 1 else np.concatenate(pending)
+        self._emit_block(name, whole)
+        self._pending[name] = []
+        self._pending_counts[name] = 0
+
+    def append_field(self, name: str, array: np.ndarray) -> None:
+        """Append one chunk of one named field.
+
+        Used by cross-format copies (:func:`compact`), which stream
+        field by field rather than in the generator's
+        virtual-then-physical order.
+        """
+        if name not in _DTYPES:
+            raise TraceError(f"unknown trace field {name!r}")
+        self._write(name, array)
 
     def append_virtual(self, addresses, kinds, asids, mapped, kernel) -> None:
         """Append one chunk of generation-time (pre-physical) fields."""
@@ -281,9 +537,56 @@ class StreamingTraceWriter:
         self._write("load_physical", load_physical)
 
     def flush(self) -> None:
-        """Flush field buffers so the bytes are readable from the files."""
+        """Flush appended data so the bytes are readable from the files.
+
+        Compressed writers emit their pending partial block per field
+        first (block sizes are free-form in the index), so a flushed
+        field is fully decodable from disk — :func:`generate_stream`
+        relies on this between its virtual and physical passes.
+        """
+        if self.codec is not None:
+            for name, _ in _FIELDS:
+                self._flush_pending(name)
         for handle in self._handles.values():
             handle.flush()
+
+    def read_back(self, name: str, start: int, stop: int) -> np.ndarray:
+        """One window of an already-appended (and flushed) field.
+
+        The streaming generator's second pass re-reads the stored
+        virtual chunks through this, which hides the raw-vs-compressed
+        layout from the generation code.
+        """
+        dtype = np.dtype(_DTYPES[name])
+        if self.codec is None:
+            return np.fromfile(
+                self.path / f"{name}.bin",
+                dtype=dtype,
+                count=stop - start,
+                offset=start * dtype.itemsize,
+            )
+        index = _BlockIndex(self._blocks[name])
+        delta = name in _DELTA_FIELDS
+        parts = []
+        with open(self.path / f"{name}.bin", "rb") as handle:
+            for b in index.covering(start, stop):
+                handle.seek(int(index.byte_starts[b]))
+                payload = handle.read(
+                    int(index.byte_ends[b] - index.byte_starts[b])
+                )
+                block = _decode_block(
+                    payload,
+                    self.codec,
+                    dtype,
+                    int(index.ends[b] - index.starts[b]),
+                    delta,
+                )
+                lo = max(start - int(index.starts[b]), 0)
+                hi = min(stop, int(index.ends[b])) - int(index.starts[b])
+                parts.append(block[lo:hi])
+        if not parts:
+            return np.empty(0, dtype=dtype)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     def finalize(
         self,
@@ -296,10 +599,13 @@ class StreamingTraceWriter:
         counts = {name: self._counts[name] for name in REFERENCE_FIELDS}
         if len(set(counts.values())) != 1:
             raise TraceError(f"unbalanced field counts at finalize: {counts}")
+        if self.codec is not None:
+            for name, _ in _FIELDS:
+                self._flush_pending(name)
         self.close()
         header = {
             "magic": MAGIC,
-            "format": STORE_FORMAT,
+            "format": STORE_FORMAT if self.codec is None else STORE_FORMAT_COMPRESSED,
             "key": self.key.canonical(),
             "meta": {
                 "page_faults": int(page_faults),
@@ -313,6 +619,13 @@ class StreamingTraceWriter:
                 for name, dtype in _FIELDS
             ],
         }
+        if self.codec is not None:
+            header["codec"] = self.codec
+            header["level"] = self.level
+            header["block_references"] = self.block_references
+            for spec in header["arrays"]:
+                spec["delta"] = spec["name"] in _DELTA_FIELDS
+                spec["blocks"] = self._blocks[spec["name"]]
         blob = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
         fd, tmp_name = tempfile.mkstemp(
             prefix=".header-", suffix=".tmp", dir=self.path
@@ -360,7 +673,8 @@ def _read_header(path: Path) -> dict | None:
         return None
     if not isinstance(header, dict) or header.get("magic") != MAGIC:
         return None
-    if header.get("format") != STORE_FORMAT:
+    compressed = header.get("format") == STORE_FORMAT_COMPRESSED
+    if header.get("format") not in (STORE_FORMAT, STORE_FORMAT_COMPRESSED):
         return None
     try:
         specs = header["arrays"]
@@ -378,8 +692,30 @@ def _read_header(path: Path) -> dict | None:
             return None
         if int(header["chunk_references"]) < 1:
             return None
+        if compressed:
+            if header["codec"] not in CODECS:
+                return None
+            int(header["level"])
+            if int(header["block_references"]) < 1:
+                return None
         for spec in specs:
-            nbytes = counts[spec["name"]] * np.dtype(spec["dtype"]).itemsize
+            if compressed:
+                # Block index must tile the array exactly and account
+                # for every byte of the field file; a short file (torn
+                # writer) or a fabricated index fails here.
+                blocks = spec["blocks"]
+                if bool(spec["delta"]) and spec["dtype"] != "<i8":
+                    return None
+                if any(
+                    len(b) != 2 or int(b[0]) < 1 or int(b[1]) < 1
+                    for b in blocks
+                ):
+                    return None
+                if sum(int(b[0]) for b in blocks) != counts[spec["name"]]:
+                    return None
+                nbytes = sum(int(b[1]) for b in blocks)
+            else:
+                nbytes = counts[spec["name"]] * np.dtype(spec["dtype"]).itemsize
             if (path / f"{spec['name']}.bin").stat().st_size != nbytes:
                 return None
         meta = header["meta"]
@@ -397,14 +733,34 @@ class TraceStream:
     so a full pass over a multi-hundred-million-reference entry keeps
     RSS bounded by one chunk per field instead of faulting the whole
     file resident.
+
+    Compressed (format-3) entries decode through a small LRU of
+    decompressed blocks (:data:`_BLOCK_CACHE_BLOCKS`), so chunked
+    passes still hold O(chunk) bytes and repeated small windows — the
+    sampling path — skip re-inflating the block they keep landing in.
+    Decoded windows are bit-identical to the raw layout's.
     """
 
     def __init__(self, path: Path, header: dict):
         self.path = Path(path)
+        self.format: int = int(header["format"])
         self._counts = {s["name"]: int(s["count"]) for s in header["arrays"]}
         self._dtypes = {
             s["name"]: np.dtype(s["dtype"]) for s in header["arrays"]
         }
+        self.codec: str | None = None
+        if self.format == STORE_FORMAT_COMPRESSED:
+            self.codec = str(header["codec"])
+            self._delta = {s["name"]: bool(s["delta"]) for s in header["arrays"]}
+            self._indices = {
+                s["name"]: _BlockIndex(s["blocks"]) for s in header["arrays"]
+            }
+            self._block_cache: dict[tuple[str, int], np.ndarray] = {}
+        # Field files are opened once and held: a compaction swap
+        # renames a replacement entry over this path, and the held
+        # handles keep the original inodes so an in-flight reader never
+        # sees the other layout's bytes through its own header.
+        self._handles: dict = {}
         self.references: int = self._counts["addresses"]
         self.chunk_references: int = int(header["chunk_references"])
         meta = header["meta"]
@@ -420,6 +776,59 @@ class TraceStream:
         """Element count of one field (derived streams are shorter)."""
         return self._counts[field]
 
+    def _handle(self, field: str):
+        handle = self._handles.get(field)
+        if handle is None:
+            handle = open(self.path / f"{field}.bin", "rb")
+            self._handles[field] = handle
+        return handle
+
+    def close(self) -> None:
+        """Release held field-file handles (also runs on GC)."""
+        while self._handles:
+            self._handles.popitem()[1].close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _block(self, field: str, b: int) -> np.ndarray:
+        """One decoded block, through the LRU (dict preserves order)."""
+        cache = self._block_cache
+        cached = cache.get((field, b))
+        if cached is not None:
+            cache[(field, b)] = cache.pop((field, b))
+            return cached
+        index = self._indices[field]
+        handle = self._handle(field)
+        handle.seek(int(index.byte_starts[b]))
+        payload = handle.read(int(index.byte_ends[b] - index.byte_starts[b]))
+        block = _decode_block(
+            payload,
+            self.codec,
+            self._dtypes[field],
+            int(index.ends[b] - index.starts[b]),
+            self._delta[field],
+        )
+        while len(cache) >= _BLOCK_CACHE_BLOCKS:
+            cache.pop(next(iter(cache)))
+        cache[(field, b)] = block
+        return block
+
+    def _read_compressed(self, field: str, start: int, stop: int) -> np.ndarray:
+        index = self._indices[field]
+        parts = []
+        for b in index.covering(start, stop):
+            block = self._block(field, b)
+            lo = max(start - int(index.starts[b]), 0)
+            hi = min(stop, int(index.ends[b])) - int(index.starts[b])
+            parts.append(block[lo:hi])
+        if not parts:
+            return np.empty(0, dtype=self._dtypes[field])
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
     def read(self, field: str, start: int = 0, stop: int | None = None) -> np.ndarray:
         """One window of one field as an in-memory array."""
         total = self._counts[field]
@@ -428,12 +837,12 @@ class TraceStream:
         start = max(0, min(int(start), total))
         stop = max(start, min(int(stop), total))
         dtype = self._dtypes[field]
-        array = np.fromfile(
-            self.path / f"{field}.bin",
-            dtype=dtype,
-            count=stop - start,
-            offset=start * dtype.itemsize,
-        )
+        if self.codec is not None:
+            array = self._read_compressed(field, start, stop)
+        else:
+            handle = self._handle(field)
+            handle.seek(start * dtype.itemsize)
+            array = np.fromfile(handle, dtype=dtype, count=stop - start)
         if len(array) != stop - start:
             raise TraceError(
                 f"short read of {field} [{start}:{stop}) in {self.path}"
@@ -490,6 +899,7 @@ def open_stream(key: TraceKey) -> TraceStream | None:
         _evict(path)
         return None
     _touch(path)
+    METRICS.counter("trace_plane_hits").inc()
     return TraceStream(path, header)
 
 
@@ -525,13 +935,23 @@ def load(key: TraceKey) -> ReferenceTrace | None:
         return None
     arrays: dict[str, np.ndarray] = {}
     try:
-        for spec in header["arrays"]:
-            arrays[spec["name"]] = np.memmap(
-                path / f"{spec['name']}.bin",
-                mode="r",
-                dtype=np.dtype(spec["dtype"]),
-                shape=(int(spec["count"]),),
-            )
+        if header["format"] == STORE_FORMAT_COMPRESSED:
+            # Compressed entries materialize in memory: decoding is a
+            # copy anyway, so there is no inode to share.  Whole-trace
+            # loads of big compressed entries cost their decoded size —
+            # the streaming path (open_stream) is the bounded-RSS one.
+            reader = TraceStream(path, header)
+            for spec in header["arrays"]:
+                name = spec["name"]
+                arrays[name] = reader.read(name, 0, int(spec["count"]))
+        else:
+            for spec in header["arrays"]:
+                arrays[spec["name"]] = np.memmap(
+                    path / f"{spec['name']}.bin",
+                    mode="r",
+                    dtype=np.dtype(spec["dtype"]),
+                    shape=(int(spec["count"]),),
+                )
         meta = header["meta"]
         trace = ReferenceTrace(
             addresses=arrays["addresses"],
@@ -553,6 +973,7 @@ def load(key: TraceKey) -> ReferenceTrace | None:
     trace._derived["ifetch_physical"] = arrays["ifetch_physical"]
     trace._derived["load_physical"] = arrays["load_physical"]
     _touch(path)
+    METRICS.counter("trace_plane_hits").inc()
     return trace
 
 
@@ -647,23 +1068,11 @@ def generate_stream(
         writer.flush()
         table.finalize(meta["physical_seed"])
 
-        addr_dtype = np.dtype(_DTYPES["addresses"])
-        kind_dtype = np.dtype(_DTYPES["kinds"])
         total = meta["references"]
         for start in range(0, total, chunk):
             stop = min(start + chunk, total)
-            addresses = np.fromfile(
-                tmp / "addresses.bin",
-                dtype=addr_dtype,
-                count=stop - start,
-                offset=start * addr_dtype.itemsize,
-            )
-            kinds = np.fromfile(
-                tmp / "kinds.bin",
-                dtype=kind_dtype,
-                count=stop - start,
-                offset=start * kind_dtype.itemsize,
-            )
+            addresses = writer.read_back("addresses", start, stop)
+            kinds = writer.read_back("kinds", start, stop)
             physical = table.physical_for(addresses)
             writer.append_physical(
                 physical,
@@ -679,6 +1088,9 @@ def generate_stream(
     except BaseException:
         shutil.rmtree(tmp, ignore_errors=True)
         raise
+    METRICS.counter("trace_plane_generations").inc(
+        label=f"{workload}/{os_name}"
+    )
     _publish_dir(tmp, path)
     _prune(root, keep=path.name)
     return path
@@ -728,6 +1140,9 @@ def ensure(
         generate_stream(workload, os_name, references, seed=seed)
     else:
         trace = _generator.generate_trace(workload, os_name, references, seed=seed)
+        METRICS.counter("trace_plane_generations").inc(
+            label=f"{workload}/{os_name}"
+        )
         publish(trace, key)
     return True
 
@@ -783,8 +1198,191 @@ def get_trace(
         except OSError:
             pass  # read-only or full filesystem: fall back to in-memory
     trace = _generator.generate_trace(workload, os_name, references, seed=seed)
+    METRICS.counter("trace_plane_generations").inc(
+        label=f"{workload}/{os_name}"
+    )
     try:
         publish(trace, key)
     except OSError:
         pass  # read-only or full filesystem: serve the in-memory trace
     return trace
+
+
+# ---------------------------------------------------------------------------
+# Compaction: recompress LRU-cold entries in place
+
+
+def entry_nbytes(path: Path) -> int:
+    """Total on-disk bytes of one entry's field files (header excluded)."""
+    total = 0
+    for name, _ in _FIELDS:
+        try:
+            total += (path / f"{name}.bin").stat().st_size
+        except OSError:
+            pass
+    return total
+
+
+def _recompress(
+    path: Path,
+    header: dict,
+    codec: str,
+    level: int,
+    block_references: int | None,
+) -> None:
+    """Rewrite one entry under a codec and swap it in under readers.
+
+    The replacement is built complete (header and all) in a temp
+    directory, stamped with the original's mtime so compaction does not
+    disturb LRU order, then swapped in by two renames.  A reader with
+    the old files open keeps the old inodes; a reader that looks up
+    the path inside the brief rename window sees a miss and
+    regenerates — never short or mixed data.  A crash at any point
+    leaves either the old entry, or no entry plus a headerless (dotted,
+    prune-invisible) temp directory.
+    """
+    root = path.parent
+    key = TraceKey(**header["key"])
+    reader = TraceStream(path, header)
+    tmp = Path(tempfile.mkdtemp(prefix=f".{path.stem}-compact-", dir=root))
+    try:
+        writer = StreamingTraceWriter(
+            tmp,
+            key,
+            reader.chunk_references,
+            codec=codec,
+            level=level,
+            block_references=block_references,
+        )
+        step = reader.chunk_references
+        for name, _ in _FIELDS:
+            total = reader.count(name)
+            for start in range(0, total, step):
+                writer.append_field(
+                    name, reader.read(name, start, min(start + step, total))
+                )
+        writer.finalize(
+            page_faults=reader.page_faults,
+            other_cpi=reader.other_cpi,
+            workload=reader.workload,
+            os_name=reader.os_name,
+        )
+        stat = path.stat()
+        os.utime(tmp, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        trash = root / f".{path.stem}-old-{os.getpid()}"
+        shutil.rmtree(trash, ignore_errors=True)
+        os.rename(path, trash)
+        os.rename(tmp, path)
+        shutil.rmtree(trash, ignore_errors=True)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+
+
+def compact(
+    hot: int | None = None,
+    codec: str | None = None,
+    level: int | None = None,
+    block_references: int | None = None,
+) -> dict:
+    """Recompress every LRU-cold entry; returns a summary dict.
+
+    The ``hot`` most-recently-used entries are left alone (they are
+    the ones workers are actively memmapping or streaming; raw layout
+    is their fastest), everything colder is rewritten under ``codec``
+    at ``level`` — defaults: ``REPRO_TRACE_COMPRESS`` (or zlib when
+    the knob is off) at ``REPRO_TRACE_COMPRESS_LEVEL``.  Entries
+    already in the target shape are skipped; headerless leftovers from
+    killed writers are evicted.  Safe to run while readers are active
+    (see :func:`_recompress`) — this is the background maintenance
+    pass behind ``python -m repro.trace.tracestore compact``.
+    """
+    root = trace_cache_dir()
+    if root is None:
+        raise ConfigError(
+            "cannot compact: the trace cache is disabled "
+            "(REPRO_TRACE_CACHE=off)"
+        )
+    codec = codec if codec is not None else (compress_codec() or "zlib")
+    if codec not in CODECS:
+        raise ConfigError(f"codec must be one of {list(CODECS)}, got {codec!r}")
+    level = compress_level() if level is None else int(level)
+    hot = DEFAULT_COMPACT_HOT if hot is None else max(0, int(hot))
+    try:
+        entries = sorted(
+            ((p.stat().st_mtime_ns, p.name, p) for p in root.glob(f"*{SUFFIX}")),
+            reverse=True,
+        )
+    except OSError:
+        entries = []
+    summary = {
+        "entries": len(entries),
+        "hot": min(hot, len(entries)),
+        "compacted": 0,
+        "skipped": 0,
+        "evicted": 0,
+        "bytes_before": 0,
+        "bytes_after": 0,
+    }
+    for _, _, path in entries[hot:]:
+        header = _read_header(path)
+        if header is None:
+            _evict(path)
+            summary["evicted"] += 1
+            continue
+        if (
+            header["format"] == STORE_FORMAT_COMPRESSED
+            and header["codec"] == codec
+            and int(header["level"]) == level
+        ):
+            summary["skipped"] += 1
+            continue
+        before = entry_nbytes(path)
+        _recompress(path, header, codec, level, block_references)
+        summary["bytes_before"] += before
+        summary["bytes_after"] += entry_nbytes(path)
+        summary["compacted"] += 1
+        METRICS.counter("trace_plane_compactions").inc()
+    return summary
+
+
+def _main(argv=None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace.tracestore",
+        description="maintain the on-disk trace cache",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    cmd = sub.add_parser(
+        "compact",
+        help="recompress LRU-cold entries in place (safe under readers)",
+    )
+    cmd.add_argument(
+        "--hot", type=int, default=None,
+        help=f"most-recently-used entries to leave raw (default "
+             f"{DEFAULT_COMPACT_HOT})",
+    )
+    cmd.add_argument(
+        "--codec", choices=CODECS, default=None,
+        help="target codec (default: REPRO_TRACE_COMPRESS, else zlib)",
+    )
+    cmd.add_argument(
+        "--level", type=int, default=None,
+        help="codec level (default: REPRO_TRACE_COMPRESS_LEVEL, else 1)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        summary = compact(hot=args.hot, codec=args.codec, level=args.level)
+    except ConfigError as exc:
+        print(json.dumps({"ok": False, "error": str(exc)}), file=sys.stderr)
+        return 2
+    print(json.dumps({"ok": True, **summary}, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

@@ -1,0 +1,90 @@
+"""Fleet trace warm-up: every shard pre-generates its ring's entries.
+
+Drives the real ``FleetSupervisor.warm_traces`` fan-out (forked
+shards, ``POST /v1/warm_traces``) against a shared on-disk trace
+cache, and asserts the contract the CLI flag rides on: after one
+warm-up pass every assigned entry is published, and a second pass
+publishes nothing — warm restarts never regenerate.
+"""
+
+import pytest
+
+from repro.fleet.local import FleetSupervisor
+from repro.fleet.ring import shard_key
+from repro.trace import tracestore
+
+pytestmark = [pytest.mark.fleet, pytest.mark.concurrency]
+
+WARM_REFERENCES = 40_000
+OS_NAMES = ("mach", "ultrix")
+WORKLOADS = ("ousterhout",)
+
+
+@pytest.fixture()
+def plane(tmp_path, monkeypatch):
+    # Set before start() so forked shards inherit the shared cache and
+    # write compressed format-3 entries.
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    monkeypatch.setenv("REPRO_TRACE_COMPRESS", "zlib")
+    return tmp_path / "traces"
+
+
+@pytest.fixture()
+def fleet(store, plane):
+    supervisor = FleetSupervisor(store.root, nodes=2, replicas=1)
+    supervisor.start()
+    yield supervisor
+    supervisor.stop()
+
+
+class TestFleetWarmup:
+    def test_warm_publishes_every_assigned_entry_once(self, fleet, plane):
+        report = fleet.warm_traces(
+            references=WARM_REFERENCES,
+            workloads=WORKLOADS,
+            os_names=OS_NAMES,
+        )
+        assert report["errors"] == []
+        assert sorted(report["os_names"]) == sorted(OS_NAMES)
+        # Every OS landed on the shard its ring position names.
+        assigned = sorted(
+            os_name
+            for warmed in report["assignments"].values()
+            for os_name in warmed
+        )
+        assert assigned == sorted(OS_NAMES)
+        assert report["published"] == len(OS_NAMES) * len(WORKLOADS)
+        assert report["entries"] == report["published"]
+
+        for os_name in OS_NAMES:
+            for workload in WORKLOADS:
+                key = tracestore.key_for(
+                    workload, os_name, WARM_REFERENCES, 1
+                )
+                assert tracestore.has(key), (workload, os_name)
+
+        again = fleet.warm_traces(
+            references=WARM_REFERENCES,
+            workloads=WORKLOADS,
+            os_names=OS_NAMES,
+        )
+        assert again["errors"] == []
+        assert again["published"] == 0
+        assert again["entries"] == len(OS_NAMES) * len(WORKLOADS)
+
+    def test_assignments_follow_the_ring(self, fleet):
+        report = fleet.warm_traces(
+            references=WARM_REFERENCES,
+            workloads=WORKLOADS,
+            os_names=OS_NAMES,
+        )
+        for os_name in OS_NAMES:
+            key = shard_key({
+                "os": os_name,
+                "max_cache_assoc": None,
+                "max_access_time_ns": None,
+            })
+            expected = fleet.ring.preference(key, 1)
+            for label, warmed in report["assignments"].items():
+                if os_name in warmed:
+                    assert label in expected

@@ -91,3 +91,93 @@ class TestBulkSimulate:
         tlb = Tlb(16, FULLY_ASSOCIATIVE)
         tlb.simulate(np.array([1, 1, 1, 2]))
         assert tlb.result.miss_ratio == pytest.approx(0.5)
+
+
+def _reference_stream(n, seed, vpn_span=4_000, n_asids=6):
+    """A reuse-heavy synthetic stream: hot pages plus a cold scan."""
+    rng = np.random.default_rng(seed)
+    hot = rng.integers(0, vpn_span // 20, size=n)
+    cold = rng.integers(0, vpn_span, size=n)
+    take_hot = rng.random(n) < 0.7
+    vpns = np.where(take_hot, hot, cold).astype(np.int64)
+    asids = rng.integers(0, n_asids, size=n).astype(np.uint8)
+    kernels = rng.random(n) < 0.25
+    return vpns, asids, kernels
+
+
+class TestVectorizedDifferential:
+    """The vectorized LRU path is held bit-identical to the scalar
+    :meth:`Tlb.simulate_scalar` oracle."""
+
+    CONFIGS = [
+        (16, FULLY_ASSOCIATIVE),
+        (64, FULLY_ASSOCIATIVE),
+        (64, 1),
+        (64, 4),
+        (256, 8),
+    ]
+
+    def _assert_identical(self, a, b):
+        assert a.result.accesses == b.result.accesses
+        assert a.result.misses == b.result.misses
+        assert a.result.kernel_misses == b.result.kernel_misses
+        assert a.result.user_misses == b.result.user_misses
+
+    @pytest.mark.parametrize("entries,ways", CONFIGS)
+    def test_matches_scalar_oracle(self, entries, ways):
+        seed = entries + (ways if isinstance(ways, int) else 0)
+        vpns, asids, kernels = _reference_stream(6_000, seed=seed)
+        fast = Tlb(entries, ways)
+        fast.simulate(vpns, asids, kernels, record_flags=True)
+        slow = Tlb(entries, ways)
+        slow.simulate_scalar(vpns, asids, kernels, record_flags=True)
+        self._assert_identical(fast, slow)
+        assert np.array_equal(fast.result.miss_flags, slow.result.miss_flags)
+
+    def test_chunked_batches_interleaved_with_scalar(self):
+        """State round-trips exactly: vectorized batches, scalar singles,
+        and more vectorized batches agree with an all-scalar run."""
+        vpns, asids, kernels = _reference_stream(5_000, seed=9)
+        fast = Tlb(64, 4)
+        slow = Tlb(64, 4)
+        cursor = 0
+        for step, scalar_next in ((777, True), (1, False), (1234, True),
+                                  (3, False), (5_000, True)):
+            stop = min(cursor + step, len(vpns))
+            if cursor >= stop:
+                continue
+            window = slice(cursor, stop)
+            if scalar_next:
+                fast.simulate(vpns[window], asids[window], kernels[window])
+            else:
+                for i in range(cursor, stop):
+                    fast.access(int(vpns[i]), int(asids[i]), bool(kernels[i]))
+            slow.simulate_scalar(vpns[window], asids[window], kernels[window])
+            cursor = stop
+        self._assert_identical(fast, slow)
+
+    def test_fifo_and_random_use_scalar_path(self):
+        vpns, asids, kernels = _reference_stream(2_000, seed=5)
+        for policy in ("fifo", "random"):
+            batch = Tlb(64, 4, policy=policy)
+            batch.simulate(vpns, asids, kernels)
+            scalar = Tlb(64, 4, policy=policy)
+            scalar.simulate_scalar(vpns, asids, kernels)
+            self._assert_identical(batch, scalar)
+
+    def test_out_of_range_inputs_fall_back_to_scalar(self):
+        # asid 300 exceeds the 8-bit packed-id budget: simulate must
+        # still agree with the oracle by taking the scalar path.
+        vpns = np.array([1, 2, 1, 2, 1], dtype=np.int64)
+        asids = np.array([300, 300, 300, 1, 1], dtype=np.int64)
+        kernels = np.zeros(5, dtype=bool)
+        fast = Tlb(16, 4)
+        fast.simulate(vpns, asids, kernels)
+        slow = Tlb(16, 4)
+        slow.simulate_scalar(vpns, asids, kernels)
+        self._assert_identical(fast, slow)
+
+    def test_empty_batch(self):
+        tlb = Tlb(16, 4)
+        result = tlb.simulate(np.empty(0, dtype=np.int64))
+        assert result.accesses == 0 and result.misses == 0
